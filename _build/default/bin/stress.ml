@@ -1,0 +1,55 @@
+(* stress — large-scale randomized validation sweeps, in parallel.
+
+   Each sweep (see Wl_validate.Sweeps) re-validates one of the paper's
+   theorems over thousands of generated instances; failures print the
+   offending seed so they can be replayed.  Sweeps run chunk-parallel over
+   OCaml 5 domains.
+
+   Run with: dune exec bin/stress.exe -- [--seeds N] [--domains D] [SWEEP..]
+   Sweeps: thm1 thm2 thm6 thm6multi casec grooming all (default: all) *)
+
+module Sweeps = Wl_validate.Sweeps
+module Parallel = Wl_util.Parallel
+
+let run_sweep ~seeds ~domains name case =
+  let t0 = Unix.gettimeofday () in
+  let failures = Sweeps.run ~domains ~seeds case in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "%-10s %6d instances %8.2fs %8.0f/s   %s\n%!" name seeds dt
+    (float_of_int seeds /. dt)
+    (match failures with
+    | [] -> "all ok"
+    | (seed, reason) :: _ ->
+      Printf.sprintf "%d FAILURES (first: seed %d, %s)" (List.length failures)
+        seed reason);
+  failures = []
+
+let () =
+  let seeds = ref 2000 and domains = ref (Parallel.default_domains ()) in
+  let chosen = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--seeds" :: v :: rest ->
+      seeds := int_of_string v;
+      parse rest
+    | "--domains" :: v :: rest ->
+      domains := int_of_string v;
+      parse rest
+    | "all" :: rest -> parse rest
+    | name :: rest ->
+      (match List.assoc_opt name Sweeps.all with
+      | Some case -> chosen := (name, case) :: !chosen
+      | None ->
+        prerr_endline ("stress: unknown sweep " ^ name);
+        exit 2);
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let to_run = if !chosen = [] then Sweeps.all else List.rev !chosen in
+  Printf.printf "stress: %d seeds per sweep, %d domains\n%!" !seeds !domains;
+  let ok =
+    List.for_all
+      (fun (name, case) -> run_sweep ~seeds:!seeds ~domains:!domains name case)
+      to_run
+  in
+  exit (if ok then 0 else 1)

@@ -1,0 +1,265 @@
+(* wl — command-line front end for the wavelength/load library.
+
+   Subcommands:
+     analyze FILE     classify the DAG and solve the instance
+     color FILE       print one "path <index> wavelength <w>" line per dipath
+     generate KIND    emit a generated instance in the text format
+     dot FILE         emit Graphviz DOT (wavelength-colored when --solve)
+
+   The instance file format is documented in lib/core/serial.mli. *)
+
+open Cmdliner
+open Wl_core
+
+let read_instance file =
+  match Serial.read_file file with
+  | Ok inst -> Ok inst
+  | Error msg -> Error (Printf.sprintf "%s: %s" file msg)
+  | exception Sys_error msg -> Error msg
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline ("wl: " ^ msg);
+    exit 1
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Instance file.")
+
+(* --- analyze --- *)
+
+let analyze file =
+  let inst = or_die (read_instance file) in
+  let report = Solver.solve inst in
+  Format.printf "%a@." Solver.pp_report report
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Classify the DAG and solve the wavelength assignment.")
+    Term.(const analyze $ file_arg)
+
+(* --- color --- *)
+
+let color file =
+  let inst = or_die (read_instance file) in
+  let report = Solver.solve inst in
+  Array.iteri
+    (fun i w -> Printf.printf "path %d wavelength %d\n" i w)
+    report.Solver.assignment;
+  Printf.printf "# %d wavelengths, load %d, method %s\n"
+    report.Solver.n_wavelengths report.Solver.pi
+    (Solver.method_name report.Solver.method_used)
+
+let color_cmd =
+  Cmd.v
+    (Cmd.info "color" ~doc:"Print the wavelength of every dipath.")
+    Term.(const color $ file_arg)
+
+(* --- generate --- *)
+
+let generate kind param seed =
+  let module F = Wl_netgen.Figures in
+  let module G = Wl_netgen.Generators in
+  let module PG = Wl_netgen.Path_gen in
+  let rng = Wl_util.Prng.create seed in
+  let inst =
+    match kind with
+    | "fig1" -> Ok (F.fig1 (max 2 param))
+    | "fig3" -> Ok (F.fig3 ())
+    | "fig5" -> Ok (F.fig5 (max 2 param))
+    | "havet" -> Ok (F.havet (max 1 param))
+    | "random" ->
+      let dag = G.gnp_dag rng (max 4 param) 0.2 in
+      Ok (PG.random_instance rng dag (2 * param))
+    | "random-nic" ->
+      let dag = G.gnp_no_internal_cycle rng (max 4 param) 0.2 in
+      Ok (PG.random_instance rng dag (2 * param))
+    | "random-upp1" ->
+      let dag = G.upp_one_internal_cycle rng () in
+      Ok (PG.random_instance rng dag (2 * param))
+    | "random-uppc" ->
+      let dag = G.upp_internal_cycles rng ~cycles:(max 1 param) () in
+      Ok (PG.random_instance rng dag 12)
+    | "tree" ->
+      let dag = G.random_rooted_tree rng (max 2 param) in
+      Ok (PG.random_instance rng dag (2 * param))
+    | "backbone" ->
+      let dag = G.backbone rng ~pops:(max 2 param) ~levels:5 in
+      Ok (PG.random_instance rng dag (3 * param))
+    | other -> Error (Printf.sprintf "unknown kind %S" other)
+  in
+  print_string (Serial.to_string (or_die inst))
+
+let generate_cmd =
+  let kind =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"KIND"
+          ~doc:
+            "One of fig1, fig3, fig5, havet, random, random-nic (no internal \
+             cycle), random-upp1 (UPP, one internal cycle), random-uppc \
+             (UPP, PARAM internal cycles), tree (rooted tree), backbone.")
+  in
+  let param =
+    Arg.(value & opt int 4 & info [ "k"; "param" ] ~docv:"N" ~doc:"Size parameter.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Emit a generated instance in the text format.")
+    Term.(const generate $ kind $ param $ seed)
+
+(* --- dot --- *)
+
+let dot file solve =
+  let inst = or_die (read_instance file) in
+  let g = Instance.graph inst in
+  if solve then begin
+    let report = Solver.solve inst in
+    let colored =
+      List.mapi
+        (fun i p -> (p, report.Solver.assignment.(i)))
+        (Instance.paths_list inst)
+    in
+    print_string (Wl_digraph.Dot.of_colored_paths g colored)
+  end
+  else print_string (Wl_digraph.Dot.of_digraph g)
+
+let dot_cmd =
+  let solve =
+    Arg.(value & flag & info [ "solve" ] ~doc:"Color the dipaths by wavelength.")
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit Graphviz DOT for the instance's digraph.")
+    Term.(const dot $ file_arg $ solve)
+
+(* --- svg --- *)
+
+let svg file solve =
+  let inst = or_die (read_instance file) in
+  let g = Instance.graph inst in
+  if solve then begin
+    let report = Solver.solve inst in
+    let colored =
+      List.mapi
+        (fun i p -> (p, report.Solver.assignment.(i)))
+        (Instance.paths_list inst)
+    in
+    print_string (Wl_digraph.Svg.of_colored_paths g colored)
+  end
+  else print_string (Wl_digraph.Svg.of_digraph g)
+
+let svg_cmd =
+  let solve =
+    Arg.(value & flag & info [ "solve" ] ~doc:"Color the dipaths by wavelength.")
+  in
+  Cmd.v
+    (Cmd.info "svg" ~doc:"Emit a standalone SVG rendering of the instance.")
+    Term.(const svg $ file_arg $ solve)
+
+(* --- groom --- *)
+
+let groom file w =
+  let inst = or_die (read_instance file) in
+  match Grooming.satisfy inst ~w with
+  | None ->
+    prerr_endline "wl: no w-satisfiable selection found";
+    exit 1
+  | Some (sel, assignment) ->
+    Printf.printf "# selected %d of %d dipaths, load %d, wavelengths <= %d\n"
+      sel.Grooming.size (Instance.n_paths inst) sel.Grooming.load w;
+    let slot = ref 0 in
+    Array.iteri
+      (fun i keep ->
+        if keep then begin
+          Printf.printf "path %d wavelength %d\n" i assignment.(!slot);
+          incr slot
+        end
+        else Printf.printf "path %d rejected\n" i)
+      sel.Grooming.selected
+
+let groom_cmd =
+  let w =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "w"; "wavelengths" ] ~docv:"W" ~doc:"Available wavelengths.")
+  in
+  Cmd.v
+    (Cmd.info "groom"
+       ~doc:
+         "Select a maximum subfamily satisfiable with W wavelengths (the \
+          paper's concluding problem) and assign it.")
+    Term.(const groom $ file_arg $ w)
+
+(* --- verify --- *)
+
+let verify file =
+  let inst = or_die (read_instance file) in
+  let report = Solver.solve inst in
+  match Certificate.audit inst report with
+  | [] ->
+    Printf.printf "ok: %d wavelengths (load %d, method %s) — report audited\n"
+      report.Solver.n_wavelengths report.Solver.pi
+      (Solver.method_name report.Solver.method_used)
+  | issues ->
+    List.iter (fun i -> Printf.printf "ISSUE: %s\n" i) issues;
+    exit 1
+
+let verify_cmd =
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Solve the instance and audit the result with the independent \
+          certificate checker.")
+    Term.(const verify $ file_arg)
+
+(* --- witness --- *)
+
+let witness file =
+  let inst = or_die (read_instance file) in
+  let dag = Instance.dag inst in
+  let g = Instance.graph inst in
+  (match Wl_dag.Internal_cycle.find_canonical dag with
+  | None ->
+    Printf.printf
+      "no internal cycle: w = pi for every family on this DAG (Theorem 1)\n"
+  | Some can ->
+    Format.printf "%a@." (Wl_dag.Internal_cycle.pp_canonical dag) can;
+    (match Theorem2.build dag with
+    | Some family ->
+      Printf.printf
+        "Theorem 2 family (pi = 2, w = 3) witnessing the gap:\n";
+      List.iter
+        (fun p -> Printf.printf "  %s\n" (Wl_digraph.Dipath.to_string g p))
+        (Instance.paths_list family)
+    | None -> ()));
+  match Wl_dag.Upp.find_violation dag with
+  | None -> Printf.printf "the DAG is UPP\n"
+  | Some v ->
+    Printf.printf "not UPP: two dipaths from %s to %s:\n  %s\n  %s\n"
+      (Wl_digraph.Digraph.label g v.Wl_dag.Upp.from_v)
+      (Wl_digraph.Digraph.label g v.Wl_dag.Upp.to_v)
+      (Wl_digraph.Dipath.to_string g v.Wl_dag.Upp.path1)
+      (Wl_digraph.Dipath.to_string g v.Wl_dag.Upp.path2)
+
+let witness_cmd =
+  Cmd.v
+    (Cmd.info "witness"
+       ~doc:
+         "Show the DAG's structural witnesses: an internal cycle (with the \
+          Theorem 2 gap family) and/or a UPP violation.")
+    Term.(const witness $ file_arg)
+
+let () =
+  let info =
+    Cmd.info "wl" ~version:"1.0.0"
+      ~doc:"Wavelength assignment on DAGs (Bermond & Cosnard, IPDPS 2007)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            analyze_cmd; color_cmd; generate_cmd; dot_cmd; svg_cmd; groom_cmd;
+            witness_cmd; verify_cmd;
+          ]))

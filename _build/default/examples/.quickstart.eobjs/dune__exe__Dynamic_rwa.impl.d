@@ -1,0 +1,1 @@
+examples/dynamic_rwa.ml: Array Assignment Baselines Format Instance List Load Routing Sys Theorem1 Wl_core Wl_dag Wl_digraph Wl_netgen Wl_util

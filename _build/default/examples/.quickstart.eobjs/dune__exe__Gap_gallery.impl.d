@@ -1,0 +1,1 @@
+examples/gap_gallery.ml: Array Filename Format Instance List Load Printf Replication Solver Unix Wl_core Wl_digraph Wl_netgen

@@ -1,0 +1,1 @@
+examples/gap_gallery.mli:

@@ -1,0 +1,1 @@
+examples/optical_network.ml: Array Format List Routing Solver Sys Wl_core Wl_dag Wl_netgen Wl_util

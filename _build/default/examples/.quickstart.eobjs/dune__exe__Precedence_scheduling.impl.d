@@ -1,0 +1,1 @@
+examples/precedence_scheduling.ml: Array Format Instance List Solver Sys Wl_core Wl_dag Wl_digraph Wl_netgen Wl_util

@@ -1,0 +1,1 @@
+examples/precedence_scheduling.mli:

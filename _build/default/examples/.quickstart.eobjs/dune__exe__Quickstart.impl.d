@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Digraph Dipath Format Instance Load Routing Solver Wl_core Wl_dag Wl_digraph

@@ -1,0 +1,67 @@
+(* Scheduling pipelined data transfers over a precedence DAG.
+
+   The paper notes (Section 1) that the wavelength/load question also
+   arises in parallel computing: the digraph is a program's precedence
+   graph, dipaths are pipelined producer-consumer chains mapped onto it,
+   and a "wavelength" is a time slot / register lane that two chains
+   sharing an edge cannot occupy simultaneously.
+
+   This example builds a random fork-join style precedence DAG (a rooted
+   tree plus join edges), generates pipelined chains along it, and shows:
+
+   - rooted trees (in fact any DAG without internal cycle) need exactly
+     [pi] lanes — the channel with the most chains through it is the only
+     bottleneck;
+   - adding join edges can create internal cycles, after which the lane
+     count may genuinely exceed every channel's occupancy (the Figure 3
+     phenomenon).
+
+   Run with: dune exec examples/precedence_scheduling.exe [seed] *)
+
+open Wl_core
+module Dag = Wl_dag.Dag
+module Digraph = Wl_digraph.Digraph
+module Generators = Wl_netgen.Generators
+module Path_gen = Wl_netgen.Path_gen
+module Prng = Wl_util.Prng
+
+let lanes inst =
+  let report = Solver.solve inst in
+  (report.Solver.pi, report.Solver.n_wavelengths,
+   Solver.method_name report.Solver.method_used)
+
+let () =
+  let seed = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 7 in
+  let rng = Prng.create seed in
+
+  (* Phase 1: a task tree (pure fork structure). *)
+  let tree = Generators.random_rooted_tree rng 40 in
+  let chains = Path_gen.random_family rng tree 30 in
+  let inst = Instance.make tree chains in
+  let pi, w, how = lanes inst in
+  Format.printf "fork tree:    %d chains, busiest channel %d, lanes %d (%s)@."
+    (List.length chains) pi w how;
+  assert (pi = w);
+
+  (* Phase 2: the Figure 3 shape — a join edge creating an internal cycle.
+     Five pipelined chains, no channel carrying more than two, yet three
+     lanes are required. *)
+  let inst3 = Wl_netgen.Figures.fig3 () in
+  let pi, w, how = lanes inst3 in
+  Format.printf "join gadget:  5 chains, busiest channel %d, lanes %d (%s)@."
+    pi w how;
+  assert (pi = 2 && w = 3);
+
+  (* Phase 3: scale — a staircase of pairwise-sharing chains (Figure 1)
+     shows the gap is unbounded: channel occupancy stays 2 while the lane
+     count grows with the number of chains. *)
+  List.iter
+    (fun k ->
+      let inst1 = Wl_netgen.Figures.fig1 k in
+      let pi, w, _ = lanes inst1 in
+      Format.printf "staircase k=%d: busiest channel %d, lanes %d@." k pi w)
+    [ 3; 5; 7 ];
+  Format.printf
+    "@.Takeaway for schedulers: occupancy-based lane provisioning is exact@.\
+     precisely when the precedence structure has no internal cycle@.\
+     (Main Theorem); with cycles it can undershoot arbitrarily.@."

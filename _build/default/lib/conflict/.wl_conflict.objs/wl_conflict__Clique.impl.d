@@ -1,0 +1,1 @@
+lib/conflict/clique.ml: Array Fun List Ugraph Wl_util

@@ -1,0 +1,1 @@
+lib/conflict/clique.mli: Ugraph

@@ -1,0 +1,1 @@
+lib/conflict/coloring.ml: Array Format Fun Hashtbl List Ugraph Wl_util

@@ -1,0 +1,1 @@
+lib/conflict/coloring.mli: Format Ugraph

@@ -1,0 +1,1 @@
+lib/conflict/dimacs.ml: Buffer Fun List Printf String Ugraph

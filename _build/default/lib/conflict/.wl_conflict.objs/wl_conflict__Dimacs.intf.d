@@ -1,0 +1,1 @@
+lib/conflict/dimacs.mli: Ugraph

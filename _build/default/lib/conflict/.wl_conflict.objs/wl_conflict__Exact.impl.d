@@ -1,0 +1,1 @@
+lib/conflict/exact.ml: Array Clique Coloring List Ugraph Wl_util

@@ -1,0 +1,1 @@
+lib/conflict/exact.mli: Coloring Ugraph

@@ -1,0 +1,1 @@
+lib/conflict/graph_props.ml: Array Fun List Queue Ugraph Wl_util

@@ -1,0 +1,1 @@
+lib/conflict/graph_props.mli: Ugraph

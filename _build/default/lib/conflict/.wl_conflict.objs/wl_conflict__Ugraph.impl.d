@@ -1,0 +1,1 @@
+lib/conflict/ugraph.ml: Array Format List Wl_util

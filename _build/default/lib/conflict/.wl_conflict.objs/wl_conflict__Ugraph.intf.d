@@ -1,0 +1,1 @@
+lib/conflict/ugraph.mli: Format Wl_util

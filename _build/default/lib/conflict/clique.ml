@@ -1,0 +1,59 @@
+module Bitset = Wl_util.Bitset
+
+(* Tomita-style branch and bound: expand(R, P) where P is the candidate set;
+   prune when |R| + |P| <= |best|. Greedy coloring bound would be tighter but
+   cardinality pruning suffices for conflict-graph sizes in this repo. *)
+let max_clique g =
+  let n = Ugraph.n_vertices g in
+  if n = 0 then []
+  else begin
+    let best = ref [] in
+    let best_size = ref 0 in
+    let rec expand r r_size p =
+      if r_size + Bitset.cardinal p <= !best_size then ()
+      else
+        match Bitset.first p with
+        | None ->
+          if r_size > !best_size then begin
+            best := r;
+            best_size := r_size
+          end
+        | Some _ ->
+          (* Iterate candidates in decreasing-degree order for better cuts. *)
+          let cands = Bitset.elements p in
+          let cands =
+            List.sort
+              (fun u v -> compare (Ugraph.degree g v) (Ugraph.degree g u))
+              cands
+          in
+          let p = Bitset.copy p in
+          List.iter
+            (fun v ->
+              if Bitset.mem p v && r_size + Bitset.cardinal p > !best_size then begin
+                let p' = Bitset.inter p (Ugraph.neighbor_set g v) in
+                expand (v :: r) (r_size + 1) p';
+                Bitset.remove p v
+              end)
+            cands
+    in
+    let all = Bitset.create n in
+    Bitset.fill all;
+    expand [] 0 all;
+    List.sort compare !best
+  end
+
+let clique_number g = List.length (max_clique g)
+
+let max_independent_set g = max_clique (Ugraph.complement g)
+
+let independence_number g = List.length (max_independent_set g)
+
+let greedy_clique g =
+  let n = Ugraph.n_vertices g in
+  let order = Array.init n Fun.id in
+  Array.sort (fun u v -> compare (Ugraph.degree g v) (Ugraph.degree g u)) order;
+  let clique = ref [] in
+  Array.iter
+    (fun v -> if List.for_all (fun u -> Ugraph.mem_edge g u v) !clique then clique := v :: !clique)
+    order;
+  List.sort compare !clique

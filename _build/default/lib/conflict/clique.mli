@@ -1,0 +1,20 @@
+(** Maximum clique and maximum independent set.
+
+    For a UPP-DAG, the paper (Property 3 + the Helly argument) shows
+    [pi = clique number of the conflict graph]; the clique solver verifies
+    that identity in tests, and clique bounds feed the exact coloring
+    branch-and-bound.  The independent-set solver powers the lower-bound
+    argument of Theorem 7 ([w >= |P| / alpha]). *)
+
+val max_clique : Ugraph.t -> int list
+(** A maximum clique (vertices in increasing order).  Exponential worst
+    case; intended for the instance sizes of the test and bench suites. *)
+
+val clique_number : Ugraph.t -> int
+
+val max_independent_set : Ugraph.t -> int list
+
+val independence_number : Ugraph.t -> int
+
+val greedy_clique : Ugraph.t -> int list
+(** Fast lower-bound clique (by descending degree). *)

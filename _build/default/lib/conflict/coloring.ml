@@ -1,0 +1,89 @@
+module Bitset = Wl_util.Bitset
+
+type t = int array
+
+let is_valid g coloring =
+  Array.length coloring = Ugraph.n_vertices g
+  && Array.for_all (fun c -> c >= 0) coloring
+  && List.for_all (fun (u, v) -> coloring.(u) <> coloring.(v)) (Ugraph.edges g)
+
+let n_colors coloring =
+  if Array.length coloring = 0 then 0 else 1 + Array.fold_left max (-1) coloring
+
+let normalize coloring =
+  let rename = Hashtbl.create 16 in
+  let next = ref 0 in
+  Array.map
+    (fun c ->
+      match Hashtbl.find_opt rename c with
+      | Some c' -> c'
+      | None ->
+        let c' = !next in
+        incr next;
+        Hashtbl.add rename c c';
+        c')
+    coloring
+
+let smallest_free g coloring v =
+  let used = Array.make (Ugraph.degree g v + 1) false in
+  List.iter
+    (fun w ->
+      let c = coloring.(w) in
+      if c >= 0 && c < Array.length used then used.(c) <- true)
+    (Ugraph.neighbors g v);
+  let rec first i = if not used.(i) then i else first (i + 1) in
+  first 0
+
+let greedy ?order g =
+  let n = Ugraph.n_vertices g in
+  let order = match order with Some o -> o | None -> Array.init n Fun.id in
+  let coloring = Array.make n (-1) in
+  Array.iter (fun v -> coloring.(v) <- smallest_free g coloring v) order;
+  coloring
+
+let greedy_desc_degree g =
+  let n = Ugraph.n_vertices g in
+  let order = Array.init n Fun.id in
+  Array.sort (fun u v -> compare (Ugraph.degree g v) (Ugraph.degree g u)) order;
+  greedy ~order g
+
+let dsatur g =
+  let n = Ugraph.n_vertices g in
+  let coloring = Array.make n (-1) in
+  (* Saturation: set of neighbor colors per vertex. Capacity n colors. *)
+  let sat = Array.init n (fun _ -> Bitset.create (max 1 n)) in
+  let colored = Array.make n false in
+  for _ = 1 to n do
+    (* Pick uncolored vertex with max saturation, tie-break on degree. *)
+    let best = ref (-1) in
+    let best_key = ref (-1, -1) in
+    for v = 0 to n - 1 do
+      if not colored.(v) then begin
+        let key = (Bitset.cardinal sat.(v), Ugraph.degree g v) in
+        if !best = -1 || key > !best_key then begin
+          best := v;
+          best_key := key
+        end
+      end
+    done;
+    let v = !best in
+    let c =
+      let rec first i = if not (Bitset.mem sat.(v) i) then i else first (i + 1) in
+      first 0
+    in
+    coloring.(v) <- c;
+    colored.(v) <- true;
+    List.iter (fun w -> if not colored.(w) then Bitset.add sat.(w) c) (Ugraph.neighbors g v)
+  done;
+  coloring
+
+let best_heuristic g =
+  let a = greedy_desc_degree g and b = dsatur g in
+  if n_colors a <= n_colors b then a else b
+
+let pp ppf coloring =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       Format.pp_print_int)
+    (Array.to_list coloring)

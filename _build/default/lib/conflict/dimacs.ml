@@ -1,0 +1,67 @@
+let to_string ?comment g =
+  let buf = Buffer.create 1024 in
+  (match comment with
+  | Some c ->
+    String.split_on_char '\n' c
+    |> List.iter (fun line -> Buffer.add_string buf ("c " ^ line ^ "\n"))
+  | None -> ());
+  Buffer.add_string buf
+    (Printf.sprintf "p edge %d %d\n" (Ugraph.n_vertices g) (Ugraph.n_edges g));
+  List.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "e %d %d\n" (u + 1) (v + 1)))
+    (Ugraph.edges g);
+  Buffer.contents buf
+
+let of_string text =
+  let graph = ref None in
+  let err lineno msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno = function
+    | [] -> (
+      match !graph with
+      | Some g -> Ok g
+      | None -> Error "missing 'p edge' header")
+    | line :: rest -> (
+      let words =
+        String.split_on_char ' ' (String.trim line)
+        |> List.filter (fun w -> w <> "")
+      in
+      match words with
+      | [] -> go (lineno + 1) rest
+      | "c" :: _ -> go (lineno + 1) rest
+      | [ "p"; "edge"; n; m ] -> (
+        match (int_of_string_opt n, int_of_string_opt m, !graph) with
+        | _, _, Some _ -> err lineno "duplicate header"
+        | Some n, Some _, None ->
+          if n < 0 then err lineno "negative vertex count"
+          else begin
+            graph := Some (Ugraph.create n);
+            go (lineno + 1) rest
+          end
+        | _ -> err lineno "malformed header")
+      | [ "e"; u; v ] -> (
+        match (!graph, int_of_string_opt u, int_of_string_opt v) with
+        | None, _, _ -> err lineno "'e' before header"
+        | Some g, Some u, Some v -> (
+          match Ugraph.add_edge g (u - 1) (v - 1) with
+          | () -> go (lineno + 1) rest
+          | exception Invalid_argument msg -> err lineno msg)
+        | _ -> err lineno "malformed edge")
+      | word :: _ -> err lineno (Printf.sprintf "unknown directive %S" word))
+  in
+  go 1 lines
+
+let write_file path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))
+
+let read_file path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string text

@@ -1,0 +1,16 @@
+(** DIMACS graph-coloring format export/import.
+
+    Conflict graphs exported here can be fed to any off-the-shelf coloring
+    or clique solver ([p edge n m] header, 1-based [e u v] lines), and
+    published DIMACS benchmark graphs can be pulled in to exercise the
+    coloring substrate. *)
+
+val to_string : ?comment:string -> Ugraph.t -> string
+
+val of_string : string -> (Ugraph.t, string) result
+(** Accepts [c] comment lines, one [p edge <n> <m>] header, and [e u v]
+    lines with 1-based endpoints; errors carry the line number. *)
+
+val write_file : string -> Ugraph.t -> unit
+
+val read_file : string -> (Ugraph.t, string) result

@@ -1,0 +1,88 @@
+module Bitset = Wl_util.Bitset
+
+type t = { n : int; adj : Bitset.t array; mutable m : int }
+
+let create n =
+  if n < 0 then invalid_arg "Ugraph.create";
+  { n; adj = Array.init n (fun _ -> Bitset.create n); m = 0 }
+
+let n_vertices t = t.n
+let n_edges t = t.m
+
+let check t v = if v < 0 || v >= t.n then invalid_arg "Ugraph: vertex out of range"
+
+let mem_edge t u v =
+  check t u;
+  check t v;
+  u <> v && Bitset.mem t.adj.(u) v
+
+let add_edge t u v =
+  check t u;
+  check t v;
+  if u = v then invalid_arg "Ugraph.add_edge: self-loop";
+  if not (Bitset.mem t.adj.(u) v) then begin
+    Bitset.add t.adj.(u) v;
+    Bitset.add t.adj.(v) u;
+    t.m <- t.m + 1
+  end
+
+let neighbors t v =
+  check t v;
+  Bitset.elements t.adj.(v)
+
+let neighbor_set t v =
+  check t v;
+  t.adj.(v)
+
+let degree t v =
+  check t v;
+  Bitset.cardinal t.adj.(v)
+
+let max_degree t =
+  let best = ref 0 in
+  for v = 0 to t.n - 1 do
+    best := max !best (degree t v)
+  done;
+  !best
+
+let edges t =
+  let out = ref [] in
+  for u = t.n - 1 downto 0 do
+    List.iter (fun v -> if u < v then out := (u, v) :: !out) (neighbors t u)
+  done;
+  List.sort compare !out
+
+let complement t =
+  let c = create t.n in
+  for u = 0 to t.n - 1 do
+    for v = u + 1 to t.n - 1 do
+      if not (mem_edge t u v) then add_edge c u v
+    done
+  done;
+  c
+
+let of_edges n es =
+  let t = create n in
+  List.iter (fun (u, v) -> add_edge t u v) es;
+  t
+
+let is_clique t vs =
+  let rec go = function
+    | [] -> true
+    | v :: rest -> List.for_all (fun w -> mem_edge t v w) rest && go rest
+  in
+  go vs
+
+let is_independent t vs =
+  let rec go = function
+    | [] -> true
+    | v :: rest -> List.for_all (fun w -> not (mem_edge t v w)) rest && go rest
+  in
+  go vs
+
+let equal a b = a.n = b.n && edges a = edges b
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>ugraph: %d vertices, %d edges@," t.n t.m;
+  List.iter (fun (u, v) -> Format.fprintf ppf "  %d -- %d@," u v) (edges t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,41 @@
+(** Simple undirected graphs, used as conflict graphs.
+
+    Vertices are dense integers; the adjacency is kept both as lists (for
+    iteration) and as bitsets (for the clique and exact-coloring solvers).
+    The number of wavelengths [w(G,P)] of the paper is precisely the
+    chromatic number of such a graph. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the edgeless graph on [n] vertices. *)
+
+val n_vertices : t -> int
+val n_edges : t -> int
+
+val add_edge : t -> int -> int -> unit
+(** Ignores duplicate insertions; raises [Invalid_argument] on self-loops or
+    out-of-range vertices. *)
+
+val mem_edge : t -> int -> int -> bool
+val neighbors : t -> int -> int list
+val neighbor_set : t -> int -> Wl_util.Bitset.t
+(** The adjacency bitset itself — callers must not mutate it. *)
+
+val degree : t -> int -> int
+val max_degree : t -> int
+val edges : t -> (int * int) list
+(** Each edge once, as [(min, max)] pairs, sorted. *)
+
+val complement : t -> t
+
+val of_edges : int -> (int * int) list -> t
+
+val is_clique : t -> int list -> bool
+(** Whether the given vertices are pairwise adjacent. *)
+
+val is_independent : t -> int list -> bool
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

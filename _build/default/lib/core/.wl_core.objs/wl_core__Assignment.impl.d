@@ -1,0 +1,1 @@
+lib/core/assignment.ml: Array Format Hashtbl Instance Wl_conflict Wl_digraph

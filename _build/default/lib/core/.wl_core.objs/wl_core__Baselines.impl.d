@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Array Assignment Digraph Dipath Fun Instance List Wl_digraph Wl_util

@@ -1,0 +1,1 @@
+lib/core/bounds.ml: Conflict_of Instance Load Wl_conflict

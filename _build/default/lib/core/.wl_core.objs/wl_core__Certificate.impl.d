@@ -1,0 +1,1 @@
+lib/core/certificate.ml: Array Assignment Bounds Digraph Dipath Instance List Printf Solver String Theorem6 Wl_dag Wl_digraph

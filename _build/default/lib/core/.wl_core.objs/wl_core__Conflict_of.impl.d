@@ -1,0 +1,1 @@
+lib/core/conflict_of.ml: Digraph Dipath Instance List Load Wl_conflict Wl_digraph

@@ -1,0 +1,1 @@
+lib/core/conflict_of.mli: Instance Wl_conflict

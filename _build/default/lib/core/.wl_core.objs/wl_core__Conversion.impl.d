@@ -1,0 +1,1 @@
+lib/core/conversion.ml: Array Digraph Dipath Instance List Solver Wl_digraph

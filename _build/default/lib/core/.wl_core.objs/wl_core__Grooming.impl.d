@@ -1,0 +1,1 @@
+lib/core/grooming.ml: Array Assignment Digraph Dipath Fun Instance List Load Solver Theorem1 Wl_dag Wl_digraph

@@ -1,0 +1,1 @@
+lib/core/grooming.mli: Assignment Instance Wl_dag

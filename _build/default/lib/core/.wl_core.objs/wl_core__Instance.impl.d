@@ -1,0 +1,1 @@
+lib/core/instance.ml: Array Digraph Dipath Format List Result Wl_dag Wl_digraph

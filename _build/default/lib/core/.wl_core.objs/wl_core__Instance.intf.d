@@ -1,0 +1,1 @@
+lib/core/instance.mli: Digraph Dipath Format Wl_dag Wl_digraph

@@ -1,0 +1,1 @@
+lib/core/load.ml: Array Digraph Instance List Wl_digraph

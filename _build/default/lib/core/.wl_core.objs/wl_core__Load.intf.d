@@ -1,0 +1,1 @@
+lib/core/load.mli: Digraph Instance Wl_digraph

@@ -1,0 +1,1 @@
+lib/core/replication.ml: Array List

@@ -1,0 +1,1 @@
+lib/core/routing.ml: Array Digraph Dipath Fun Instance List Printf Queue Result Traversal Wl_dag Wl_digraph Wl_util

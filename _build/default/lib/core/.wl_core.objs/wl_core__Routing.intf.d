@@ -1,0 +1,1 @@
+lib/core/routing.mli: Digraph Dipath Instance Wl_dag Wl_digraph Wl_util

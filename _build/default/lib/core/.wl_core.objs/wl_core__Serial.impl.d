@@ -1,0 +1,1 @@
+lib/core/serial.ml: Buffer Digraph Dipath Fun Instance List Printf String Wl_digraph

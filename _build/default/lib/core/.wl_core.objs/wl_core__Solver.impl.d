@@ -1,0 +1,1 @@
+lib/core/solver.ml: Assignment Conflict_of Format Instance List Load Theorem1 Theorem6 Theorem6_multi Wl_conflict Wl_dag

@@ -1,0 +1,1 @@
+lib/core/solver.mli: Assignment Format Instance Wl_dag

@@ -1,0 +1,1 @@
+lib/core/theorem1.ml: Array Assignment Digraph Dipath Hashtbl Instance List Option Queue Traversal Wl_dag Wl_digraph

@@ -1,0 +1,1 @@
+lib/core/theorem2.ml: Array Digraph Dipath Instance List Wl_dag Wl_digraph

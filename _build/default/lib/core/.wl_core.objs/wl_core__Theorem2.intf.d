@@ -1,0 +1,1 @@
+lib/core/theorem2.mli: Dag Instance Internal_cycle Wl_dag Wl_digraph

@@ -1,0 +1,1 @@
+lib/core/theorem6.ml: Array Assignment Digraph Dipath Hashtbl Instance List Load Option Printf Theorem1 Wl_dag Wl_digraph

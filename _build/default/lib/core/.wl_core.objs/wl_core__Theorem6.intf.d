@@ -1,0 +1,1 @@
+lib/core/theorem6.mli: Assignment Digraph Instance Wl_dag Wl_digraph

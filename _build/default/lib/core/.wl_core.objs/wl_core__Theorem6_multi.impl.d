@@ -1,0 +1,1 @@
+lib/core/theorem6_multi.ml: Bounds Instance List Theorem1 Theorem6 Wl_dag

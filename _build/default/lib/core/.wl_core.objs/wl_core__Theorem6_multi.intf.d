@@ -1,0 +1,1 @@
+lib/core/theorem6_multi.mli: Assignment Instance Theorem6

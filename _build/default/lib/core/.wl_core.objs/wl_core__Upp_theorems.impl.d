@@ -1,0 +1,1 @@
+lib/core/upp_theorems.ml: Array Conflict_of Dipath Instance Load Wl_conflict Wl_digraph

@@ -1,0 +1,1 @@
+lib/core/upp_theorems.mli: Instance

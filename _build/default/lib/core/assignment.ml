@@ -1,0 +1,43 @@
+type t = int array
+
+let first_conflict inst assignment =
+  let n = Instance.n_paths inst in
+  if Array.length assignment <> n then
+    invalid_arg "Assignment: length mismatch with family";
+  Array.iter (fun c -> if c < 0 then invalid_arg "Assignment: negative color") assignment;
+  let g = Instance.graph inst in
+  let m = Wl_digraph.Digraph.n_arcs g in
+  let rec scan_arcs a =
+    if a >= m then None
+    else begin
+      let users = Instance.paths_through inst a in
+      let seen = Hashtbl.create 8 in
+      let rec scan_users = function
+        | [] -> scan_arcs (a + 1)
+        | i :: rest -> (
+          match Hashtbl.find_opt seen assignment.(i) with
+          | Some j -> Some (j, i, a)
+          | None ->
+            Hashtbl.add seen assignment.(i) i;
+            scan_users rest)
+      in
+      scan_users users
+    end
+  in
+  scan_arcs 0
+
+let is_valid inst assignment = first_conflict inst assignment = None
+
+let n_wavelengths t =
+  if Array.length t = 0 then 0 else 1 + Array.fold_left max (-1) t
+
+let normalize t = Wl_conflict.Coloring.normalize t
+
+let of_conflict_coloring c = Array.copy c
+
+let pp ppf t =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       Format.pp_print_int)
+    (Array.to_list t)

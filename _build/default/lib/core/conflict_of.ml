@@ -1,0 +1,50 @@
+open Wl_digraph
+module Ugraph = Wl_conflict.Ugraph
+
+let build inst =
+  let n = Instance.n_paths inst in
+  let cg = Ugraph.create n in
+  let g = Instance.graph inst in
+  for a = 0 to Digraph.n_arcs g - 1 do
+    let users = Instance.paths_through inst a in
+    let rec all_pairs = function
+      | [] -> ()
+      | i :: rest ->
+        List.iter (fun j -> Ugraph.add_edge cg i j) rest;
+        all_pairs rest
+    in
+    all_pairs users
+  done;
+  cg
+
+let helly_witness inst =
+  let cg = build inst in
+  let n = Instance.n_paths inst in
+  let share_common_arc is =
+    match is with
+    | [] -> true
+    | i0 :: rest ->
+      List.exists
+        (fun a -> List.for_all (fun i -> Dipath.mem_arc (Instance.path inst i) a) rest)
+        (Dipath.arcs (Instance.path inst i0))
+  in
+  let result = ref None in
+  (try
+     for i = 0 to n - 1 do
+       for j = i + 1 to n - 1 do
+         if Ugraph.mem_edge cg i j then
+           for k = j + 1 to n - 1 do
+             if
+               Ugraph.mem_edge cg i k && Ugraph.mem_edge cg j k
+               && not (share_common_arc [ i; j; k ])
+             then begin
+               result := Some [ i; j; k ];
+               raise Exit
+             end
+           done
+       done
+     done
+   with Exit -> ());
+  !result
+
+let clique_lower_bound inst = Load.pi inst

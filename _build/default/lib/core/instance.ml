@@ -1,0 +1,49 @@
+open Wl_digraph
+module Dag = Wl_dag.Dag
+
+type t = {
+  dag : Dag.t;
+  paths : Dipath.t array;
+  by_arc : int list array; (* arc id -> family indices using it, ascending *)
+}
+
+let build_index g paths =
+  let by_arc = Array.make (max 1 (Digraph.n_arcs g)) [] in
+  Array.iteri
+    (fun i p -> List.iter (fun a -> by_arc.(a) <- i :: by_arc.(a)) (Dipath.arcs p))
+    paths;
+  Array.map List.rev by_arc
+
+let make dag path_list =
+  let paths = Array.of_list path_list in
+  { dag; paths; by_arc = build_index (Dag.graph dag) paths }
+
+let of_digraph g path_list =
+  Result.map (fun dag -> make dag path_list) (Dag.of_digraph g)
+
+let dag t = t.dag
+let graph t = Dag.graph t.dag
+let n_paths t = Array.length t.paths
+
+let path t i =
+  if i < 0 || i >= n_paths t then invalid_arg "Instance.path: bad index";
+  t.paths.(i)
+
+let paths t = Array.copy t.paths
+let paths_list t = Array.to_list t.paths
+
+let add_paths t extra = make t.dag (Array.to_list t.paths @ extra)
+
+let paths_through t a =
+  if a < 0 || a >= Digraph.n_arcs (graph t) then
+    invalid_arg "Instance.paths_through: bad arc";
+  t.by_arc.(a)
+
+let pp ppf t =
+  let g = graph t in
+  Format.fprintf ppf "@[<v>instance: %d vertices, %d arcs, %d dipaths@,"
+    (Digraph.n_vertices g) (Digraph.n_arcs g) (n_paths t);
+  Array.iteri
+    (fun i p -> Format.fprintf ppf "  P%d: %a@," i (Dipath.pp g) p)
+    t.paths;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,42 @@
+(** RWA instances: a DAG together with a family of dipaths.
+
+    This is the input of the wavelength-assignment problem the paper studies
+    once routing is fixed: color the dipaths so that two dipaths sharing an
+    arc get different colors, using as few colors as possible.
+
+    The family is an {e indexed multiset}: the same dipath may appear several
+    times (Theorems 6 and 7 replicate dipaths on purpose), and colors are
+    reported per index. *)
+
+open Wl_digraph
+
+type t
+
+val make : Wl_dag.Dag.t -> Dipath.t list -> t
+(** Validates nothing beyond what {!Dipath.make} already guaranteed (each
+    dipath was built against the same graph); callers must not pass dipaths
+    from a different graph. *)
+
+val of_digraph : Digraph.t -> Dipath.t list -> (t, string) result
+(** Checks acyclicity first. *)
+
+val dag : t -> Wl_dag.Dag.t
+val graph : t -> Digraph.t
+
+val n_paths : t -> int
+val path : t -> int -> Dipath.t
+(** Path by family index, [0 .. n_paths - 1]. *)
+
+val paths : t -> Dipath.t array
+(** Fresh array of the family, in index order. *)
+
+val paths_list : t -> Dipath.t list
+
+val add_paths : t -> Dipath.t list -> t
+(** New instance with extra dipaths appended (indices of existing paths are
+    preserved). *)
+
+val paths_through : t -> Digraph.arc -> int list
+(** Indices of family members whose dipath uses the given arc, ascending. *)
+
+val pp : Format.formatter -> t -> unit

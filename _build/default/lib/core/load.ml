@@ -1,0 +1,25 @@
+open Wl_digraph
+
+let arc_load inst a = List.length (Instance.paths_through inst a)
+
+let load_profile inst =
+  let g = Instance.graph inst in
+  Array.init (Digraph.n_arcs g) (arc_load inst)
+
+let pi inst = Array.fold_left max 0 (load_profile inst)
+
+let max_load_arcs inst =
+  let profile = load_profile inst in
+  let best = Array.fold_left max 0 profile in
+  if best = 0 then []
+  else
+    Array.to_list (Array.mapi (fun a l -> (a, l)) profile)
+    |> List.filter_map (fun (a, l) -> if l = best then Some a else None)
+
+let max_load_arc_among inst candidates =
+  match candidates with
+  | [] -> invalid_arg "Load.max_load_arc_among: empty candidate list"
+  | first :: rest ->
+    List.fold_left
+      (fun best a -> if arc_load inst a > arc_load inst best then a else best)
+      first rest

@@ -1,0 +1,26 @@
+let ceil_div a b =
+  if b <= 0 then invalid_arg "Replication.ceil_div";
+  (a + b - 1) / b
+
+let covering_coloring ~n_base ~sets ~h ~n_colors =
+  let m = Array.length sets in
+  if m = 0 then invalid_arg "Replication.covering_coloring: no sets";
+  (* Available colors per base vertex. *)
+  let available = Array.make n_base [] in
+  for c = n_colors - 1 downto 0 do
+    List.iter
+      (fun i ->
+        if i < 0 || i >= n_base then
+          invalid_arg "Replication.covering_coloring: set element out of range";
+        available.(i) <- c :: available.(i))
+      sets.(c mod m)
+  done;
+  if Array.exists (fun cs -> List.length cs < h) available then None
+  else begin
+    let assignment = Array.make (n_base * h) (-1) in
+    Array.iteri
+      (fun i cs ->
+        List.iteri (fun r c -> if r < h then assignment.((i * h) + r) <- c) cs)
+      available;
+    Some assignment
+  end

@@ -1,0 +1,23 @@
+(** Optimal colorings of replicated families via covering designs.
+
+    Replacing every dipath of a family by [h] identical copies turns the
+    conflict graph [B] into the lexicographic product [B\[K_h\]] (Theorems 2
+    and 7 use this to scale the load).  When [B] has a cyclic family of
+    independent sets covering every vertex many times (e.g. the eight
+    [{i, i+2, i+5}] of the Wagner graph, or the [2k+1] maximum independent
+    sets of an odd cycle), assigning color [c] to the [c mod m]-th set
+    yields an optimal coloring of the product with [ceil(m h / size)]
+    colors.  This module implements that schedule; callers validate the
+    result against the instance. *)
+
+val covering_coloring :
+  n_base:int -> sets:int list array -> h:int -> n_colors:int -> Assignment.t option
+(** [covering_coloring ~n_base ~sets ~h ~n_colors] colors the replicated
+    family indexed as [base * h + copy].  Color [c] may be worn only by
+    base vertices in [sets.(c mod Array.length sets)]; each base vertex
+    needs [h] colors of its own — returns [None] if [n_colors] is too small
+    for that, [Some assignment] otherwise.  The assignment is proper
+    provided every set is independent in the base conflict graph. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b = ceil(a / b)] for positive [b]. *)

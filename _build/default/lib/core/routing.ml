@@ -1,0 +1,124 @@
+open Wl_digraph
+module Dag = Wl_dag.Dag
+module Upp = Wl_dag.Upp
+
+type request = Digraph.vertex * Digraph.vertex
+
+let collect_routes route requests =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (x, y) :: rest -> (
+      match route x y with
+      | Some p -> go (p :: acc) rest
+      | None -> Error (Printf.sprintf "request (%d, %d) is not routable" x y))
+  in
+  go [] requests
+
+let route_unique d requests =
+  collect_routes (fun x y -> Upp.unique_dipath d x y) requests
+
+let route_shortest d requests =
+  collect_routes (fun x y -> Dag.some_dipath d x y) requests
+
+(* Lexicographic (bottleneck load, hop count) Dijkstra; both components are
+   monotone under arc relaxation, so the label-setting argument applies. *)
+let bottleneck_path g load src dst =
+  let n = Digraph.n_vertices g in
+  let inf = (max_int, max_int) in
+  let dist = Array.make n inf in
+  let parent = Array.make n (-1) in
+  let settled = Array.make n false in
+  dist.(src) <- (0, 0);
+  let rec loop () =
+    let best = ref (-1) in
+    for v = 0 to n - 1 do
+      if (not settled.(v)) && dist.(v) < inf
+         && (!best = -1 || dist.(v) < dist.(!best))
+      then best := v
+    done;
+    if !best >= 0 then begin
+      let v = !best in
+      settled.(v) <- true;
+      if v <> dst then begin
+        List.iter
+          (fun a ->
+            let w = Digraph.arc_dst g a in
+            let bott, hops = dist.(v) in
+            let cand = (max bott load.(a), hops + 1) in
+            if cand < dist.(w) then begin
+              dist.(w) <- cand;
+              parent.(w) <- v
+            end)
+          (Digraph.out_arcs g v);
+        loop ()
+      end
+    end
+  in
+  loop ();
+  if dist.(dst) = inf || src = dst then None
+  else begin
+    let rec build v acc = if v = src then v :: acc else build parent.(v) (v :: acc) in
+    Some (Dipath.make g (build dst []))
+  end
+
+let min_load_router d =
+  let g = Dag.graph d in
+  let load = Array.make (max 1 (Digraph.n_arcs g)) 0 in
+  fun (x, y) ->
+    match bottleneck_path g load x y with
+    | None -> Error (Printf.sprintf "request (%d, %d) is not routable" x y)
+    | Some p ->
+      List.iter (fun a -> load.(a) <- load.(a) + 1) (Dipath.arcs p);
+      Ok p
+
+let route_min_load d requests =
+  let router = min_load_router d in
+  let route x y = Result.to_option (router (x, y)) in
+  collect_routes route requests
+
+let all_to_all d = Upp.routable_pairs d
+
+let route_multicast_tree d root =
+  let g = Dag.graph d in
+  let n = Digraph.n_vertices g in
+  (* BFS parents rooted at the source. *)
+  let parent = Array.make n (-1) in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  seen.(root) <- true;
+  Queue.add root queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun w ->
+        if not seen.(w) then begin
+          seen.(w) <- true;
+          parent.(w) <- v;
+          Queue.add w queue
+        end)
+      (Digraph.succ g v)
+  done;
+  let rec tree_path v acc =
+    if v = root then root :: acc else tree_path parent.(v) (v :: acc)
+  in
+  List.filter_map
+    (fun v ->
+      if v <> root && seen.(v) then Some (Dipath.make g (tree_path v []))
+      else None)
+    (List.init n Fun.id)
+
+let multicast d root =
+  let reachable = Traversal.reachable_from (Dag.graph d) root in
+  let out = ref [] in
+  Array.iteri (fun v r -> if r && v <> root then out := (root, v) :: !out) reachable;
+  List.rev !out
+
+let random_requests rng d k =
+  match all_to_all d with
+  | [] -> []
+  | pairs ->
+    let arr = Array.of_list pairs in
+    List.init k (fun _ -> Wl_util.Prng.choose rng arr)
+
+let instance_of d route requests =
+  Result.map (Instance.make d) (route d requests)

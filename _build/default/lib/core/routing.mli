@@ -1,0 +1,58 @@
+(** From requests to dipaths (the "R" of RWA).
+
+    The paper studies wavelength assignment for a {e given} routing; this
+    module supplies the routings used by examples and benches: the forced
+    routing on UPP-DAGs, shortest paths, a load-aware heuristic, and the
+    classic request families (all-to-all, multicast, random). *)
+
+open Wl_digraph
+
+type request = Digraph.vertex * Digraph.vertex
+
+val route_unique : Wl_dag.Dag.t -> request list -> (Dipath.t list, string) result
+(** Routes every request along the unique dipath (UPP-DAGs; on non-UPP DAGs
+    an arbitrary dipath is taken).  Fails on an unroutable request. *)
+
+val route_shortest : Wl_dag.Dag.t -> request list -> (Dipath.t list, string) result
+(** BFS shortest dipaths. *)
+
+val route_min_load : Wl_dag.Dag.t -> request list -> (Dipath.t list, string) result
+(** Greedy load-aware routing: requests are routed one by one along a path
+    minimizing (in lexicographic order) the maximum arc load after routing,
+    then hop count — a standard heuristic for the paper's "minimize the
+    load" routing phase. *)
+
+val min_load_router :
+  Wl_dag.Dag.t -> (request -> (Dipath.t, string) result)
+(** A stateful online router: each call routes one request on a path
+    minimizing (bottleneck load after routing, hop count) given {e all
+    previously routed requests}, and charges the chosen path's arcs.
+    [route_min_load] is this router folded over a request list. *)
+
+val all_to_all : Wl_dag.Dag.t -> request list
+(** Every ordered pair admitting a dipath. *)
+
+val multicast : Wl_dag.Dag.t -> Digraph.vertex -> request list
+(** From one source to every vertex reachable from it. *)
+
+val route_multicast_tree :
+  Wl_dag.Dag.t -> Digraph.vertex -> Dipath.t list
+(** Routes the full multicast from a source along a BFS tree: all routes
+    then live on a rooted tree, which has no internal cycle, so Theorem 1
+    colors them with exactly the load — realizing (by routing choice) the
+    multicast equality [w = pi] the paper cites from
+    Beauquier–Hell–Pérennes.  Returns one dipath per reachable vertex
+    (empty when nothing is reachable). *)
+
+val random_requests :
+  Wl_util.Prng.t -> Wl_dag.Dag.t -> int -> request list
+(** [random_requests rng d k] draws [k] uniformly random routable ordered
+    pairs (with repetition).  Returns fewer when the DAG has no routable
+    pair at all. *)
+
+val instance_of :
+  Wl_dag.Dag.t ->
+  (Wl_dag.Dag.t -> request list -> (Dipath.t list, string) result) ->
+  request list ->
+  (Instance.t, string) result
+(** Routes and wraps into an instance. *)

@@ -1,0 +1,132 @@
+open Wl_digraph
+
+let to_string inst =
+  let g = Instance.graph inst in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "dag %d\n" (Digraph.n_vertices g));
+  Digraph.iter_vertices
+    (fun v ->
+      let l = Digraph.label g v in
+      if l <> Printf.sprintf "v%d" v then
+        Buffer.add_string buf (Printf.sprintf "vlabel %d %s\n" v l))
+    g;
+  Digraph.iter_arcs
+    (fun _ u v -> Buffer.add_string buf (Printf.sprintf "arc %d %d\n" u v))
+    g;
+  List.iter
+    (fun p ->
+      Buffer.add_string buf "path";
+      List.iter (fun v -> Buffer.add_string buf (Printf.sprintf " %d" v)) (Dipath.vertices p);
+      Buffer.add_char buf '\n')
+    (Instance.paths_list inst);
+  Buffer.contents buf
+
+type parse_state = {
+  mutable graph : Digraph.t option;
+  mutable paths_rev : int list list; (* vertex sequences, reversed order *)
+}
+
+let of_string text =
+  let st = { graph = None; paths_rev = [] } in
+  let err lineno msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+  let lines = String.split_on_char '\n' text in
+  let parse_int lineno s =
+    match int_of_string_opt s with
+    | Some v -> Ok v
+    | None -> err lineno (Printf.sprintf "not an integer: %S" s)
+  in
+  let rec go lineno = function
+    | [] -> (
+      match st.graph with
+      | None -> Error "missing 'dag <n>' header"
+      | Some g -> (
+        match
+          List.fold_left
+            (fun acc verts ->
+              match acc with
+              | Error _ as e -> e
+              | Ok ps -> (
+                match Dipath.make g verts with
+                | p -> Ok (p :: ps)
+                | exception Invalid_argument msg -> Error ("bad path: " ^ msg)))
+            (Ok []) (List.rev st.paths_rev)
+        with
+        | Error msg -> Error msg
+        | Ok paths -> (
+          match Instance.of_digraph g (List.rev paths) with
+          | Ok inst -> Ok inst
+          | Error msg -> Error msg)))
+    | line :: rest -> (
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      let words =
+        String.split_on_char ' ' (String.trim line)
+        |> List.filter (fun w -> w <> "")
+      in
+      match words with
+      | [] -> go (lineno + 1) rest
+      | "dag" :: [ n ] -> (
+        match parse_int lineno n with
+        | Error e -> Error e
+        | Ok n ->
+          if st.graph <> None then err lineno "duplicate 'dag' header"
+          else begin
+            let g = Digraph.create () in
+            Digraph.add_vertices g n;
+            st.graph <- Some g;
+            go (lineno + 1) rest
+          end)
+      | "vlabel" :: i :: name :: [] -> (
+        match (st.graph, parse_int lineno i) with
+        | None, _ -> err lineno "'vlabel' before 'dag'"
+        | _, Error e -> Error e
+        | Some g, Ok i ->
+          if i < 0 || i >= Digraph.n_vertices g then err lineno "vertex out of range"
+          else begin
+            Digraph.set_label g i name;
+            go (lineno + 1) rest
+          end)
+      | "arc" :: u :: [ v ] -> (
+        match (st.graph, parse_int lineno u, parse_int lineno v) with
+        | None, _, _ -> err lineno "'arc' before 'dag'"
+        | _, Error e, _ | _, _, Error e -> Error e
+        | Some g, Ok u, Ok v -> (
+          match Digraph.add_arc g u v with
+          | _ -> go (lineno + 1) rest
+          | exception Invalid_argument msg -> err lineno msg))
+      | "path" :: verts -> (
+        if st.graph = None then err lineno "'path' before 'dag'"
+        else
+          let rec ints acc = function
+            | [] -> Ok (List.rev acc)
+            | w :: ws -> (
+              match parse_int lineno w with
+              | Ok v -> ints (v :: acc) ws
+              | Error e -> Error e)
+          in
+          match ints [] verts with
+          | Error e -> Error e
+          | Ok vs ->
+            st.paths_rev <- vs :: st.paths_rev;
+            go (lineno + 1) rest)
+      | word :: _ -> err lineno (Printf.sprintf "unknown directive %S" word))
+  in
+  go 1 lines
+
+let write_file path inst =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string inst))
+
+let read_file path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string text

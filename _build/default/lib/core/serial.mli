@@ -1,0 +1,20 @@
+(** Plain-text instance format, for the CLI and for sharing test fixtures.
+
+    Line-oriented; [#] starts a comment, blank lines ignored:
+
+    {v
+    dag 5                # vertex count, must come first
+    vlabel 0 a1          # optional, any number of these
+    arc 0 1
+    arc 1 2
+    path 0 1 2           # a dipath as a vertex sequence
+    v} *)
+
+val to_string : Instance.t -> string
+
+val of_string : string -> (Instance.t, string) result
+(** Errors carry the offending (1-based) line number. *)
+
+val write_file : string -> Instance.t -> unit
+
+val read_file : string -> (Instance.t, string) result

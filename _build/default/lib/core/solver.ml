@@ -1,0 +1,107 @@
+module Classify = Wl_dag.Classify
+module Coloring = Wl_conflict.Coloring
+module Exact = Wl_conflict.Exact
+
+type method_used =
+  | Theorem_1
+  | Theorem_6
+  | Theorem_6_iterated
+  | Exact_coloring
+  | Heuristic
+
+type report = {
+  classification : Classify.t;
+  pi : int;
+  lower_bound : int;
+  assignment : Assignment.t;
+  n_wavelengths : int;
+  method_used : method_used;
+  optimal : bool;
+}
+
+let method_name = function
+  | Theorem_1 -> "theorem-1"
+  | Theorem_6 -> "theorem-6"
+  | Theorem_6_iterated -> "theorem-6-iterated"
+  | Exact_coloring -> "exact-coloring"
+  | Heuristic -> "heuristic"
+
+let finish classification pi lower assignment method_used =
+  let assignment = Assignment.normalize assignment in
+  let n_wavelengths = Assignment.n_wavelengths assignment in
+  {
+    classification;
+    pi;
+    lower_bound = lower;
+    assignment;
+    n_wavelengths;
+    method_used;
+    optimal = n_wavelengths = lower;
+  }
+
+let solve ?(exact_limit = 24) inst =
+  let classification = Classify.classify (Instance.dag inst) in
+  let pi = Load.pi inst in
+  let small = Instance.n_paths inst <= exact_limit in
+  if classification.Classify.n_internal_cycles = 0 then
+    (* Theorem 1: optimal and equal to the load. *)
+    finish classification pi pi (Theorem1.color inst) Theorem_1
+  else if classification.Classify.is_upp && classification.Classify.n_internal_cycles = 1
+  then begin
+    let assignment = Theorem6.color ~check:false inst in
+    (* On a UPP-DAG the clique number equals pi (Property 3), so pi is the
+       natural lower bound; a small instance gets the exact optimum instead. *)
+    if small then
+      let cg = Conflict_of.build inst in
+      let chi = Exact.chromatic_number cg in
+      let exact =
+        match Exact.k_colorable cg chi with Some c -> c | None -> assert false
+      in
+      if chi < Assignment.n_wavelengths (Assignment.normalize assignment) then
+        finish classification pi chi (Assignment.of_conflict_coloring exact)
+          Exact_coloring
+      else finish classification pi chi assignment Theorem_6
+    else finish classification pi pi assignment Theorem_6
+  end
+  else if
+    classification.Classify.is_upp
+    && classification.Classify.n_internal_cycles >= 2
+    && not small
+  then begin
+    (* The iterated Theorem 6 recursion; DSATUR may still beat it on dense
+       conflict graphs, so keep the better of the two. *)
+    let assignment = Theorem6_multi.color ~check:false inst in
+    let cg = Conflict_of.build inst in
+    let heuristic = Coloring.best_heuristic cg in
+    if
+      Assignment.n_wavelengths (Assignment.normalize heuristic)
+      < Assignment.n_wavelengths (Assignment.normalize assignment)
+    then
+      finish classification pi pi
+        (Assignment.of_conflict_coloring heuristic)
+        Heuristic
+    else finish classification pi pi assignment Theorem_6_iterated
+  end
+  else if small then begin
+    let cg = Conflict_of.build inst in
+    let chi = Exact.chromatic_number cg in
+    let coloring =
+      match Exact.k_colorable cg chi with Some c -> c | None -> assert false
+    in
+    finish classification pi chi (Assignment.of_conflict_coloring coloring)
+      Exact_coloring
+  end
+  else begin
+    let cg = Conflict_of.build inst in
+    let coloring = Coloring.best_heuristic cg in
+    let lower = max pi (List.length (Wl_conflict.Clique.greedy_clique cg)) in
+    finish classification pi lower (Assignment.of_conflict_coloring coloring)
+      Heuristic
+  end
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>method: %s@,load pi: %d@,wavelengths: %d@,lower bound: %d@,optimal: \
+     %b@,%a@]"
+    (method_name r.method_used)
+    r.pi r.n_wavelengths r.lower_bound r.optimal Classify.pp r.classification

@@ -1,0 +1,218 @@
+open Wl_digraph
+module Dag = Wl_dag.Dag
+
+exception
+  Internal_cycle_encountered of {
+    chain : int list;
+    junction : Digraph.vertex;
+  }
+
+type state = {
+  inst : Instance.t;
+  p_arcs : int array array; (* arc ids of each family dipath, front to back *)
+  start_pos : int array; (* index of first live arc; = length when inactive *)
+  color : int array; (* -1 while uncolored *)
+  occ : int list array; (* arc id -> live family indices through it *)
+  mutable palette : int; (* current number of colors = running max load *)
+}
+
+let make_state inst =
+  let g = Instance.graph inst in
+  let p_arcs = Array.map Dipath.arc_array (Instance.paths inst) in
+  {
+    inst;
+    p_arcs;
+    start_pos = Array.map Array.length p_arcs;
+    color = Array.make (Array.length p_arcs) (-1);
+    occ = Array.make (max 1 (Digraph.n_arcs g)) [];
+    palette = 0;
+  }
+
+let is_live st p = st.start_pos.(p) < Array.length st.p_arcs.(p)
+
+(* Live family indices conflicting with [p] (sharing a live arc). *)
+let live_conflicts st p =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  for k = st.start_pos.(p) to Array.length st.p_arcs.(p) - 1 do
+    List.iter
+      (fun q ->
+        if q <> p && not (Hashtbl.mem seen q) then begin
+          Hashtbl.add seen q ();
+          out := q :: !out
+        end)
+      st.occ.(st.p_arcs.(p).(k))
+  done;
+  !out
+
+(* Flip the Kempe component of [p1] in the {alpha, beta} conflict subgraph,
+   leaving [protected_p] untouched.  If the component reaches [protected_p],
+   raise with the BFS chain from p1 to it (the paper's case C). *)
+let kempe_flip st ~protected_p ~junction ~alpha ~beta p1 =
+  let parent = Hashtbl.create 16 in
+  let flipped = Hashtbl.create 16 in
+  let queue = Queue.create () in
+  Hashtbl.add parent p1 p1;
+  Queue.add p1 queue;
+  let chain_to q =
+    let rec go v acc =
+      let p = Hashtbl.find parent v in
+      if p = v then v :: acc else go p (v :: acc)
+    in
+    go q []
+  in
+  while not (Queue.is_empty queue) do
+    let p = Queue.pop queue in
+    (* Proof case B: a dipath is never recolored twice. *)
+    assert (not (Hashtbl.mem flipped p));
+    Hashtbl.add flipped p ();
+    let other = if st.color.(p) = alpha then beta else alpha in
+    List.iter
+      (fun q ->
+        if st.color.(q) = other && not (Hashtbl.mem parent q) then begin
+          Hashtbl.add parent q p;
+          if q = protected_p then
+            raise (Internal_cycle_encountered { chain = chain_to q; junction });
+          Queue.add q queue
+        end)
+      (live_conflicts st p);
+    st.color.(p) <- other
+  done
+
+(* Make all live dipaths through the about-to-be-inserted arc use pairwise
+   distinct colors, by repeated Kempe flips.  [members] are live. *)
+let make_rainbow st ~junction members =
+  let distinct_violated () =
+    let seen = Hashtbl.create 8 in
+    let rec go = function
+      | [] -> None
+      | p :: rest -> (
+        match Hashtbl.find_opt seen st.color.(p) with
+        | Some q -> Some (q, p)
+        | None ->
+          Hashtbl.add seen st.color.(p) p;
+          go rest)
+    in
+    go members
+  in
+  let rec fix () =
+    match distinct_violated () with
+    | None -> ()
+    | Some (p0, p1) ->
+      let alpha = st.color.(p0) in
+      (* beta: a palette color unused by the whole member set. *)
+      let used = List.map (fun p -> st.color.(p)) members in
+      let beta =
+        let rec first c =
+          if c >= st.palette then
+            invalid_arg "Theorem1: no free color (load accounting broken)"
+          else if List.mem c used then first (c + 1)
+          else c
+        in
+        first 0
+      in
+      kempe_flip st ~protected_p:p0 ~junction ~alpha ~beta p1;
+      fix ()
+  in
+  fix ()
+
+let insert_arc st e =
+  let through = Instance.paths_through st.inst e in
+  match through with
+  | [] -> ()
+  | _ ->
+    st.palette <- max st.palette (List.length through);
+    let live_members = List.filter (is_live st) through in
+    make_rainbow st ~junction:(Digraph.arc_dst (Instance.graph st.inst) e) live_members;
+    (* Extend every dipath through [e] over it; newly activated ones get the
+       palette colors not used by the live members. *)
+    let used = List.map (fun p -> st.color.(p)) live_members in
+    let next_free = ref 0 in
+    let fresh_color () =
+      while List.mem !next_free used do
+        incr next_free
+      done;
+      let c = !next_free in
+      incr next_free;
+      c
+    in
+    List.iter
+      (fun p ->
+        if not (is_live st p) then st.color.(p) <- fresh_color ();
+        let k = st.start_pos.(p) - 1 in
+        assert (st.p_arcs.(p).(k) = e);
+        st.start_pos.(p) <- k;
+        st.occ.(e) <- p :: st.occ.(e))
+      through
+
+let color inst =
+  let st = make_state inst in
+  let order = Dag.arcs_by_tail_topo (Instance.dag inst) in
+  for i = Array.length order - 1 downto 0 do
+    insert_arc st order.(i)
+  done;
+  (* Every dipath is fully live and colored now. *)
+  Array.iteri (fun p c -> assert (c >= 0 || Array.length st.p_arcs.(p) = 0)) st.color;
+  Array.copy st.color
+
+let color_result inst =
+  match color inst with
+  | assignment -> Ok assignment
+  | exception Internal_cycle_encountered { chain; junction } ->
+    Error (chain, junction)
+
+let colors_used inst =
+  Assignment.n_wavelengths (Assignment.normalize (color inst))
+
+(* The paper's case-C extraction (its Figure 4): follow the chain of
+   pairwise-conflicting dipaths around, from the junction back to the
+   junction; every arc traversed an odd number of times survives into a
+   non-empty even subgraph whose vertices all lie on the walk — and every
+   walk vertex has both a predecessor and a successor in G (interval
+   endpoints head shared arcs, interior vertices are path-interior), so any
+   undirected cycle of the parity subgraph is an internal cycle. *)
+let witness_internal_cycle inst ~chain ~junction =
+  let g = Instance.graph inst in
+  match chain with
+  | [] | [ _ ] -> None
+  | _ ->
+    let paths = Array.of_list (List.map (Instance.path inst) chain) in
+    let m = Array.length paths in
+    let first_shared i =
+      let rec go = function
+        | [] -> None
+        | a :: rest -> if Dipath.mem_arc paths.(i + 1) a then Some a else go rest
+      in
+      go (Dipath.arcs paths.(i))
+    in
+    let parity = Hashtbl.create 32 in
+    let flip a =
+      if Hashtbl.mem parity a then Hashtbl.remove parity a
+      else Hashtbl.add parity a ()
+    in
+    let add_segment path u v =
+      match (Dipath.vertex_index path u, Dipath.vertex_index path v) with
+      | Some iu, Some iv ->
+        let lo = min iu iv and hi = max iu iv in
+        let arcs = Dipath.arc_array path in
+        for k = lo to hi - 1 do
+          flip arcs.(k)
+        done;
+        true
+      | _ -> false
+    in
+    let ok = ref true in
+    let enter = ref junction in
+    for i = 0 to m - 1 do
+      let exit_v =
+        if i = m - 1 then Some junction
+        else Option.map (Digraph.arc_src g) (first_shared i)
+      in
+      match exit_v with
+      | None -> ok := false
+      | Some v ->
+        if not (add_segment paths.(i) !enter v) then ok := false;
+        enter := v
+    done;
+    if (not !ok) || Hashtbl.length parity = 0 then None
+    else Traversal.undirected_cycle ~keep_arc:(Hashtbl.mem parity) g

@@ -1,0 +1,61 @@
+(** Theorem 1: on a DAG without internal cycle, [w = pi], constructively.
+
+    The implementation turns the paper's induction into a single forward
+    pass.  Sorting arcs by the topological position of their tail and
+    inserting them back-to-front reproduces the proof's peeling in reverse:
+    the next arc to insert always leaves a source of the current partial
+    graph, and each family dipath's live part is a growing suffix.  At each
+    insertion, the dipaths through the new arc must use pairwise distinct
+    colors; when they do not, we flip the Kempe component of the offending
+    path in the {e alpha/beta} subgraph of the current conflict graph —
+    exactly the proof's recoloring cascade.  The component can only swallow
+    the protected dipath if the DAG has an internal cycle (proof case C), in
+    which case {!Internal_cycle_encountered} is raised carrying the chain of
+    pairwise-intersecting dipaths that the paper folds into an internal
+    cycle.
+
+    On success the assignment is valid and uses at most [pi(G,P)] colors —
+    and therefore exactly [w = pi] of them, since [pi <= w] always. *)
+
+exception
+  Internal_cycle_encountered of {
+    chain : int list;
+        (** family indices [p1; ...; p0]: consecutive dipaths conflict and
+            their colors alternate — the paper's case-C sequence *)
+    junction : Wl_digraph.Digraph.vertex;
+        (** the head [y0] of the arc being inserted; the live parts of the
+            first and last chain members both start there *)
+  }
+(** The recoloring cascade reached the protected dipath — the paper's
+    case C, from which an internal cycle can be extracted
+    ({!witness_internal_cycle}).  Never raised when the DAG has no internal
+    cycle. *)
+
+val color : Instance.t -> Assignment.t
+(** Optimal wavelength assignment ([n_wavelengths <= Load.pi], hence equal
+    to [w]).  Raises {!Internal_cycle_encountered} only if the DAG has an
+    internal cycle (Theorem 1 guarantees success otherwise; the converse
+    direction is exercised by Theorem 2 instances). *)
+
+val color_result :
+  Instance.t ->
+  (Assignment.t, int list * Wl_digraph.Digraph.vertex) result
+(** Same, as a [result] carrying the case-C chain and junction. *)
+
+val witness_internal_cycle :
+  Instance.t ->
+  chain:int list ->
+  junction:Wl_digraph.Digraph.vertex ->
+  Wl_dag.Internal_cycle.walk option
+(** The paper's case-C construction, executably: walk from the junction
+    along the first chain member to its first arc shared with the second,
+    hop over, and so on back to the junction; arcs traversed an odd number
+    of times form a non-trivial element of the cycle space whose vertices
+    all have a predecessor and a successor in the DAG, so any cycle in it
+    is internal.  Returns such a cycle ([None] only if the parity set is
+    empty, which the paper's argument rules out on the chains the cascade
+    emits).  Used by tests to confirm that every case-C abort exhibits a
+    concrete internal cycle. *)
+
+val colors_used : Instance.t -> int
+(** [Assignment.n_wavelengths (normalize (color inst))]. *)

@@ -1,0 +1,45 @@
+open Wl_digraph
+module Dag = Wl_dag.Dag
+module Internal_cycle = Wl_dag.Internal_cycle
+
+let any_pred g v =
+  match Digraph.pred g v with
+  | a :: _ -> a
+  | [] -> invalid_arg "Theorem2: cycle vertex has no predecessor (not internal)"
+
+let any_succ g v =
+  match Digraph.succ g v with
+  | d :: _ -> d
+  | [] -> invalid_arg "Theorem2: cycle vertex has no successor (not internal)"
+
+let family_from_canonical dag (can : Internal_cycle.canonical) =
+  let g = Dag.graph dag in
+  let k = Array.length can.b in
+  let a = Array.map (any_pred g) can.b in
+  let d = Array.map (any_succ g) can.c in
+  let prepend v p = Dipath.make g (v :: Dipath.vertices p) in
+  let append p v = Dipath.make g (Dipath.vertices p @ [ v ]) in
+  let first = prepend a.(0) can.down.(0) in
+  let second = append can.down.(0) d.(0) in
+  let middles =
+    List.concat_map
+      (fun i ->
+        [
+          append (prepend a.(i) can.up.(i - 1)) d.(i - 1);
+          append (prepend a.(i) can.down.(i)) d.(i);
+        ])
+      (List.init (k - 1) (fun j -> j + 1))
+  in
+  let last = append (prepend a.(0) can.up.(k - 1)) d.(k - 1) in
+  (first :: second :: middles) @ [ last ]
+
+let build dag =
+  match Internal_cycle.find_canonical dag with
+  | None -> None
+  | Some can -> Some (Instance.make dag (family_from_canonical dag can))
+
+let replicate inst h =
+  if h < 1 then invalid_arg "Theorem2.replicate: h must be >= 1";
+  let paths = Instance.paths_list inst in
+  let repeated = List.concat_map (fun p -> List.init h (fun _ -> p)) paths in
+  Instance.make (Instance.dag inst) repeated

@@ -1,0 +1,24 @@
+module Internal_cycle = Wl_dag.Internal_cycle
+
+type level = { depth : int; stats : Theorem6.stats }
+
+let color_with_stats ?(check = true) inst =
+  if check then Theorem6.check_hypotheses ~exact_one:false (Instance.dag inst);
+  let levels = ref [] in
+  let rec solve depth inst =
+    if Internal_cycle.count_independent (Instance.dag inst) = 0 then
+      Theorem1.color inst
+    else begin
+      let assignment, stats =
+        Theorem6.split_and_glue ~subcolor:(solve (depth + 1)) inst
+      in
+      levels := { depth; stats } :: !levels;
+      assignment
+    end
+  in
+  let assignment = solve 0 inst in
+  (assignment, List.sort (fun a b -> compare a.depth b.depth) !levels)
+
+let color ?check inst = fst (color_with_stats ?check inst)
+
+let upper_bound = Bounds.theorem6_upper

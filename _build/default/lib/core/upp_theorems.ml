@@ -1,0 +1,71 @@
+open Wl_digraph
+module Clique = Wl_conflict.Clique
+module Graph_props = Wl_conflict.Graph_props
+
+let pairwise_intersections_are_intervals inst =
+  let g = Instance.graph inst in
+  let ps = Instance.paths inst in
+  let n = Array.length ps in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if !ok && Dipath.shares_arc ps.(i) ps.(j) then
+        match Dipath.intersection_interval g ps.(i) ps.(j) with
+        | Some _ -> ()
+        | None -> ()
+        | exception Invalid_argument _ -> ok := false
+    done
+  done;
+  !ok
+
+let helly_holds inst = Conflict_of.helly_witness inst = None
+
+let clique_number_equals_load inst =
+  Clique.clique_number (Conflict_of.build inst) = Load.pi inst
+
+let no_k23 inst = not (Graph_props.has_k23 (Conflict_of.build inst))
+
+let no_k5_minus_two_edges inst =
+  Graph_props.find_k5_minus_two_independent_edges (Conflict_of.build inst) = None
+
+(* Index on [p] of the first arc shared with [q]; [-1] when disjoint. *)
+let first_meeting p q =
+  let arcs = Dipath.arc_array p in
+  let rec go i =
+    if i >= Array.length arcs then -1
+    else if Dipath.mem_arc q arcs.(i) then i
+    else go (i + 1)
+  in
+  go 0
+
+let crossing_lemma_holds inst =
+  let ps = Instance.paths inst in
+  let n = Array.length ps in
+  let ok = ref true in
+  (* Unordered pairs {i1,i2} (the P's) and {j1,j2} (the Q's), all four
+     cross-conflicts present, P's disjoint, Q's disjoint. *)
+  for i1 = 0 to n - 1 do
+    for i2 = i1 + 1 to n - 1 do
+      if !ok && not (Dipath.shares_arc ps.(i1) ps.(i2)) then
+        for j1 = 0 to n - 1 do
+          for j2 = j1 + 1 to n - 1 do
+            if
+              !ok && j1 <> i1 && j1 <> i2 && j2 <> i1 && j2 <> i2
+              && not (Dipath.shares_arc ps.(j1) ps.(j2))
+            then begin
+              let m11 = first_meeting ps.(i1) ps.(j1)
+              and m12 = first_meeting ps.(i1) ps.(j2)
+              and m21 = first_meeting ps.(i2) ps.(j1)
+              and m22 = first_meeting ps.(i2) ps.(j2) in
+              if m11 >= 0 && m12 >= 0 && m21 >= 0 && m22 >= 0 then begin
+                (* Q_{j1} meets P_{i1} before Q_{j2}  =>  Q_{j2} meets
+                   P_{i2} before Q_{j1}; and symmetrically. *)
+                if m11 < m12 && not (m22 < m21) then ok := false;
+                if m12 < m11 && not (m21 < m22) then ok := false
+              end
+            end
+          done
+        done
+    done
+  done;
+  !ok

@@ -1,0 +1,32 @@
+(** Section 4 structure theory for UPP-DAGs.
+
+    Property 3 (Helly): in a UPP-DAG, two conflicting dipaths intersect in a
+    single interval, and pairwise-conflicting dipaths share a common arc;
+    hence the load [pi] equals the clique number of the conflict graph.
+    Lemma 4 (crossing) and Corollary 5 (no [K_{2,3}]) constrain the conflict
+    graph further.  These checkers make each statement executable so the
+    test suite can drive them across generated UPP-DAGs — and exhibit the
+    failures on non-UPP instances. *)
+
+val pairwise_intersections_are_intervals : Instance.t -> bool
+(** Every conflicting pair of family dipaths shares a single contiguous
+    interval (always true when the DAG is UPP). *)
+
+val helly_holds : Instance.t -> bool
+(** No pairwise-conflicting triple without a common arc. *)
+
+val clique_number_equals_load : Instance.t -> bool
+(** Property 3's consequence: clique number of the conflict graph = [pi].
+    (Computes the exact clique number; intended for test sizes.) *)
+
+val no_k23 : Instance.t -> bool
+(** Corollary 5. *)
+
+val no_k5_minus_two_edges : Instance.t -> bool
+(** The paper's remark after Corollary 5. *)
+
+val crossing_lemma_holds : Instance.t -> bool
+(** Lemma 4 on every quadruple [(P1, P2, Q1, Q2)] with [P1, P2] disjoint,
+    [Q1, Q2] disjoint and all four cross-pairs conflicting: if [Q1] meets
+    [P1] before [Q2] (in [P1]'s direction), then [Q2] meets [P2] before
+    [Q1].  O(n^4) over the family; test-scale only. *)

@@ -1,0 +1,1 @@
+lib/dag/classify.ml: Dag Digraph Format Internal_cycle List Upp Wl_digraph

@@ -1,0 +1,1 @@
+lib/dag/dag.ml: Array Digraph Dipath Fun Int List Printf String Traversal Wl_digraph Wl_util

@@ -1,0 +1,1 @@
+lib/dag/dag.mli: Digraph Dipath Wl_digraph Wl_util

@@ -1,0 +1,1 @@
+lib/dag/internal_cycle.ml: Array Dag Digraph Dipath Format Hashtbl List Option Traversal Wl_digraph Wl_util

@@ -1,0 +1,1 @@
+lib/dag/internal_cycle.mli: Dag Digraph Dipath Format Wl_digraph

@@ -1,0 +1,1 @@
+lib/dag/upp.ml: Array Dag Digraph Dipath Traversal Wl_digraph Wl_util

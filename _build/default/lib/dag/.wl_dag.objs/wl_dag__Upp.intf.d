@@ -1,0 +1,1 @@
+lib/dag/upp.mli: Dag Digraph Dipath Wl_digraph

@@ -1,0 +1,35 @@
+open Wl_digraph
+
+type t = {
+  n_vertices : int;
+  n_arcs : int;
+  n_sources : int;
+  n_sinks : int;
+  n_internal_cycles : int;
+  is_upp : bool;
+  is_rooted_forest : bool;
+  longest_path : int;
+}
+
+let is_rooted_forest d =
+  let g = Dag.graph d in
+  List.for_all (fun v -> Digraph.in_degree g v <= 1) (Digraph.vertices g)
+
+let classify d =
+  {
+    n_vertices = Dag.n_vertices d;
+    n_arcs = Dag.n_arcs d;
+    n_sources = List.length (Dag.sources d);
+    n_sinks = List.length (Dag.sinks d);
+    n_internal_cycles = Internal_cycle.count_independent d;
+    is_upp = Upp.is_upp d;
+    is_rooted_forest = is_rooted_forest d;
+    longest_path = Dag.longest_path_length d;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>vertices: %d@,arcs: %d@,sources: %d@,sinks: %d@,internal cycles: \
+     %d@,UPP: %b@,rooted forest: %b@,longest path: %d@]"
+    t.n_vertices t.n_arcs t.n_sources t.n_sinks t.n_internal_cycles t.is_upp
+    t.is_rooted_forest t.longest_path

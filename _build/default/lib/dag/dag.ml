@@ -1,0 +1,100 @@
+open Wl_digraph
+module Saturating = Wl_util.Saturating
+
+type t = { g : Digraph.t; topo : Digraph.vertex array; pos : int array }
+
+let of_digraph g =
+  match Traversal.topological_order g with
+  | Some order ->
+    let topo = Array.of_list order in
+    let pos = Array.make (Digraph.n_vertices g) 0 in
+    Array.iteri (fun i v -> pos.(v) <- i) topo;
+    Ok { g; topo; pos }
+  | None ->
+    let cycle =
+      match Traversal.find_directed_cycle g with
+      | Some c -> String.concat " -> " (List.map (Digraph.label g) c)
+      | None -> "?"
+    in
+    Error (Printf.sprintf "not a DAG: directed cycle %s" cycle)
+
+let of_digraph_exn g =
+  match of_digraph g with Ok d -> d | Error msg -> invalid_arg msg
+
+let graph d = d.g
+let n_vertices d = Digraph.n_vertices d.g
+let n_arcs d = Digraph.n_arcs d.g
+
+let topological_order d = Array.copy d.topo
+let topo_position d v = d.pos.(v)
+let compare_topo d u v = Int.compare d.pos.(u) d.pos.(v)
+
+let sources d =
+  Array.to_list d.topo |> List.filter (fun v -> Digraph.in_degree d.g v = 0)
+
+let sinks d =
+  Array.to_list d.topo |> List.filter (fun v -> Digraph.out_degree d.g v = 0)
+
+let longest_path_length d =
+  let n = n_vertices d in
+  let dist = Array.make n 0 in
+  (* Process in reverse topological order: dist v = 1 + max over succ. *)
+  for i = n - 1 downto 0 do
+    let v = d.topo.(i) in
+    List.iter
+      (fun w -> if dist.(w) + 1 > dist.(v) then dist.(v) <- dist.(w) + 1)
+      (Digraph.succ d.g v)
+  done;
+  Array.fold_left max 0 dist
+
+let count_dipaths_from d v =
+  let n = n_vertices d in
+  let count = Array.make n Saturating.zero in
+  count.(v) <- Saturating.one;
+  for i = d.pos.(v) to n - 1 do
+    let u = d.topo.(i) in
+    if not (Saturating.equal count.(u) Saturating.zero) then
+      List.iter
+        (fun w -> count.(w) <- Saturating.add count.(w) count.(u))
+        (Digraph.succ d.g u)
+  done;
+  count
+
+let count_dipaths d src dst = (count_dipaths_from d src).(dst)
+
+let some_dipath d src dst =
+  if src = dst then None
+  else
+    match Traversal.bfs_parent_path d.g src dst with
+    | None -> None
+    | Some verts -> Some (Dipath.make d.g verts)
+
+let all_dipaths_between ?(limit = 64) d src dst =
+  if src = dst then []
+  else begin
+    let reaches_dst = Traversal.reaching_to d.g dst in
+    let out = ref [] in
+    let found = ref 0 in
+    let rec go prefix v =
+      if !found < limit then
+        if v = dst then begin
+          incr found;
+          out := Dipath.make d.g (List.rev (v :: prefix)) :: !out
+        end
+        else
+          List.iter
+            (fun w -> if reaches_dst.(w) then go (v :: prefix) w)
+            (Digraph.succ d.g v)
+    in
+    go [] src;
+    List.rev !out
+  end
+
+let arcs_by_tail_topo d =
+  let m = n_arcs d in
+  let ids = Array.init m Fun.id in
+  let keyed =
+    Array.map (fun a -> (d.pos.(Digraph.arc_src d.g a), a)) ids
+  in
+  Array.sort compare keyed;
+  Array.map snd keyed

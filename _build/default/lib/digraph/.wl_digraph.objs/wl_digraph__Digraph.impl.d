@@ -1,0 +1,1 @@
+lib/digraph/digraph.ml: Array Format Fun Hashtbl List Printf String Wl_util

@@ -1,0 +1,1 @@
+lib/digraph/dipath.ml: Array Digraph Format Hashtbl Int List Printf

@@ -1,0 +1,1 @@
+lib/digraph/dipath.mli: Digraph Format

@@ -1,0 +1,1 @@
+lib/digraph/dot.ml: Array Buffer Digraph Dipath Fun Hashtbl List Option Printf String

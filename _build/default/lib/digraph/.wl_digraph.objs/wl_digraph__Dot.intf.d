@@ -1,0 +1,1 @@
+lib/digraph/dot.mli: Digraph Dipath

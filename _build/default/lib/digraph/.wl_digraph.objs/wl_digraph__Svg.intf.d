@@ -1,0 +1,1 @@
+lib/digraph/svg.mli: Digraph Dipath

@@ -1,0 +1,1 @@
+lib/digraph/traversal.ml: Array Digraph Hashtbl List Queue Wl_util

@@ -1,0 +1,1 @@
+lib/digraph/traversal.mli: Digraph Wl_util

@@ -1,0 +1,199 @@
+module Vec = Wl_util.Vec
+
+type vertex = int
+type arc = int
+
+type t = {
+  out_adj : (vertex * arc) Vec.t Vec.t; (* per vertex: (successor, arc id) *)
+  in_adj : (vertex * arc) Vec.t Vec.t;
+  arc_ends : (vertex * vertex) Vec.t;
+  labels : string option Vec.t;
+  arc_index : (int, arc) Hashtbl.t; (* key: src * 2^31 + dst, for mem_arc *)
+}
+
+let create () =
+  {
+    out_adj = Vec.create ();
+    in_adj = Vec.create ();
+    arc_ends = Vec.create ();
+    labels = Vec.create ();
+    arc_index = Hashtbl.create 64;
+  }
+
+let n_vertices g = Vec.length g.out_adj
+let n_arcs g = Vec.length g.arc_ends
+
+let check_vertex g v =
+  if v < 0 || v >= n_vertices g then invalid_arg "Digraph: no such vertex"
+
+let key u v = (u * 0x40000000) + v
+
+let add_vertex ?label g =
+  let v = n_vertices g in
+  Vec.push g.out_adj (Vec.create ());
+  Vec.push g.in_adj (Vec.create ());
+  Vec.push g.labels label;
+  v
+
+let add_vertices g k =
+  for _ = 1 to k do
+    ignore (add_vertex g)
+  done
+
+let find_arc g u v =
+  check_vertex g u;
+  check_vertex g v;
+  Hashtbl.find_opt g.arc_index (key u v)
+
+let mem_arc g u v = find_arc g u v <> None
+
+let add_arc g u v =
+  check_vertex g u;
+  check_vertex g v;
+  if u = v then invalid_arg "Digraph.add_arc: self-loop";
+  if mem_arc g u v then invalid_arg "Digraph.add_arc: duplicate arc";
+  let a = n_arcs g in
+  Vec.push g.arc_ends (u, v);
+  Vec.push (Vec.get g.out_adj u) (v, a);
+  Vec.push (Vec.get g.in_adj v) (u, a);
+  Hashtbl.add g.arc_index (key u v) a;
+  a
+
+let of_arcs ?labels n arcs =
+  let g = create () in
+  (match labels with
+  | None -> add_vertices g n
+  | Some ls ->
+    if Array.length ls <> n then invalid_arg "Digraph.of_arcs: labels length";
+    Array.iter (fun l -> ignore (add_vertex ~label:l g)) ls);
+  List.iter (fun (u, v) -> ignore (add_arc g u v)) arcs;
+  g
+
+let arc_endpoints g a =
+  if a < 0 || a >= n_arcs g then invalid_arg "Digraph: no such arc";
+  Vec.get g.arc_ends a
+
+let arc_src g a = fst (arc_endpoints g a)
+let arc_dst g a = snd (arc_endpoints g a)
+
+let out_degree g v =
+  check_vertex g v;
+  Vec.length (Vec.get g.out_adj v)
+
+let in_degree g v =
+  check_vertex g v;
+  Vec.length (Vec.get g.in_adj v)
+
+let out_arcs g v =
+  check_vertex g v;
+  List.rev (Vec.fold (fun acc (_, a) -> a :: acc) [] (Vec.get g.out_adj v))
+
+let in_arcs g v =
+  check_vertex g v;
+  List.rev (Vec.fold (fun acc (_, a) -> a :: acc) [] (Vec.get g.in_adj v))
+
+let succ g v =
+  check_vertex g v;
+  List.rev (Vec.fold (fun acc (w, _) -> w :: acc) [] (Vec.get g.out_adj v))
+
+let pred g v =
+  check_vertex g v;
+  List.rev (Vec.fold (fun acc (w, _) -> w :: acc) [] (Vec.get g.in_adj v))
+
+let arcs g = Vec.to_list g.arc_ends
+
+let vertices g = List.init (n_vertices g) Fun.id
+
+let label g v =
+  check_vertex g v;
+  match Vec.get g.labels v with
+  | Some l -> l
+  | None -> Printf.sprintf "v%d" v
+
+let set_label g v l =
+  check_vertex g v;
+  Vec.set g.labels v (Some l)
+
+let vertex_of_label g l =
+  let n = n_vertices g in
+  let rec go v =
+    if v >= n then None
+    else
+      match Vec.get g.labels v with
+      | Some l' when String.equal l l' -> Some v
+      | _ -> go (v + 1)
+  in
+  go 0
+
+let iter_vertices f g =
+  for v = 0 to n_vertices g - 1 do
+    f v
+  done
+
+let iter_arcs f g = Vec.iteri (fun a (u, v) -> f a u v) g.arc_ends
+
+let fold_arcs f g init =
+  let acc = ref init in
+  iter_arcs (fun a u v -> acc := f a u v !acc) g;
+  !acc
+
+let copy g =
+  let labels = Array.init (n_vertices g) (fun v -> Vec.get g.labels v) in
+  let g' = create () in
+  Array.iter (fun l -> ignore (match l with
+    | Some l -> add_vertex ~label:l g'
+    | None -> add_vertex g')) labels;
+  iter_arcs (fun _ u v -> ignore (add_arc g' u v)) g;
+  g'
+
+let reverse g =
+  let g' = create () in
+  iter_vertices
+    (fun v ->
+      ignore
+        (match Vec.get g.labels v with
+        | Some l -> add_vertex ~label:l g'
+        | None -> add_vertex g'))
+    g;
+  iter_arcs (fun _ u v -> ignore (add_arc g' v u)) g;
+  g'
+
+let induced_subgraph g vs =
+  let n = n_vertices g in
+  let old_to_new = Array.make n (-1) in
+  let kept = Vec.create () in
+  List.iter
+    (fun v ->
+      check_vertex g v;
+      if old_to_new.(v) = -1 then begin
+        old_to_new.(v) <- Vec.length kept;
+        Vec.push kept v
+      end)
+    vs;
+  let g' = create () in
+  Vec.iter
+    (fun v ->
+      ignore
+        (match Vec.get g.labels v with
+        | Some l -> add_vertex ~label:l g'
+        | None -> add_vertex g'))
+    kept;
+  iter_arcs
+    (fun _ u v ->
+      if old_to_new.(u) >= 0 && old_to_new.(v) >= 0 then
+        ignore (add_arc g' old_to_new.(u) old_to_new.(v)))
+    g;
+  (g', Vec.to_array kept)
+
+let equal_structure g1 g2 =
+  n_vertices g1 = n_vertices g2
+  && n_arcs g1 = n_arcs g2
+  && List.sort compare (arcs g1) = List.sort compare (arcs g2)
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>digraph: %d vertices, %d arcs@," (n_vertices g)
+    (n_arcs g);
+  iter_arcs
+    (fun a u v -> Format.fprintf ppf "  #%d: %s -> %s@," a (label g u) (label g v))
+    g;
+  Format.fprintf ppf "@]"

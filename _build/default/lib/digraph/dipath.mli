@@ -1,0 +1,76 @@
+(** Dipaths: directed paths in a digraph.
+
+    A dipath is a sequence of at least two distinct vertices
+    [x1, x2, ..., xk] such that every [(xi, xi+1)] is an arc; it is the unit
+    of demand in the paper ("requests" are satisfied by dipaths, wavelengths
+    are assigned to dipaths).  Values are immutable and tied to the graph
+    they were validated against (the arc ids are cached). *)
+
+type t
+
+val make : Digraph.t -> Digraph.vertex list -> t
+(** Validates the vertex sequence: at least two vertices, no repeated
+    vertex, every consecutive pair an arc.  Raises [Invalid_argument]
+    otherwise. *)
+
+val of_arcs : Digraph.t -> Digraph.arc list -> t
+(** Builds a dipath from a non-empty chain of arc ids (each arc's head must
+    be the next arc's tail). *)
+
+val vertices : t -> Digraph.vertex list
+(** The vertex sequence, in order. *)
+
+val vertex_array : t -> Digraph.vertex array
+(** Fresh array of the vertex sequence. *)
+
+val arcs : t -> Digraph.arc list
+(** The arc ids, in order. *)
+
+val arc_array : t -> Digraph.arc array
+
+val src : t -> Digraph.vertex
+val dst : t -> Digraph.vertex
+
+val n_arcs : t -> int
+(** Length in arcs (>= 1). *)
+
+val mem_vertex : t -> Digraph.vertex -> bool
+val mem_arc : t -> Digraph.arc -> bool
+
+val vertex_index : t -> Digraph.vertex -> int option
+(** Position of a vertex in the sequence. *)
+
+val concat : Digraph.t -> t -> t -> t
+(** [concat g p q] requires [dst p = src q] and no other shared vertex;
+    returns the concatenation (re-validated against [g]). *)
+
+val sub : Digraph.t -> t -> int -> int -> t
+(** [sub g p i j] is the sub-dipath from vertex position [i] to position [j]
+    (inclusive, [i < j]). *)
+
+val sub_between : Digraph.t -> t -> Digraph.vertex -> Digraph.vertex -> t
+(** Sub-dipath between two vertices that occur on [p] in this order. *)
+
+val shares_arc : t -> t -> bool
+(** Whether the two dipaths conflict, i.e. have an arc in common. *)
+
+val shared_arcs : t -> t -> Digraph.arc list
+(** Common arcs, in the order they appear on the first dipath. *)
+
+val intersection_interval :
+  Digraph.t -> t -> t -> (Digraph.vertex * Digraph.vertex) option
+(** When the common arcs of the two dipaths form a single contiguous
+    interval on both, the endpoints [(x, y)] of that interval (in dipath
+    direction).  [None] if the dipaths do not share an arc.  Raises
+    [Invalid_argument] when the shared arcs are not one contiguous interval
+    (which cannot happen in a UPP-DAG, by Property 3 of the paper). *)
+
+val equal : t -> t -> bool
+(** Same vertex sequence. *)
+
+val compare : t -> t -> int
+
+val pp : Digraph.t -> Format.formatter -> t -> unit
+(** Prints using vertex labels: [a -> b -> c]. *)
+
+val to_string : Digraph.t -> t -> string

@@ -1,0 +1,1 @@
+lib/netgen/figures.ml: Array Digraph Dipath Hashtbl Instance List Printf Theorem2 Wl_core Wl_dag Wl_digraph

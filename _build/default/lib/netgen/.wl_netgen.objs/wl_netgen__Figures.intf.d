@@ -1,0 +1,1 @@
+lib/netgen/figures.mli: Instance Wl_core Wl_dag

@@ -1,0 +1,1 @@
+lib/netgen/generators.ml: Array Digraph Dipath List Printf Wl_dag Wl_digraph Wl_util

@@ -1,0 +1,1 @@
+lib/netgen/generators.mli: Dag Wl_dag Wl_util

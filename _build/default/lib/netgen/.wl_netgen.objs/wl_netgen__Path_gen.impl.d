@@ -1,0 +1,1 @@
+lib/netgen/path_gen.ml: Array Digraph Dipath Fun List Wl_core Wl_dag Wl_digraph Wl_util

@@ -1,0 +1,1 @@
+lib/netgen/path_gen.mli: Dipath Wl_core Wl_dag Wl_digraph Wl_util

@@ -1,0 +1,1 @@
+lib/netgen/traffic.ml: Array List Routing Wl_core Wl_dag Wl_util

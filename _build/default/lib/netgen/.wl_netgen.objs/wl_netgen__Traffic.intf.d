@@ -1,0 +1,1 @@
+lib/netgen/traffic.mli: Routing Wl_core Wl_dag Wl_util

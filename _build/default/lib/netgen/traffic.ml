@@ -1,0 +1,25 @@
+open Wl_core
+module Prng = Wl_util.Prng
+
+let uniform rng dag k = Routing.random_requests rng dag k
+
+let hotspot rng dag ~hubs ~bias k =
+  if hubs < 1 then invalid_arg "Traffic.hotspot: hubs >= 1";
+  let pairs = Array.of_list (Routing.all_to_all dag) in
+  if Array.length pairs = 0 then []
+  else begin
+    let n = Wl_dag.Dag.n_vertices dag in
+    let hub_set = Prng.sample_without_replacement rng hubs n in
+    let is_hub v = List.mem v hub_set in
+    let hub_pairs =
+      Array.of_list
+        (List.filter (fun (x, y) -> is_hub x || is_hub y) (Array.to_list pairs))
+    in
+    List.init k (fun _ ->
+        if Array.length hub_pairs > 0 && Prng.bernoulli rng bias then
+          Prng.choose rng hub_pairs
+        else Prng.choose rng pairs)
+  end
+
+let batches rng dag ~batch_size ~n_batches model =
+  List.init n_batches (fun _ -> model rng dag batch_size)

@@ -1,0 +1,33 @@
+(** Synthetic traffic models for the example applications and benches.
+
+    The paper evaluates nothing empirically, so workloads are our
+    substitution (documented in DESIGN.md); these models mirror the
+    standard shapes used in RWA studies: uniform random pairs, hub-centric
+    hotspots, and batched arrival sequences for online experiments. *)
+
+open Wl_core
+
+val uniform : Wl_util.Prng.t -> Wl_dag.Dag.t -> int -> Routing.request list
+(** [k] routable pairs drawn uniformly (with repetition). *)
+
+val hotspot :
+  Wl_util.Prng.t ->
+  Wl_dag.Dag.t ->
+  hubs:int ->
+  bias:float ->
+  int ->
+  Routing.request list
+(** [hotspot rng dag ~hubs ~bias k]: [hubs] random vertices become hubs; a
+    request touches a hub (as source or destination, whichever direction is
+    routable) with probability [bias], and is uniform otherwise.  Requests
+    that cannot involve a hub fall back to uniform. *)
+
+val batches :
+  Wl_util.Prng.t ->
+  Wl_dag.Dag.t ->
+  batch_size:int ->
+  n_batches:int ->
+  (Wl_util.Prng.t -> Wl_dag.Dag.t -> int -> Routing.request list) ->
+  Routing.request list list
+(** An arrival sequence: [n_batches] batches of [batch_size] requests drawn
+    from the given model — the input shape of the online RWA example. *)

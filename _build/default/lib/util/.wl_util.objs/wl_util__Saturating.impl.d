@@ -1,0 +1,1 @@
+lib/util/saturating.ml: Format Int

@@ -1,0 +1,129 @@
+(* Bits are packed 62 per word ([Sys.int_size - 1] would be 62 anyway on
+   64-bit; we use a fixed 62 to keep arithmetic simple and portable). *)
+
+let bits_per_word = 62
+
+type t = { n : int; words : int array }
+
+let word_count n = (n + bits_per_word - 1) / bits_per_word
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { n; words = Array.make (max 1 (word_count n)) 0 }
+
+let capacity t = t.n
+
+let copy t = { n = t.n; words = Array.copy t.words }
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: index out of range"
+
+let add t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl b)
+
+let remove t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl b)
+
+let mem t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) land (1 lsl b) <> 0
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let fill t =
+  for i = 0 to Array.length t.words - 1 do
+    t.words.(i) <- (1 lsl bits_per_word) - 1
+  done;
+  (* Mask off bits beyond capacity in the last word. *)
+  let last_bits = t.n mod bits_per_word in
+  if t.n = 0 then clear t
+  else if last_bits <> 0 then begin
+    let lw = Array.length t.words - 1 in
+    t.words.(lw) <- t.words.(lw) land ((1 lsl last_bits) - 1)
+  end
+
+let same_capacity a b =
+  if a.n <> b.n then invalid_arg "Bitset: capacity mismatch"
+
+let union_into dst src =
+  same_capacity dst src;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) lor src.words.(i)
+  done
+
+let inter_into dst src =
+  same_capacity dst src;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) land src.words.(i)
+  done
+
+let diff_into dst src =
+  same_capacity dst src;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) land lnot src.words.(i)
+  done
+
+let inter a b = let c = copy a in inter_into c b; c
+let union a b = let c = copy a in union_into c b; c
+let diff a b = let c = copy a in diff_into c b; c
+
+let equal a b = a.n = b.n && a.words = b.words
+
+let subset a b =
+  same_capacity a b;
+  let rec go i =
+    i >= Array.length a.words
+    || (a.words.(i) land lnot b.words.(i) = 0 && go (i + 1))
+  in
+  go 0
+
+let iter f t =
+  for w = 0 to Array.length t.words - 1 do
+    let word = ref t.words.(w) in
+    while !word <> 0 do
+      let low = !word land - !word in
+      (* Index of the lowest set bit. *)
+      let rec bit_index b i = if b = 1 then i else bit_index (b lsr 1) (i + 1) in
+      f ((w * bits_per_word) + bit_index low 0);
+      word := !word land (!word - 1)
+    done
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let first t =
+  let exception Found of int in
+  try
+    iter (fun i -> raise (Found i)) t;
+    None
+  with Found i -> Some i
+
+let of_list n elems =
+  let t = create n in
+  List.iter (add t) elems;
+  t
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_int)
+    (elements t)

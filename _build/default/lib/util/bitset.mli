@@ -1,0 +1,58 @@
+(** Fixed-capacity bitsets over [0 .. n-1], packed into [int] words.
+
+    Used by the coloring and clique algorithms where dense set operations
+    dominate the running time. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set with capacity [n]. *)
+
+val capacity : t -> int
+
+val copy : t -> t
+
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val mem : t -> int -> bool
+
+val cardinal : t -> int
+(** Population count, O(words). *)
+
+val is_empty : t -> bool
+
+val clear : t -> unit
+(** Remove all elements. *)
+
+val fill : t -> unit
+(** Add all elements of [0 .. capacity-1]. *)
+
+val union_into : t -> t -> unit
+(** [union_into dst src] sets [dst := dst ∪ src]. Capacities must agree. *)
+
+val inter_into : t -> t -> unit
+(** [dst := dst ∩ src]. *)
+
+val diff_into : t -> t -> unit
+(** [dst := dst \ src]. *)
+
+val inter : t -> t -> t
+val union : t -> t -> t
+val diff : t -> t -> t
+
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate elements in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val elements : t -> int list
+
+val first : t -> int option
+(** Smallest element, if any. *)
+
+val of_list : int -> int list -> t
+(** [of_list n elems]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+let default_domains () = min 8 (Domain.recommended_domain_count ())
+
+let map_array ?domains f input =
+  let n = Array.length input in
+  let d = match domains with Some d -> d | None -> default_domains () in
+  if d <= 1 || n <= 1 then Array.map f input
+  else begin
+    let d = min d n in
+    let output = Array.make n None in
+    let chunk_size = (n + d - 1) / d in
+    let work lo =
+      let hi = min n (lo + chunk_size) in
+      for i = lo to hi - 1 do
+        output.(i) <- Some (f input.(i))
+      done
+    in
+    let handles =
+      List.init (d - 1) (fun k -> Domain.spawn (fun () -> work ((k + 1) * chunk_size)))
+    in
+    work 0;
+    List.iter Domain.join handles;
+    Array.map
+      (function
+        | Some v -> v
+        | None -> invalid_arg "Parallel.map_array: missing result")
+      output
+  end
+
+let init ?domains n f = map_array ?domains f (Array.init n Fun.id)
+
+let for_all ?domains p input =
+  Array.for_all Fun.id (map_array ?domains p input)
+
+let count ?domains p input =
+  Array.fold_left
+    (fun acc b -> if b then acc + 1 else acc)
+    0
+    (map_array ?domains p input)

@@ -1,0 +1,27 @@
+(** Minimal fork-join parallelism over OCaml 5 domains.
+
+    The algorithms in this repository are single-threaded, but the sweeps
+    that drive them (bench tables, stress validation, parameter scans) are
+    embarrassingly parallel; this module spreads such workloads over the
+    machine's cores without external dependencies.
+
+    Work is split into contiguous chunks, one domain per chunk; the
+    supplied function must be safe to run concurrently (our generators and
+    solvers are: they share no mutable state once given distinct PRNG
+    seeds).  Exceptions propagate to the caller. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count], capped at 8. *)
+
+val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map]; preserves order.  [domains] defaults to
+    {!default_domains}; values [<= 1] run sequentially. *)
+
+val init : ?domains:int -> int -> (int -> 'a) -> 'a array
+(** Parallel [Array.init]. *)
+
+val for_all : ?domains:int -> ('a -> bool) -> 'a array -> bool
+(** Parallel conjunction (no early cancellation across domains). *)
+
+val count : ?domains:int -> ('a -> bool) -> 'a array -> int
+(** Number of elements satisfying the predicate. *)

@@ -1,0 +1,91 @@
+type t = int array
+
+let of_array a =
+  let n = Array.length a in
+  let seen = Array.make n false in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= n then invalid_arg "Permutation.of_array: out of range";
+      if seen.(v) then invalid_arg "Permutation.of_array: not injective";
+      seen.(v) <- true)
+    a;
+  Array.copy a
+
+let identity n = Array.init n (fun i -> i)
+
+let size = Array.length
+
+let apply p i = p.(i)
+
+let inverse p =
+  let n = Array.length p in
+  let inv = Array.make n 0 in
+  Array.iteri (fun i v -> inv.(v) <- i) p;
+  inv
+
+let compose p q =
+  if Array.length p <> Array.length q then
+    invalid_arg "Permutation.compose: size mismatch";
+  Array.map (fun v -> p.(v)) q
+
+let of_two_bijections f g =
+  let n = Array.length f in
+  if Array.length g <> n then invalid_arg "Permutation.of_two_bijections";
+  (* Rank values by first appearance in [f]. *)
+  let rank = Hashtbl.create (2 * n) in
+  Array.iteri
+    (fun i v ->
+      if Hashtbl.mem rank v then
+        invalid_arg "Permutation.of_two_bijections: f not injective";
+      Hashtbl.add rank v i)
+    f;
+  let sigma = Array.make n (-1) in
+  Array.iteri
+    (fun i v ->
+      match Hashtbl.find_opt rank v with
+      | None -> invalid_arg "Permutation.of_two_bijections: value sets differ"
+      | Some rv ->
+        if sigma.(i) <> -1 then
+          invalid_arg "Permutation.of_two_bijections: g not injective";
+        sigma.(i) <- rv)
+    g;
+  (* sigma maps index i to rank of g(i); we want sigma'(rank of f(i)) = rank
+     of g(i), i.e. sigma' = sigma ∘ (rank∘f)⁻¹, and rank∘f = identity. *)
+  of_array sigma
+
+let cycles p =
+  let n = Array.length p in
+  let seen = Array.make n false in
+  let out = ref [] in
+  for start = 0 to n - 1 do
+    if not seen.(start) then begin
+      let rec walk v acc =
+        if v = start && acc <> [] then List.rev acc
+        else begin
+          seen.(v) <- true;
+          walk p.(v) (v :: acc)
+        end
+      in
+      out := walk start [] :: !out
+    end
+  done;
+  List.rev !out
+
+let cycle_type p =
+  let lengths = List.map List.length (cycles p) in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun l ->
+      Hashtbl.replace tbl l (1 + Option.value ~default:0 (Hashtbl.find_opt tbl l)))
+    lengths;
+  Hashtbl.fold (fun l m acc -> (l, m) :: acc) tbl [] |> List.sort compare
+
+let pp ppf p =
+  let pp_cycle ppf c =
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ' ')
+         Format.pp_print_int)
+      c
+  in
+  Format.pp_print_list ~pp_sep:(fun _ () -> ()) pp_cycle ppf (cycles p)

@@ -1,0 +1,46 @@
+(** Permutations of [0 .. n-1] and their cycle structure.
+
+    Theorem 6 of the paper analyses the permutation obtained by composing the
+    wavelength assignments of the two halves of the split arc; its cycle type
+    (how many fixed points, transpositions, longer cycles) determines how many
+    extra colors the re-gluing needs.  This module provides exactly that
+    bookkeeping. *)
+
+type t = private int array
+(** A permutation represented by its image array: [p.(i)] is the image of
+    [i].  The representation is validated at construction. *)
+
+val of_array : int array -> t
+(** Validates that the argument is a bijection of [0..n-1]. Raises
+    [Invalid_argument] otherwise. *)
+
+val identity : int -> t
+
+val size : t -> int
+
+val apply : t -> int -> int
+
+val inverse : t -> t
+
+val compose : t -> t -> t
+(** [compose p q] maps [i] to [p (q i)]. *)
+
+val of_two_bijections : int array -> int array -> t
+(** [of_two_bijections f g] where [f] and [g] are bijections from indices
+    [0..n-1] onto the same set of [n] values (not necessarily [0..n-1]):
+    returns the permutation [sigma] of the *value set positions* with
+    [sigma(f i) = g i], expressed on the values' ranks.  Concretely, values
+    are ranked by their order of first appearance in [f];
+    raises [Invalid_argument] if [f] or [g] is not injective or their value
+    sets differ. *)
+
+val cycles : t -> int list list
+(** Cycle decomposition; each cycle is listed starting from its smallest
+    element, cycles sorted by that element.  Fixed points appear as
+    singleton cycles. *)
+
+val cycle_type : t -> (int * int) list
+(** [(length, multiplicity)] pairs, sorted by length: e.g. the identity on 4
+    points has cycle type [[(1,4)]]. *)
+
+val pp : Format.formatter -> t -> unit

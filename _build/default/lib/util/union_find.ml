@@ -1,0 +1,41 @@
+type t = { parent : int array; rank : int array; mutable classes : int }
+
+let create n =
+  { parent = Array.init n (fun i -> i); rank = Array.make n 0; classes = n }
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then false
+  else begin
+    t.classes <- t.classes - 1;
+    if t.rank.(ra) < t.rank.(rb) then t.parent.(ra) <- rb
+    else if t.rank.(ra) > t.rank.(rb) then t.parent.(rb) <- ra
+    else begin
+      t.parent.(rb) <- ra;
+      t.rank.(ra) <- t.rank.(ra) + 1
+    end;
+    true
+  end
+
+let same t a b = find t a = find t b
+
+let count t = t.classes
+
+let class_sizes t =
+  let n = Array.length t.parent in
+  let tbl = Hashtbl.create 16 in
+  for i = 0 to n - 1 do
+    let r = find t i in
+    Hashtbl.replace tbl r (1 + Option.value ~default:0 (Hashtbl.find_opt tbl r))
+  done;
+  Hashtbl.fold (fun r c acc -> (r, c) :: acc) tbl []
+  |> List.sort compare

@@ -1,0 +1,1 @@
+lib/validate/sweeps.mli:

@@ -1,0 +1,121 @@
+open Wl_core
+module Generators = Wl_netgen.Generators
+module Path_gen = Wl_netgen.Path_gen
+module Prng = Wl_util.Prng
+
+type case = int -> string option
+
+let dedup paths =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun p ->
+      let key = Wl_digraph.Dipath.vertices p in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    paths
+
+(* Each case returns [None] on success, [Some reason] on failure. *)
+
+let theorem1 seed =
+  let rng = Prng.create seed in
+  let dag = Generators.gnp_no_internal_cycle rng 30 0.12 in
+  let inst = Path_gen.random_instance rng dag 20 in
+  match Theorem1.color_result inst with
+  | Error _ -> Some "unexpected case C"
+  | Ok a ->
+    if not (Assignment.is_valid inst a) then Some "invalid assignment"
+    else if Assignment.n_wavelengths (Assignment.normalize a) <> Load.pi inst
+    then Some "w <> pi"
+    else None
+
+let theorem2 seed =
+  let rng = Prng.create seed in
+  let dag = Generators.gnp_dag rng 16 0.3 in
+  match Theorem2.build dag with
+  | None ->
+    if Wl_dag.Internal_cycle.has_internal_cycle dag then
+      Some "no family despite internal cycle"
+    else None
+  | Some inst ->
+    if Load.pi inst <> 2 then Some "pi <> 2"
+    else if Bounds.heuristic_upper inst < 3 then Some "w < 3?"
+    else if
+      not (Wl_conflict.Graph_props.is_cycle_graph (Conflict_of.build inst))
+    then Some "conflict graph not a cycle"
+    else None
+
+let theorem6 seed =
+  let rng = Prng.create seed in
+  let dag = Generators.upp_one_internal_cycle rng () in
+  let inst = Instance.make dag (dedup (Path_gen.random_family rng dag 16)) in
+  match Theorem6.color_with_stats ~check:false inst with
+  | exception e -> Some (Printexc.to_string e)
+  | a, stats ->
+    if not (Assignment.is_valid inst a) then Some "invalid assignment"
+    else if stats.Theorem6.n_colors > Theorem6.upper_bound stats.Theorem6.pi
+    then Some "bound exceeded"
+    else None
+
+let theorem6_multi seed =
+  let rng = Prng.create seed in
+  let cycles = 1 + (seed mod 4) in
+  let dag = Generators.upp_internal_cycles rng ~cycles () in
+  let inst = Instance.make dag (dedup (Path_gen.random_family rng dag 16)) in
+  match Theorem6_multi.color ~check:false inst with
+  | exception e -> Some (Printexc.to_string e)
+  | a ->
+    if not (Assignment.is_valid inst a) then Some "invalid assignment"
+    else if
+      Assignment.n_wavelengths (Assignment.normalize a)
+      > Theorem6_multi.upper_bound ~n_internal_cycles:cycles (Load.pi inst)
+    then Some "iterated bound exceeded"
+    else None
+
+let case_c seed =
+  let rng = Prng.create seed in
+  let dag = Generators.gnp_dag rng 16 0.3 in
+  match Theorem2.build dag with
+  | None -> None
+  | Some inst -> (
+    match Theorem1.color_result inst with
+    | Ok _ -> Some "theorem 1 succeeded on a gap family"
+    | Error (chain, junction) -> (
+      match Theorem1.witness_internal_cycle inst ~chain ~junction with
+      | None -> Some "no witness extracted"
+      | Some walk ->
+        let can = Wl_dag.Internal_cycle.canonicalize dag walk in
+        if Wl_dag.Internal_cycle.verify_canonical dag can then None
+        else Some "witness failed verification"))
+
+let grooming seed =
+  let rng = Prng.create seed in
+  let dag = Generators.gnp_no_internal_cycle rng 14 0.2 in
+  let inst = Path_gen.random_instance rng dag 10 in
+  let w = max 1 (Load.pi inst / 2) in
+  match Grooming.satisfy inst ~w with
+  | None -> Some "no selection"
+  | Some (sel, assignment) ->
+    if sel.Grooming.load > w then Some "selection over load"
+    else if Assignment.n_wavelengths assignment > w then Some "over w colors"
+    else None
+
+let all =
+  [
+    ("thm1", theorem1); ("thm2", theorem2); ("thm6", theorem6);
+    ("thm6multi", theorem6_multi); ("casec", case_c);
+    ("grooming", grooming);
+  ]
+
+let run ?domains ~seeds case =
+  let results =
+    Wl_util.Parallel.init ?domains seeds (fun seed ->
+        match case seed with
+        | None -> None
+        | Some reason -> Some (seed, reason)
+        | exception e -> Some (seed, Printexc.to_string e))
+  in
+  Array.to_list results |> List.filter_map Fun.id
+

@@ -1,0 +1,40 @@
+(** Randomized end-to-end validation sweeps, one per theorem.
+
+    Each case generates an instance from a seed, runs the corresponding
+    algorithm, and checks the paper's claim on the result; [None] means the
+    claim held.  `bin/stress` runs them at six-figure scale (in parallel
+    over domains), the test suite at CI scale.  Every case is a pure
+    function of its seed, so a reported failure replays exactly. *)
+
+type case = int -> string option
+(** [case seed] is [None] on success, [Some reason] on failure. *)
+
+val theorem1 : case
+(** Random internal-cycle-free DAG: valid assignment, exactly [pi] colors. *)
+
+val theorem2 : case
+(** Random DAG: if it has an internal cycle, the constructed family has
+    [pi = 2], odd-cycle conflict graph (hence [w = 3]). *)
+
+val theorem6 : case
+(** Random one-internal-cycle UPP-DAG, distinct dipaths: valid and within
+    [ceil(4 pi/3)]. *)
+
+val theorem6_multi : case
+(** Random UPP-DAG with 1-4 internal cycles: valid and within the iterated
+    bound. *)
+
+val case_c : case
+(** Theorem-2 families force the Theorem 1 cascade into case C, and the
+    extracted internal-cycle witness must verify. *)
+
+val grooming : case
+(** [Grooming.satisfy] on internal-cycle-free DAGs stays within [w]. *)
+
+val all : (string * case) list
+(** The named sweeps above, in presentation order. *)
+
+val run :
+  ?domains:int -> seeds:int -> case -> (int * string) list
+(** Run one case over seeds [0 .. seeds-1] (chunk-parallel over domains)
+    and return the failures. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Dipath Fun Hashtbl List QCheck2 QCheck_alcotest Wl_conflict Wl_core Wl_dag Wl_digraph Wl_netgen Wl_util

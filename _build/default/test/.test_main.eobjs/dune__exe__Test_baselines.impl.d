@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Assignment Baselines Helpers Instance List Load Theorem1 Wl_core Wl_dag Wl_digraph Wl_util

@@ -1,0 +1,1 @@
+test/test_certificate.ml: Alcotest Array Certificate Helpers List Solver String Wl_core Wl_netgen Wl_util

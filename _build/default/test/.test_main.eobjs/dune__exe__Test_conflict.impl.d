@@ -1,0 +1,1 @@
+test/test_conflict.ml: Alcotest Helpers List QCheck2 String Wl_conflict

@@ -1,0 +1,1 @@
+test/test_conversion.ml: Alcotest Conversion Helpers Instance List Load Solver Wl_core Wl_digraph Wl_netgen Wl_util

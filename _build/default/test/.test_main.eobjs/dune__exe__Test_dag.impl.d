@@ -1,0 +1,1 @@
+test/test_dag.ml: Alcotest Array Digraph Dipath Helpers List String Wl_dag Wl_digraph Wl_util

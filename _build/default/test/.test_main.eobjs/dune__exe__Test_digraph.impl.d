@@ -1,0 +1,1 @@
+test/test_digraph.ml: Alcotest Digraph Helpers List Wl_digraph Wl_util

@@ -1,0 +1,1 @@
+test/test_dipath.ml: Alcotest Digraph Dipath Fun Helpers List Wl_dag Wl_digraph Wl_netgen Wl_util

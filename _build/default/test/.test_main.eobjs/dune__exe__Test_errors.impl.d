@@ -1,0 +1,1 @@
+test/test_errors.ml: Alcotest Baselines Bounds Digraph Dipath Grooming Helpers Instance List Load Replication Wl_conflict Wl_core Wl_dag Wl_digraph Wl_netgen Wl_util

@@ -1,0 +1,1 @@
+test/test_grooming.ml: Alcotest Array Assignment Digraph Dipath Grooming Helpers Instance List Load QCheck2 Wl_core Wl_dag Wl_digraph Wl_netgen Wl_util

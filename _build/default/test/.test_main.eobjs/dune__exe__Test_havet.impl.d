@@ -1,0 +1,1 @@
+test/test_havet.ml: Alcotest Array Assignment Bounds Conflict_of Fun Helpers Instance List Load Printf Replication Theorem6 Wl_conflict Wl_core Wl_dag Wl_netgen

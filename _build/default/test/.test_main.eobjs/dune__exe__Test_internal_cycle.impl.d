@@ -1,0 +1,1 @@
+test/test_internal_cycle.ml: Alcotest Array Digraph Helpers List Wl_core Wl_dag Wl_digraph Wl_netgen Wl_util

@@ -1,0 +1,1 @@
+test/test_load.ml: Alcotest Array Assignment Bounds Conflict_of Digraph Dipath Helpers Instance List Load Wl_conflict Wl_core Wl_dag Wl_digraph Wl_netgen Wl_util

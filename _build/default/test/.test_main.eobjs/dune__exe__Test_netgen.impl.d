@@ -1,0 +1,1 @@
+test/test_netgen.ml: Alcotest Digraph Dipath Helpers List Result Wl_conflict Wl_core Wl_dag Wl_digraph Wl_netgen Wl_util

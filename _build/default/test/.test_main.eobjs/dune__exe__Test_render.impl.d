@@ -1,0 +1,1 @@
+test/test_render.ml: Alcotest Array Filename Fun Helpers Instance List Solver String Sys Wl_core Wl_digraph Wl_netgen

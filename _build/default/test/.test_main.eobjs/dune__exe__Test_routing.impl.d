@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Array Assignment Bounds Digraph Dipath Hashtbl Helpers Instance List Load Routing String Theorem1 Traversal Wl_core Wl_dag Wl_digraph Wl_netgen Wl_util

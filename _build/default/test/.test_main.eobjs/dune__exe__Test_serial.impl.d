@@ -1,0 +1,1 @@
+test/test_serial.ml: Alcotest Filename Fun Helpers Instance List Printf Serial String Sys Theorem1 Wl_core Wl_digraph Wl_netgen

@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Assignment Bounds Helpers List Solver Theorem6 Wl_core Wl_dag Wl_netgen Wl_util

@@ -1,0 +1,1 @@
+test/test_sweeps.ml: Alcotest Helpers List Wl_validate

@@ -1,0 +1,1 @@
+test/test_theorem1.ml: Alcotest Array Assignment Digraph Dipath Helpers Instance List Load Theorem1 Theorem2 Theorem6 Wl_core Wl_dag Wl_digraph Wl_netgen Wl_util

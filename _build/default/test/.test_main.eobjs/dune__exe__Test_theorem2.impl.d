@@ -1,0 +1,1 @@
+test/test_theorem2.ml: Alcotest Assignment Bounds Conflict_of Helpers Instance List Load Printf Replication Theorem1 Theorem2 Wl_conflict Wl_core Wl_dag Wl_netgen Wl_util

@@ -1,0 +1,1 @@
+test/test_theorem6.ml: Alcotest Assignment Helpers Instance List Load Replication Theorem2 Theorem6 Wl_core Wl_dag Wl_netgen Wl_util

@@ -1,0 +1,1 @@
+test/test_theorem6_multi.ml: Alcotest Assignment Fun Helpers Instance List Load Solver Theorem6 Theorem6_multi Wl_core Wl_dag Wl_netgen Wl_util

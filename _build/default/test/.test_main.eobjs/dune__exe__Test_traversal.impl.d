@@ -1,0 +1,1 @@
+test/test_traversal.ml: Alcotest Array Digraph Fun Helpers List Traversal Wl_digraph Wl_util

@@ -1,0 +1,1 @@
+test/test_upp.ml: Alcotest Array Digraph Dipath Helpers List Traversal Wl_core Wl_dag Wl_digraph Wl_netgen Wl_util

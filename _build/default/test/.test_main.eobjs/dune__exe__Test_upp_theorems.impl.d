@@ -1,0 +1,1 @@
+test/test_upp_theorems.ml: Alcotest Digraph Dipath Helpers List Upp_theorems Wl_core Wl_dag Wl_digraph Wl_netgen Wl_util

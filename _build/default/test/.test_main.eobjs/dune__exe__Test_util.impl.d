@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun Helpers Int List QCheck2 Set Wl_util

@@ -1,0 +1,106 @@
+(* Tests for the digraph structure and its derived graphs. *)
+
+open Helpers
+open Wl_digraph
+module Prng = Wl_util.Prng
+
+let diamond () =
+  (* 0 -> 1 -> 3, 0 -> 2 -> 3 *)
+  Digraph.of_arcs 4 [ (0, 1); (0, 2); (1, 3); (2, 3) ]
+
+let test_basic () =
+  let g = diamond () in
+  check_int "vertices" 4 (Digraph.n_vertices g);
+  check_int "arcs" 4 (Digraph.n_arcs g);
+  check_int "out degree" 2 (Digraph.out_degree g 0);
+  check_int "in degree" 2 (Digraph.in_degree g 3);
+  check "succ" true (Digraph.succ g 0 = [ 1; 2 ]);
+  check "pred" true (Digraph.pred g 3 = [ 1; 2 ]);
+  check "mem_arc" true (Digraph.mem_arc g 0 1);
+  check "not mem_arc" false (Digraph.mem_arc g 1 0);
+  check "find_arc id" true (Digraph.find_arc g 0 2 = Some 1);
+  check "endpoints" true (Digraph.arc_endpoints g 2 = (1, 3));
+  check "arcs list" true (Digraph.arcs g = [ (0, 1); (0, 2); (1, 3); (2, 3) ])
+
+let test_rejections () =
+  let g = diamond () in
+  Alcotest.check_raises "self loop" (Invalid_argument "Digraph.add_arc: self-loop")
+    (fun () -> ignore (Digraph.add_arc g 1 1));
+  Alcotest.check_raises "duplicate" (Invalid_argument "Digraph.add_arc: duplicate arc")
+    (fun () -> ignore (Digraph.add_arc g 0 1));
+  Alcotest.check_raises "missing vertex" (Invalid_argument "Digraph: no such vertex")
+    (fun () -> ignore (Digraph.add_arc g 0 9))
+
+let test_labels () =
+  let g = Digraph.create () in
+  let a = Digraph.add_vertex ~label:"start" g in
+  let b = Digraph.add_vertex g in
+  check "explicit label" true (Digraph.label g a = "start");
+  check "default label" true (Digraph.label g b = "v1");
+  Digraph.set_label g b "end";
+  check "set label" true (Digraph.label g b = "end");
+  check "lookup" true (Digraph.vertex_of_label g "end" = Some b);
+  check "lookup missing" true (Digraph.vertex_of_label g "nope" = None)
+
+let test_reverse () =
+  let g = diamond () in
+  let r = Digraph.reverse g in
+  check "reversed arcs" true
+    (List.sort compare (Digraph.arcs r)
+    = List.sort compare [ (1, 0); (2, 0); (3, 1); (3, 2) ]);
+  check "double reverse" true (Digraph.equal_structure g (Digraph.reverse r))
+
+let test_copy () =
+  let g = diamond () in
+  let c = Digraph.copy g in
+  check "copy equal" true (Digraph.equal_structure g c);
+  ignore (Digraph.add_arc c 3 0);
+  check "copy independent" false (Digraph.equal_structure g c)
+
+let test_induced () =
+  let g = diamond () in
+  let sub, mapping = Digraph.induced_subgraph g [ 0; 1; 3 ] in
+  check_int "sub vertices" 3 (Digraph.n_vertices sub);
+  check_int "sub arcs" 2 (Digraph.n_arcs sub);
+  check "mapping" true (mapping = [| 0; 1; 3 |]);
+  (* arcs 0->1 and 1->3 survive under new ids 0->1, 1->2 *)
+  check "sub arc set" true
+    (List.sort compare (Digraph.arcs sub) = [ (0, 1); (1, 2) ])
+
+let random_roundtrip =
+  qtest "of_arcs/arcs round trip" seed_gen (fun seed ->
+      let g = gnp_dag seed 12 0.3 in
+      let g' = Digraph.of_arcs (Digraph.n_vertices g) (Digraph.arcs g) in
+      Digraph.equal_structure g g')
+
+let degrees_sum =
+  qtest "degree sums equal arc count" seed_gen (fun seed ->
+      let g = gnp_dag seed 15 0.25 in
+      let sum f = List.fold_left (fun acc v -> acc + f g v) 0 (Digraph.vertices g) in
+      sum Digraph.out_degree = Digraph.n_arcs g
+      && sum Digraph.in_degree = Digraph.n_arcs g)
+
+let out_arcs_consistent =
+  qtest "out_arcs/in_arcs agree with endpoints" seed_gen (fun seed ->
+      let g = gnp_dag seed 12 0.3 in
+      List.for_all
+        (fun v ->
+          List.for_all (fun a -> Digraph.arc_src g a = v) (Digraph.out_arcs g v)
+          && List.for_all (fun a -> Digraph.arc_dst g a = v) (Digraph.in_arcs g v))
+        (Digraph.vertices g))
+
+let suite =
+  [
+    ( "digraph",
+      [
+        Alcotest.test_case "basics" `Quick test_basic;
+        Alcotest.test_case "rejections" `Quick test_rejections;
+        Alcotest.test_case "labels" `Quick test_labels;
+        Alcotest.test_case "reverse" `Quick test_reverse;
+        Alcotest.test_case "copy" `Quick test_copy;
+        Alcotest.test_case "induced subgraph" `Quick test_induced;
+        random_roundtrip;
+        degrees_sum;
+        out_arcs_consistent;
+      ] );
+  ]

@@ -1,0 +1,116 @@
+(* Contract tests: every documented precondition violation raises, and with
+   the documented message where one is promised. *)
+
+open Helpers
+open Wl_core
+open Wl_digraph
+module Dag = Wl_dag.Dag
+module Prng = Wl_util.Prng
+
+let raises_invalid f =
+  match f () with
+  | _ -> false
+  | exception Invalid_argument _ -> true
+
+let test_prng_contracts () =
+  let rng = Prng.create 1 in
+  check "int bound 0" true (raises_invalid (fun () -> Prng.int rng 0));
+  check "int_in empty" true (raises_invalid (fun () -> Prng.int_in rng 3 2));
+  check "choose empty" true (raises_invalid (fun () -> Prng.choose rng [||]));
+  check "choose_list empty" true (raises_invalid (fun () -> Prng.choose_list rng []));
+  check "sample bad k" true
+    (raises_invalid (fun () -> Prng.sample_without_replacement rng 5 3))
+
+let test_permutation_contracts () =
+  check "compose mismatch" true
+    (raises_invalid (fun () ->
+         Wl_util.Permutation.compose
+           (Wl_util.Permutation.identity 2)
+           (Wl_util.Permutation.identity 3)));
+  check "bijections mismatch" true
+    (raises_invalid (fun () ->
+         Wl_util.Permutation.of_two_bijections [| 1; 1 |] [| 1; 2 |]))
+
+let line n = Digraph.of_arcs n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let test_dipath_contracts () =
+  let g = line 5 in
+  let p = Dipath.make g [ 0; 1; 2 ] in
+  check "sub bad indices" true (raises_invalid (fun () -> Dipath.sub g p 2 1));
+  check "sub out of range" true (raises_invalid (fun () -> Dipath.sub g p 0 9));
+  check "sub_between wrong order" true
+    (raises_invalid (fun () -> Dipath.sub_between g p 2 0))
+
+let test_instance_contracts () =
+  let g = line 4 in
+  let dag = Dag.of_digraph_exn g in
+  let inst = Instance.make dag [ Dipath.make g [ 0; 1 ] ] in
+  check "path index" true (raises_invalid (fun () -> Instance.path inst 1));
+  check "paths_through bad arc" true
+    (raises_invalid (fun () -> Instance.paths_through inst 99));
+  check "arc_load bad arc" true (raises_invalid (fun () -> Load.arc_load inst (-1)));
+  check "max_load_arc_among empty" true
+    (raises_invalid (fun () -> Load.max_load_arc_among inst []))
+
+let test_grooming_contracts () =
+  let g = line 4 in
+  let dag = Dag.of_digraph_exn g in
+  let inst = Instance.make dag [ Dipath.make g [ 0; 1 ] ] in
+  check "greedy negative w" true (raises_invalid (fun () -> Grooming.greedy inst ~w:(-1)));
+  check "exact negative w" true (raises_invalid (fun () -> Grooming.exact inst ~w:(-1)));
+  check "satisfy negative w is None" true (Grooming.satisfy inst ~w:(-1) = None)
+
+let test_replication_contracts () =
+  check "no sets" true
+    (raises_invalid (fun () ->
+         Replication.covering_coloring ~n_base:3 ~sets:[||] ~h:1 ~n_colors:3));
+  check "set element range" true
+    (raises_invalid (fun () ->
+         Replication.covering_coloring ~n_base:2 ~sets:[| [ 5 ] |] ~h:1 ~n_colors:2));
+  check "ceil_div zero" true (raises_invalid (fun () -> Replication.ceil_div 3 0));
+  check "theorem6_upper negative" true
+    (raises_invalid (fun () -> Bounds.theorem6_upper ~n_internal_cycles:(-1) 2))
+
+let test_generator_contracts () =
+  let rng = Prng.create 1 in
+  let module G = Wl_netgen.Generators in
+  check "layered bad" true
+    (raises_invalid (fun () -> G.layered rng ~layers:0 ~width:3 ~p:0.5));
+  check "tree bad" true (raises_invalid (fun () -> G.random_rooted_tree rng 0));
+  check "cycles bad" true
+    (raises_invalid (fun () -> G.upp_internal_cycles rng ~cycles:0 ()));
+  check "backbone bad" true
+    (raises_invalid (fun () -> G.backbone rng ~pops:0 ~levels:3));
+  check "hotspot bad" true
+    (raises_invalid (fun () ->
+         Wl_netgen.Traffic.hotspot rng (G.random_rooted_tree rng 5) ~hubs:0
+           ~bias:0.5 3))
+
+let test_exact_contracts () =
+  let g = Wl_conflict.Ugraph.create 3 in
+  check "k_colorable negative" true
+    (raises_invalid (fun () -> Wl_conflict.Exact.k_colorable g (-1)))
+
+let test_baselines_contracts () =
+  let g = line 4 in
+  let dag = Dag.of_digraph_exn g in
+  let inst = Instance.make dag [ Dipath.make g [ 0; 1 ] ] in
+  check "best_of tries 0" true
+    (raises_invalid (fun () ->
+         Baselines.best_of_random_orders (Prng.create 1) ~tries:0 inst))
+
+let suite =
+  [
+    ( "contracts",
+      [
+        Alcotest.test_case "prng" `Quick test_prng_contracts;
+        Alcotest.test_case "permutation" `Quick test_permutation_contracts;
+        Alcotest.test_case "dipath" `Quick test_dipath_contracts;
+        Alcotest.test_case "instance and load" `Quick test_instance_contracts;
+        Alcotest.test_case "grooming" `Quick test_grooming_contracts;
+        Alcotest.test_case "replication and bounds" `Quick test_replication_contracts;
+        Alcotest.test_case "generators" `Quick test_generator_contracts;
+        Alcotest.test_case "exact coloring" `Quick test_exact_contracts;
+        Alcotest.test_case "baselines" `Quick test_baselines_contracts;
+      ] );
+  ]

@@ -1,0 +1,193 @@
+(* Tests for request routing. *)
+
+open Helpers
+open Wl_core
+open Wl_digraph
+module Dag = Wl_dag.Dag
+module Prng = Wl_util.Prng
+module Generators = Wl_netgen.Generators
+
+let test_route_shortest_is_shortest () =
+  (* 0 -> 1 -> 4 (2 hops) vs 0 -> 2 -> 3 -> 4 (3 hops). *)
+  let g = Digraph.of_arcs 5 [ (0, 1); (1, 4); (0, 2); (2, 3); (3, 4) ] in
+  let dag = Dag.of_digraph_exn g in
+  match Routing.route_shortest dag [ (0, 4) ] with
+  | Ok [ p ] -> check_int "two hops" 2 (Dipath.n_arcs p)
+  | _ -> Alcotest.fail "routing failed"
+
+let test_unroutable_reported () =
+  let g = Digraph.of_arcs 3 [ (0, 1) ] in
+  let dag = Dag.of_digraph_exn g in
+  (match Routing.route_shortest dag [ (1, 2) ] with
+  | Error msg -> check "mentions pair" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "should be unroutable");
+  match Routing.instance_of dag Routing.route_shortest [ (0, 1); (1, 0) ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "should fail end to end"
+
+let test_min_load_spreads () =
+  (* Two parallel two-hop routes; four identical requests must split 2/2,
+     keeping the load at 2 instead of 4. *)
+  let g = Digraph.of_arcs 6 [ (0, 1); (1, 5); (0, 2); (2, 5); (0, 3); (3, 5) ] in
+  let dag = Dag.of_digraph_exn g in
+  let requests = List.init 6 (fun _ -> (0, 5)) in
+  match Routing.instance_of dag Routing.route_min_load requests with
+  | Error msg -> Alcotest.failf "routing failed: %s" msg
+  | Ok inst -> check_int "balanced load" 2 (Load.pi inst)
+
+let shortest_really_shortest =
+  qtest "route_shortest matches BFS distance" seed_gen ~count:30 (fun seed ->
+      let rng = Prng.create seed in
+      let dag = Generators.gnp_dag rng 14 0.25 in
+      let g = Dag.graph dag in
+      let pairs = Wl_dag.Upp.routable_pairs dag in
+      match Routing.route_shortest dag pairs with
+      | Error _ -> false
+      | Ok paths ->
+        List.for_all2
+          (fun (x, _) p ->
+            let dist = Traversal.bfs_dist g x in
+            Dipath.n_arcs p = dist.(Dipath.dst p))
+          pairs paths)
+
+let min_load_routes_everything =
+  qtest "min-load routing is total and deterministic" seed_gen ~count:25
+    (fun seed ->
+      let rng = Prng.create seed in
+      let dag = Generators.layered rng ~layers:4 ~width:4 ~p:0.5 in
+      let requests = Routing.random_requests rng dag 20 in
+      match
+        ( Routing.instance_of dag Routing.route_min_load requests,
+          Routing.instance_of dag Routing.route_min_load requests )
+      with
+      | Ok m1, Ok m2 ->
+        Instance.n_paths m1 = List.length requests
+        && List.equal Dipath.equal (Instance.paths_list m1) (Instance.paths_list m2)
+      | _ -> false)
+
+(* On a hotspot topology the load-aware router must beat blind shortest
+   paths: many requests whose unique shortest route shares one arc, while a
+   one-hop-longer detour exists. *)
+let test_min_load_beats_shortest_on_hotspot () =
+  (* 0 -> 1 -> 5 (short) and 0 -> 2 -> 3 -> 5 / 0 -> 4 -> ... detours. *)
+  let g =
+    Digraph.of_arcs 7
+      [ (0, 1); (1, 6); (0, 2); (2, 3); (3, 6); (0, 4); (4, 5); (5, 6) ]
+  in
+  let dag = Dag.of_digraph_exn g in
+  let requests = List.init 6 (fun _ -> (0, 6)) in
+  match
+    ( Routing.instance_of dag Routing.route_shortest requests,
+      Routing.instance_of dag Routing.route_min_load requests )
+  with
+  | Ok s, Ok m ->
+    check_int "shortest hotspots" 6 (Load.pi s);
+    check_int "min-load spreads to 2" 2 (Load.pi m)
+  | _ -> Alcotest.fail "routing failed"
+
+let test_unique_on_upp () =
+  let rng = Prng.create 3 in
+  let dag = Generators.gnp_upp rng 12 0.3 in
+  let pairs = Routing.all_to_all dag in
+  match Routing.route_unique dag pairs with
+  | Error msg -> Alcotest.failf "routing failed: %s" msg
+  | Ok paths ->
+    check_int "one per pair" (List.length pairs) (List.length paths);
+    List.iter2
+      (fun (x, y) p ->
+        check "endpoints" true (Dipath.src p = x && Dipath.dst p = y))
+      pairs paths
+
+let test_multicast () =
+  let g = Digraph.of_arcs 5 [ (0, 1); (0, 2); (1, 3) ] in
+  let dag = Dag.of_digraph_exn g in
+  check "multicast requests" true
+    (List.sort compare (Routing.multicast dag 0) = [ (0, 1); (0, 2); (0, 3) ]);
+  check "multicast from leaf" true (Routing.multicast dag 4 = [])
+
+(* Tree-routed multicast achieves w = pi on ANY DAG, because its routes
+   live on a rooted tree (Theorem 1 applies). *)
+let multicast_tree_equality =
+  qtest "tree-routed multicast: w = pi on any DAG" seed_gen ~count:40
+    (fun seed ->
+      let rng = Prng.create seed in
+      let dag = Generators.gnp_dag rng 14 0.3 in
+      let root = Prng.int rng 14 in
+      let paths = Routing.route_multicast_tree dag root in
+      match paths with
+      | [] -> true
+      | _ ->
+        let inst = Instance.make dag paths in
+        (* Routes form an out-tree: every vertex reached by exactly one
+           route suffix, so the union of arcs is a tree and Theorem 1
+           colors optimally. *)
+        let a = Theorem1.color inst in
+        Assignment.is_valid inst a
+        && Assignment.n_wavelengths (Assignment.normalize a) = Load.pi inst)
+
+let test_multicast_tree_counts () =
+  let g = Digraph.of_arcs 6 [ (0, 1); (0, 2); (1, 3); (2, 3); (3, 4) ] in
+  let dag = Dag.of_digraph_exn g in
+  let paths = Routing.route_multicast_tree dag 0 in
+  check_int "one route per reachable vertex" 4 (List.length paths);
+  List.iter (fun p -> check_int "starts at root" 0 (Dipath.src p)) paths;
+  check "leaf multicast empty" true (Routing.route_multicast_tree dag 4 = []);
+  (* All routes use only tree arcs: at most one in-arc used per vertex. *)
+  let used_in = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun a ->
+          let dst = Digraph.arc_dst g a in
+          match Hashtbl.find_opt used_in dst with
+          | None -> Hashtbl.add used_in dst a
+          | Some a' -> check "single in-arc per vertex" true (a = a'))
+        (Dipath.arcs p))
+    paths
+
+let test_random_requests_routable () =
+  let rng = Prng.create 8 in
+  let dag = Generators.gnp_dag rng 12 0.3 in
+  let reqs = Routing.random_requests rng dag 25 in
+  check_int "count" 25 (List.length reqs);
+  match Routing.route_shortest dag reqs with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "random request unroutable: %s" msg
+
+(* Multicast instances satisfy w = pi on any digraph (the paper cites
+   Beauquier-Hell-Perennes); with our machinery this follows from Theorem 1
+   when there is no internal cycle, and we verify it exactly on small
+   multicast instances in general. *)
+let multicast_w_equals_pi =
+  qtest "multicast families have w = pi (small, exact)" seed_gen ~count:20
+    (fun seed ->
+      let rng = Prng.create seed in
+      let dag = Generators.gnp_dag rng 9 0.3 in
+      let root = Prng.int rng 9 in
+      let reqs = Routing.multicast dag root in
+      if List.length reqs = 0 || List.length reqs > 14 then true
+      else
+        match Routing.instance_of dag Routing.route_shortest reqs with
+        | Error _ -> false
+        | Ok inst -> Bounds.chromatic_exact inst = Load.pi inst)
+
+let suite =
+  [
+    ( "routing",
+      [
+        Alcotest.test_case "shortest is shortest" `Quick test_route_shortest_is_shortest;
+        Alcotest.test_case "unroutable reported" `Quick test_unroutable_reported;
+        Alcotest.test_case "min-load spreads" `Quick test_min_load_spreads;
+        shortest_really_shortest;
+        min_load_routes_everything;
+        Alcotest.test_case "min-load beats shortest on hotspot" `Quick
+          test_min_load_beats_shortest_on_hotspot;
+        Alcotest.test_case "unique routing on UPP" `Quick test_unique_on_upp;
+        Alcotest.test_case "multicast" `Quick test_multicast;
+        multicast_tree_equality;
+        Alcotest.test_case "multicast tree routing" `Quick test_multicast_tree_counts;
+        Alcotest.test_case "random requests routable" `Quick
+          test_random_requests_routable;
+        multicast_w_equals_pi;
+      ] );
+  ]

@@ -1,0 +1,109 @@
+(* Tests for the text instance format. *)
+
+open Helpers
+open Wl_core
+module Digraph = Wl_digraph.Digraph
+module Dipath = Wl_digraph.Dipath
+
+let roundtrip inst =
+  match Serial.of_string (Serial.to_string inst) with
+  | Error msg -> Alcotest.failf "reparse failed: %s" msg
+  | Ok inst' ->
+    Digraph.equal_structure (Instance.graph inst) (Instance.graph inst')
+    && List.equal
+         (fun p q -> Dipath.vertices p = Dipath.vertices q)
+         (Instance.paths_list inst) (Instance.paths_list inst')
+
+let test_roundtrip_figures () =
+  List.iter
+    (fun inst -> check "roundtrip" true (roundtrip inst))
+    [
+      Wl_netgen.Figures.fig3 ();
+      Wl_netgen.Figures.fig5 3;
+      Wl_netgen.Figures.havet 2;
+      Wl_netgen.Figures.fig1 4;
+    ]
+
+let roundtrip_random =
+  qtest "roundtrip on random instances" seed_gen ~count:40 (fun seed ->
+      roundtrip (random_instance seed))
+
+let test_labels_roundtrip () =
+  let inst = Wl_netgen.Figures.fig3 () in
+  match Serial.of_string (Serial.to_string inst) with
+  | Error msg -> Alcotest.failf "reparse failed: %s" msg
+  | Ok inst' ->
+    check "labels preserved" true (Digraph.label (Instance.graph inst') 0 = "a1")
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let parse_error expected text =
+  match Serial.of_string text with
+  | Ok _ -> Alcotest.failf "expected parse error %S" expected
+  | Error msg ->
+    check (Printf.sprintf "error mentions %S (got %S)" expected msg) true
+      (contains msg expected)
+
+let test_parse_errors () =
+  parse_error "missing 'dag" "# only a comment\n";
+  parse_error "before 'dag'" "arc 0 1\ndag 2";
+  parse_error "duplicate" "dag 2\ndag 3";
+  parse_error "unknown directive" "dag 2\nfoo 1";
+  parse_error "not an integer" "dag 2\narc 0 x";
+  parse_error "no such vertex" "dag 2\narc 0 5";
+  parse_error "missing arc" "dag 3\narc 0 1\npath 0 2";
+  parse_error "out of range" "dag 2\nvlabel 7 z";
+  parse_error "self-loop" "dag 2\narc 1 1"
+
+let test_comments_and_blanks () =
+  let text = "# header\n\ndag 3  # three vertices\narc 0 1\n  arc 1 2  \n\npath 0 1 2\n" in
+  match Serial.of_string text with
+  | Error msg -> Alcotest.failf "should parse: %s" msg
+  | Ok inst ->
+    check_int "paths" 1 (Instance.n_paths inst);
+    check_int "arcs" 2 (Digraph.n_arcs (Instance.graph inst))
+
+let test_file_io () =
+  let inst = Wl_netgen.Figures.fig5 2 in
+  let tmp = Filename.temp_file "wl_test" ".wl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      Serial.write_file tmp inst;
+      match Serial.read_file tmp with
+      | Ok inst' ->
+        check "file roundtrip" true
+          (Digraph.equal_structure (Instance.graph inst) (Instance.graph inst'))
+      | Error msg -> Alcotest.failf "read failed: %s" msg)
+
+let test_rejects_directed_cycle () =
+  parse_error "not a DAG" "dag 2\narc 0 1\narc 1 0"
+
+(* Determinism across serialization: coloring the reparsed instance gives
+   the same wavelengths (arc ids and family order round-trip intact). *)
+let deterministic_through_io =
+  qtest "theorem1 coloring survives a serialization roundtrip" seed_gen
+    ~count:25 (fun seed ->
+      let inst = random_nic_instance ~n:14 ~k:10 seed in
+      match Serial.of_string (Serial.to_string inst) with
+      | Error _ -> false
+      | Ok inst' -> Theorem1.color inst = Theorem1.color inst')
+
+let suite =
+  [
+    ( "serial",
+      [
+        Alcotest.test_case "figure roundtrips" `Quick test_roundtrip_figures;
+        roundtrip_random;
+        Alcotest.test_case "labels roundtrip" `Quick test_labels_roundtrip;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "comments and blanks" `Quick test_comments_and_blanks;
+        Alcotest.test_case "file io" `Quick test_file_io;
+        Alcotest.test_case "rejects directed cycles" `Quick
+          test_rejects_directed_cycle;
+        deterministic_through_io;
+      ] );
+  ]

@@ -1,0 +1,95 @@
+(* Tests for the dispatching solver. *)
+
+open Helpers
+open Wl_core
+module Prng = Wl_util.Prng
+module Figures = Wl_netgen.Figures
+module Generators = Wl_netgen.Generators
+module Path_gen = Wl_netgen.Path_gen
+
+let test_dispatch_theorem1 () =
+  let inst = random_nic_instance ~n:20 ~k:12 99 in
+  let r = Solver.solve inst in
+  check "method" true (r.Solver.method_used = Solver.Theorem_1);
+  check "optimal" true r.Solver.optimal;
+  check_int "w = pi" r.Solver.pi r.Solver.n_wavelengths;
+  check "valid" true (Assignment.is_valid inst r.Solver.assignment)
+
+let test_dispatch_theorem6 () =
+  (* Large enough family that the exact solver is skipped. *)
+  let inst = random_upp_one_cycle_instance ~k:40 ~distinct:true 123 in
+  let r = Solver.solve ~exact_limit:4 inst in
+  check "method" true (r.Solver.method_used = Solver.Theorem_6);
+  check "within bound" true
+    (r.Solver.n_wavelengths <= Theorem6.upper_bound r.Solver.pi);
+  check "valid" true (Assignment.is_valid inst r.Solver.assignment)
+
+let test_dispatch_exact () =
+  let inst = Figures.fig1 4 in
+  let r = Solver.solve inst in
+  check "method" true (r.Solver.method_used = Solver.Exact_coloring);
+  check_int "w = k" 4 r.Solver.n_wavelengths;
+  check "optimal" true r.Solver.optimal
+
+let test_dispatch_heuristic () =
+  let rng = Prng.create 5 in
+  let dag = Generators.gnp_dag rng 30 0.2 in
+  (* Only meaningful when the DAG has internal cycles and is big. *)
+  let inst = Path_gen.random_instance rng dag 40 in
+  let r = Solver.solve ~exact_limit:4 inst in
+  check "valid" true (Assignment.is_valid inst r.Solver.assignment);
+  check "bounds sound" true (r.Solver.lower_bound <= r.Solver.n_wavelengths)
+
+let test_fig3_report () =
+  let r = Solver.solve (Figures.fig3 ()) in
+  check_int "w = 3" 3 r.Solver.n_wavelengths;
+  check_int "pi = 2" 2 r.Solver.pi;
+  check "optimal" true r.Solver.optimal;
+  check_int "classified one cycle" 1
+    r.Solver.classification.Wl_dag.Classify.n_internal_cycles
+
+let solver_always_valid_and_sound =
+  qtest "solver output valid; lower <= w <= heuristic-upper" seed_gen ~count:60
+    (fun seed ->
+      let rng = Prng.create seed in
+      let dag =
+        match seed mod 3 with
+        | 0 -> Generators.gnp_dag rng 14 0.25
+        | 1 -> Generators.gnp_no_internal_cycle rng 14 0.25
+        | _ -> Generators.upp_one_internal_cycle rng ()
+      in
+      let inst = Path_gen.random_instance rng dag 10 in
+      let r = Solver.solve inst in
+      Assignment.is_valid inst r.Solver.assignment
+      && r.Solver.lower_bound <= r.Solver.n_wavelengths
+      && r.Solver.pi <= r.Solver.n_wavelengths
+      && (r.Solver.optimal = (r.Solver.n_wavelengths = r.Solver.lower_bound)))
+
+let solver_matches_exact_when_small =
+  qtest "solver is optimal on small instances" seed_gen ~count:30 (fun seed ->
+      let rng = Prng.create seed in
+      let dag = Generators.gnp_dag rng 12 0.3 in
+      let inst = Path_gen.random_instance rng dag 8 in
+      let r = Solver.solve inst in
+      r.Solver.n_wavelengths = Bounds.chromatic_exact inst)
+
+let test_method_names () =
+  check "names" true
+    (List.map Solver.method_name
+       [ Solver.Theorem_1; Solver.Theorem_6; Solver.Exact_coloring; Solver.Heuristic ]
+    = [ "theorem-1"; "theorem-6"; "exact-coloring"; "heuristic" ])
+
+let suite =
+  [
+    ( "solver",
+      [
+        Alcotest.test_case "dispatches to theorem 1" `Quick test_dispatch_theorem1;
+        Alcotest.test_case "dispatches to theorem 6" `Quick test_dispatch_theorem6;
+        Alcotest.test_case "dispatches to exact" `Quick test_dispatch_exact;
+        Alcotest.test_case "heuristic fallback" `Quick test_dispatch_heuristic;
+        Alcotest.test_case "fig3 report" `Quick test_fig3_report;
+        solver_always_valid_and_sound;
+        solver_matches_exact_when_small;
+        Alcotest.test_case "method names" `Quick test_method_names;
+      ] );
+  ]

@@ -1,0 +1,32 @@
+(* CI-scale runs of the validation sweeps (bin/stress runs them at 30k+
+   seeds; here a few hundred each keep `dune runtest` snappy while still
+   exercising the full generator/algorithm/checker pipeline). *)
+
+open Helpers
+module Sweeps = Wl_validate.Sweeps
+
+let sweep_case name case =
+  Alcotest.test_case name `Slow (fun () ->
+      match Sweeps.run ~seeds:300 case with
+      | [] -> ()
+      | (seed, reason) :: _ as failures ->
+        Alcotest.failf "%d failures; first: seed %d, %s" (List.length failures)
+          seed reason)
+
+let test_failure_reporting () =
+  (* A deliberately failing case reports every seed with its reason. *)
+  let broken seed = if seed mod 2 = 0 then Some "even seed" else None in
+  let failures = Sweeps.run ~seeds:10 broken in
+  check_int "five failures" 5 (List.length failures);
+  check "reasons carried" true
+    (List.for_all (fun (_, r) -> r = "even seed") failures);
+  (* Exceptions are captured as failures, not crashes. *)
+  let raising _ = failwith "boom" in
+  check_int "exceptions counted" 3 (List.length (Sweeps.run ~seeds:3 raising))
+
+let suite =
+  [
+    ( "sweeps",
+      Alcotest.test_case "failure reporting" `Quick test_failure_reporting
+      :: List.map (fun (name, case) -> sweep_case name case) Sweeps.all );
+  ]

@@ -1,0 +1,126 @@
+(* Tests for the Theorem 2 construction: every DAG with an internal cycle
+   carries a family with pi = 2 and w = 3 whose conflict graph is an odd
+   cycle. *)
+
+open Helpers
+open Wl_core
+module Prng = Wl_util.Prng
+module Figures = Wl_netgen.Figures
+module Generators = Wl_netgen.Generators
+module Graph_props = Wl_conflict.Graph_props
+
+let verify_theorem2_family inst =
+  let cg = Conflict_of.build inst in
+  Load.pi inst = 2
+  && Bounds.chromatic_exact inst = 3
+  && Graph_props.is_cycle_graph cg
+  && Wl_conflict.Ugraph.n_vertices cg mod 2 = 1
+
+let test_on_fig5 () =
+  List.iter
+    (fun k ->
+      let inst = Figures.fig5 k in
+      check_int "2k+1 dipaths" ((2 * k) + 1) (Instance.n_paths inst);
+      check "family verifies" true (verify_theorem2_family inst))
+    [ 2; 3; 4; 5; 6 ]
+
+let test_none_without_cycle () =
+  let rng = Prng.create 5 in
+  for _ = 1 to 10 do
+    let dag = Generators.gnp_no_internal_cycle rng 15 0.25 in
+    check "no witness family" true (Theorem2.build dag = None)
+  done
+
+let witness_on_any_cyclic_dag =
+  qtest "construction works on arbitrary DAGs with internal cycles" seed_gen
+    ~count:60 (fun seed ->
+      let rng = Prng.create seed in
+      let dag = Generators.gnp_dag rng 14 0.3 in
+      match Theorem2.build dag with
+      | None -> not (Wl_dag.Internal_cycle.has_internal_cycle dag)
+      | Some inst -> verify_theorem2_family inst)
+
+let witness_on_upp_one_cycle =
+  qtest "construction on the Theorem 6 generator" seed_gen ~count:40 (fun seed ->
+      let dag = Generators.upp_one_internal_cycle (Prng.create seed) () in
+      match Theorem2.build dag with
+      | None -> false
+      | Some inst -> verify_theorem2_family inst)
+
+let test_main_theorem_dichotomy () =
+  (* Main Theorem, both directions, on a mixed bag of DAGs. *)
+  let rng = Prng.create 77 in
+  for _ = 1 to 30 do
+    let dag = Generators.gnp_dag rng 12 0.3 in
+    let has_cycle = Wl_dag.Internal_cycle.has_internal_cycle dag in
+    match Theorem2.build dag with
+    | Some inst ->
+      (* Direction 1: internal cycle => some family has w > pi. *)
+      check "gap family exists" true has_cycle;
+      check "w exceeds pi" true (Bounds.chromatic_exact inst > Load.pi inst)
+    | None ->
+      check "no cycle" false has_cycle;
+      (* Direction 2: no internal cycle => w = pi for random families. *)
+      let inst =
+        Wl_netgen.Path_gen.random_instance rng dag 10
+      in
+      check "w equals pi" true
+        (Load.pi inst
+        = Assignment.n_wavelengths (Assignment.normalize (Theorem1.color inst)))
+  done
+
+let test_replicate () =
+  let inst = Figures.fig5 2 in
+  List.iter
+    (fun h ->
+      let r = Theorem2.replicate inst h in
+      check_int "5h paths" (5 * h) (Instance.n_paths r);
+      check_int "pi = 2h" (2 * h) (Load.pi r))
+    [ 1; 2; 3 ];
+  Alcotest.check_raises "h must be positive"
+    (Invalid_argument "Theorem2.replicate: h must be >= 1") (fun () ->
+      ignore (Theorem2.replicate inst 0))
+
+(* The paper (Section 4): replicating the k=2 family h times gives
+   w = ceil(5h/2), approaching ratio 5/4 — not yet the 4/3 bound. *)
+let test_replicated_ratio () =
+  let inst = Figures.fig5 2 in
+  List.iter
+    (fun h ->
+      let r = Theorem2.replicate inst h in
+      check_int
+        (Printf.sprintf "w of 5 x %d replication" h)
+        (Replication.ceil_div (5 * h) 2)
+        (Bounds.chromatic_exact r))
+    [ 1; 2; 3; 4 ]
+
+(* And the covering-design coloring matches exactly, at any h. *)
+let test_replicated_covering_coloring () =
+  List.iter
+    (fun (k, h) ->
+      let inst = Theorem2.replicate (Figures.fig5 k) h in
+      let m = (2 * k) + 1 in
+      let t = Replication.ceil_div (m * h) k in
+      match
+        Replication.covering_coloring ~n_base:m
+          ~sets:(Figures.odd_cycle_independent_sets k) ~h ~n_colors:t
+      with
+      | Some a -> check "covering coloring valid" true (Assignment.is_valid inst a)
+      | None -> Alcotest.fail "covering coloring should exist")
+    [ (2, 1); (2, 2); (2, 5); (3, 3); (4, 4); (5, 7) ]
+
+let suite =
+  [
+    ( "theorem-2",
+      [
+        Alcotest.test_case "figure 5 families" `Quick test_on_fig5;
+        Alcotest.test_case "none without internal cycle" `Quick test_none_without_cycle;
+        witness_on_any_cyclic_dag;
+        witness_on_upp_one_cycle;
+        Alcotest.test_case "main theorem dichotomy" `Slow test_main_theorem_dichotomy;
+        Alcotest.test_case "replication" `Quick test_replicate;
+        Alcotest.test_case "replicated ratio 5/4" `Quick test_replicated_ratio;
+        Alcotest.test_case "replicated covering colorings" `Quick
+          test_replicated_covering_coloring;
+      ] );
+  ]
