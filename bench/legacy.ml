@@ -1,0 +1,199 @@
+(* Seed-era reference implementations, kept verbatim so that the JSON perf
+   report can measure the flat-core rewrites against the exact pre-rewrite
+   hot paths in the same run, on the same instances, same machine, same
+   compiler.  Not part of the library: benchmarking baselines only. *)
+
+open Wl_core
+module Bitset = Wl_util.Bitset
+module Ugraph = Wl_conflict.Ugraph
+module Dag = Wl_dag.Dag
+module Dipath = Wl_digraph.Dipath
+module Digraph = Wl_digraph.Digraph
+
+(* --- The seed's DSATUR: O(n) selection scan with per-candidate popcount - *)
+
+let dsatur g =
+  let n = Ugraph.n_vertices g in
+  let coloring = Array.make n (-1) in
+  let sat = Array.init n (fun _ -> Bitset.create (max 1 n)) in
+  let colored = Array.make n false in
+  for _ = 1 to n do
+    let best = ref (-1) in
+    let best_key = ref (-1, -1) in
+    for v = 0 to n - 1 do
+      if not colored.(v) then begin
+        let key = (Bitset.cardinal sat.(v), Ugraph.degree g v) in
+        if !best = -1 || key > !best_key then begin
+          best := v;
+          best_key := key
+        end
+      end
+    done;
+    let v = !best in
+    let c =
+      let rec first i = if not (Bitset.mem sat.(v) i) then i else first (i + 1) in
+      first 0
+    in
+    coloring.(v) <- c;
+    colored.(v) <- true;
+    List.iter
+      (fun w -> if not colored.(w) then Bitset.add sat.(w) c)
+      (Ugraph.neighbors g v)
+  done;
+  coloring
+
+(* --- The seed's Theorem 1: hashtable cascades, list occupancy ----------- *)
+
+exception Internal_cycle_encountered
+
+type state = {
+  inst : Instance.t;
+  p_arcs : int array array;
+  start_pos : int array;
+  color : int array;
+  occ : int list array;
+  mutable palette : int;
+}
+
+let make_state inst =
+  let g = Instance.graph inst in
+  let p_arcs = Array.map Dipath.arc_array (Instance.paths inst) in
+  {
+    inst;
+    p_arcs;
+    start_pos = Array.map Array.length p_arcs;
+    color = Array.make (Array.length p_arcs) (-1);
+    occ = Array.make (max 1 (Digraph.n_arcs g)) [];
+    palette = 0;
+  }
+
+let is_live st p = st.start_pos.(p) < Array.length st.p_arcs.(p)
+
+let live_conflicts st p =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  for k = st.start_pos.(p) to Array.length st.p_arcs.(p) - 1 do
+    List.iter
+      (fun q ->
+        if q <> p && not (Hashtbl.mem seen q) then begin
+          Hashtbl.add seen q ();
+          out := q :: !out
+        end)
+      st.occ.(st.p_arcs.(p).(k))
+  done;
+  !out
+
+let kempe_flip st ~protected_p ~alpha ~beta p1 =
+  let parent = Hashtbl.create 16 in
+  let queue = Queue.create () in
+  Hashtbl.add parent p1 p1;
+  Queue.add p1 queue;
+  while not (Queue.is_empty queue) do
+    let p = Queue.pop queue in
+    let other = if st.color.(p) = alpha then beta else alpha in
+    List.iter
+      (fun q ->
+        if st.color.(q) = other && not (Hashtbl.mem parent q) then begin
+          Hashtbl.add parent q p;
+          if q = protected_p then raise Internal_cycle_encountered;
+          Queue.add q queue
+        end)
+      (live_conflicts st p);
+    st.color.(p) <- other
+  done
+
+let make_rainbow st members =
+  let distinct_violated () =
+    let seen = Hashtbl.create 8 in
+    let rec go = function
+      | [] -> None
+      | p :: rest -> (
+        match Hashtbl.find_opt seen st.color.(p) with
+        | Some q -> Some (q, p)
+        | None ->
+          Hashtbl.add seen st.color.(p) p;
+          go rest)
+    in
+    go members
+  in
+  let rec fix () =
+    match distinct_violated () with
+    | None -> ()
+    | Some (p0, p1) ->
+      let alpha = st.color.(p0) in
+      let used = List.map (fun p -> st.color.(p)) members in
+      let beta =
+        let rec first c =
+          if c >= st.palette then
+            invalid_arg "Legacy theorem1: no free color"
+          else if List.mem c used then first (c + 1)
+          else c
+        in
+        first 0
+      in
+      kempe_flip st ~protected_p:p0 ~alpha ~beta p1;
+      fix ()
+  in
+  fix ()
+
+let insert_arc st e =
+  let through = Instance.paths_through st.inst e in
+  match through with
+  | [] -> ()
+  | _ ->
+    st.palette <- max st.palette (List.length through);
+    let live_members = List.filter (is_live st) through in
+    make_rainbow st live_members;
+    let used = List.map (fun p -> st.color.(p)) live_members in
+    let next_free = ref 0 in
+    let fresh_color () =
+      while List.mem !next_free used do
+        incr next_free
+      done;
+      let c = !next_free in
+      incr next_free;
+      c
+    in
+    List.iter
+      (fun p ->
+        if not (is_live st p) then st.color.(p) <- fresh_color ();
+        st.start_pos.(p) <- st.start_pos.(p) - 1;
+        st.occ.(e) <- p :: st.occ.(e))
+      through
+
+(* The seed's arc ordering: polymorphic sort over boxed (pos, arc) pairs. *)
+let arcs_by_tail_topo dag =
+  let g = Dag.graph dag in
+  let m = Digraph.n_arcs g in
+  let ids = Array.init m Fun.id in
+  let keyed =
+    Array.map (fun a -> (Dag.topo_position dag (Digraph.arc_src g a), a)) ids
+  in
+  Array.sort compare keyed;
+  Array.map snd keyed
+
+let theorem1_color inst =
+  let st = make_state inst in
+  let order = arcs_by_tail_topo (Instance.dag inst) in
+  for i = Array.length order - 1 downto 0 do
+    insert_arc st order.(i)
+  done;
+  Array.copy st.color
+
+(* --- The seed's conflict-graph build: per-arc user lists ---------------- *)
+
+let conflict_build inst =
+  let n = Instance.n_paths inst in
+  let cg = Ugraph.create n in
+  let g = Instance.graph inst in
+  for a = 0 to Digraph.n_arcs g - 1 do
+    let users = Instance.paths_through inst a in
+    let rec all_pairs = function
+      | [] -> ()
+      | i :: rest ->
+        List.iter (fun j -> Ugraph.add_edge cg i j) rest;
+        all_pairs rest
+    in
+    all_pairs users
+  done;
+  cg

@@ -9,7 +9,10 @@
 
    Run with: dune exec bench/main.exe            (everything)
              dune exec bench/main.exe -- tables  (reproduction tables only)
-             dune exec bench/main.exe -- perf    (perf benches only) *)
+             dune exec bench/main.exe -- perf    (perf benches only)
+             dune exec bench/main.exe -- perf --json [--domains D]
+               (flat-core vs seed-baseline timings + parallel sweep
+                trajectory, written to BENCH_core.json) *)
 
 open Wl_core
 module Figures = Wl_netgen.Figures
@@ -572,6 +575,163 @@ let run_perf () =
     tests;
   print_newline ()
 
+(* --- JSON perf engine ------------------------------------------------------
+
+   Times the rewritten flat-core hot paths against the seed implementations
+   (bench/legacy.ml) in the same run, on shared instances, and appends a
+   domain-parallel sweep trajectory; the result is machine-readable
+   (BENCH_core.json) so the perf history of the repo can be tracked from CI.
+   Instance construction fans out over domains via Parallel.map_array; the
+   timed sections themselves run sequentially so numbers stay clean. *)
+
+let time_ns f =
+  let now = Unix.gettimeofday in
+  (* Fence off garbage from whatever ran before so it isn't collected on
+     this function's clock. *)
+  Gc.major ();
+  ignore (f ());
+  (* One calibration run sizes the batch to ~60ms. *)
+  let t0 = now () in
+  ignore (f ());
+  let est = max (now () -. t0) 1e-7 in
+  let reps = max 1 (min 2000 (int_of_float (0.06 /. est))) in
+  let best = ref infinity in
+  for _ = 1 to 5 do
+    let t0 = now () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    best := min !best ((now () -. t0) /. float_of_int reps)
+  done;
+  !best *. 1e9
+
+type json_bench = {
+  jb_name : string;
+  jb_params : (string * int) list;
+  jb_ns : float;
+  jb_baseline_ns : float option;
+}
+
+let make_nic_instance (n, k) =
+  let rng = Prng.create (20260704 + n) in
+  let dag = Generators.gnp_no_internal_cycle rng n (8.0 /. float_of_int n) in
+  Path_gen.random_instance rng dag k
+
+let make_dense_ugraph (n, pct) =
+  let rng = Prng.create (77 + n) in
+  let g = Wl_conflict.Ugraph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Prng.int rng 100 < pct then Wl_conflict.Ugraph.add_edge g u v
+    done
+  done;
+  g
+
+let run_perf_json ~domains () =
+  Printf.printf "== perf --json: flat-core vs seed baselines (%d domains) ==\n%!"
+    domains;
+  let thm1_sizes = [| (400, 320); (1600, 1280) |] in
+  let dense_sizes = [| (300, 50); (800, 50) |] in
+  (* Domain-parallel setup: every instance/graph is built concurrently. *)
+  let thm1_insts = Wl_util.Parallel.map_array ~domains make_nic_instance thm1_sizes in
+  let dense_graphs = Wl_util.Parallel.map_array ~domains make_dense_ugraph dense_sizes in
+  let conflict_inst =
+    let rng = Prng.create 3 in
+    let dag = Generators.gnp_dag rng 60 0.12 in
+    Path_gen.random_instance rng dag 150
+  in
+  let benches = ref [] in
+  let record name params f baseline =
+    let jb_ns = time_ns f in
+    let jb_baseline_ns = Option.map time_ns baseline in
+    Printf.printf "  %-32s %12.0f ns/op" name jb_ns;
+    (match jb_baseline_ns with
+    | Some b -> Printf.printf "   baseline %12.0f ns/op   speedup %6.2fx" b (b /. jb_ns)
+    | None -> ());
+    print_newline ();
+    benches := { jb_name = name; jb_params = params; jb_ns; jb_baseline_ns } :: !benches
+  in
+  Array.iteri
+    (fun i (n, k) ->
+      let inst = thm1_insts.(i) in
+      record
+        (Printf.sprintf "thm1/color/n=%d" n)
+        [ ("n", n); ("paths", k) ]
+        (fun () -> Theorem1.color inst)
+        (Some (fun () -> Legacy.theorem1_color inst)))
+    thm1_sizes;
+  Array.iteri
+    (fun i (n, pct) ->
+      let g = dense_graphs.(i) in
+      record
+        (Printf.sprintf "coloring/dsatur/dense-n=%d" n)
+        [ ("n", n); ("edge_pct", pct); ("edges", Wl_conflict.Ugraph.n_edges g) ]
+        (fun () -> Wl_conflict.Coloring.dsatur g)
+        (Some (fun () -> Legacy.dsatur g)))
+    dense_sizes;
+  record "conflict/build/150-paths"
+    [ ("n", 60); ("paths", 150) ]
+    (fun () -> Conflict_of.build conflict_inst)
+    (Some (fun () -> Legacy.conflict_build conflict_inst));
+  record "load/pi/n=1600"
+    [ ("n", 1600); ("paths", 1280) ]
+    (fun () -> Load.pi thm1_insts.(1))
+    None;
+  (* Parallel sweep trajectory: instances/s of the thm1 validation sweep at
+     increasing domain counts, through the dynamic-chunking engine. *)
+  let sweep_seeds = 400 in
+  let trajectory =
+    List.map
+      (fun d ->
+        let t0 = Unix.gettimeofday () in
+        let failures = Wl_validate.Sweeps.run ~domains:d ~seeds:sweep_seeds
+            (List.assoc "thm1" Wl_validate.Sweeps.all)
+        in
+        let dt = Unix.gettimeofday () -. t0 in
+        Printf.printf "  sweep/thm1 domains=%d %6d seeds %8.2fs %8.0f/s %s\n%!" d
+          sweep_seeds dt
+          (float_of_int sweep_seeds /. dt)
+          (if failures = [] then "ok" else "FAILURES");
+        (d, dt, failures = []))
+      (List.sort_uniq compare [ 1; 2; domains ])
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"wavelength-bench-core/1\",\n";
+  Buffer.add_string buf
+    "  \"command\": \"bench/main.exe -- perf --json\",\n";
+  Printf.bprintf buf "  \"domains\": %d,\n" domains;
+  Buffer.add_string buf "  \"benches\": [\n";
+  let benches = List.rev !benches in
+  List.iteri
+    (fun i jb ->
+      Printf.bprintf buf "    {\"name\": \"%s\"" jb.jb_name;
+      List.iter (fun (k, v) -> Printf.bprintf buf ", \"%s\": %d" k v) jb.jb_params;
+      Printf.bprintf buf ", \"ns_per_op\": %.1f" jb.jb_ns;
+      (match jb.jb_baseline_ns with
+      | Some b ->
+        Printf.bprintf buf ", \"baseline_ns_per_op\": %.1f, \"speedup\": %.2f" b
+          (b /. jb.jb_ns)
+      | None -> ());
+      Buffer.add_string buf
+        (if i = List.length benches - 1 then "}\n" else "},\n"))
+    benches;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"sweep_trajectory\": [\n";
+  List.iteri
+    (fun i (d, dt, ok) ->
+      Printf.bprintf buf
+        "    {\"sweep\": \"thm1\", \"domains\": %d, \"seeds\": %d, \"seconds\": %.3f, \"ok\": %b}%s\n"
+        d sweep_seeds dt ok
+        (if i = List.length trajectory - 1 then "" else ","))
+    trajectory;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out "BENCH_core.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote BENCH_core.json (%d benches, %d trajectory points)\n"
+    (List.length benches) (List.length trajectory)
+
 let run_tables () =
   e1 ();
   e2 ();
@@ -587,10 +747,29 @@ let run_tables () =
   e12 ()
 
 let () =
-  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let mode =
+    match List.find_opt (fun a -> not (String.length a > 0 && a.[0] = '-')) args with
+    | Some m -> m
+    | None -> "all"
+  in
+  let json = List.mem "--json" args in
+  let domains =
+    let rec find = function
+      | "--domains" :: v :: _ -> (
+        match int_of_string_opt v with
+        | Some d -> d
+        | None ->
+          prerr_endline ("bench: --domains expects an integer, got " ^ v);
+          exit 2)
+      | _ :: rest -> find rest
+      | [] -> Wl_util.Parallel.default_domains ()
+    in
+    find args
+  in
   (match mode with
   | "tables" -> run_tables ()
-  | "perf" -> run_perf ()
+  | "perf" -> if json then run_perf_json ~domains () else run_perf ()
   | _ ->
     run_tables ();
     run_perf ());

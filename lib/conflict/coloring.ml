@@ -5,32 +5,47 @@ type t = int array
 let is_valid g coloring =
   Array.length coloring = Ugraph.n_vertices g
   && Array.for_all (fun c -> c >= 0) coloring
-  && List.for_all (fun (u, v) -> coloring.(u) <> coloring.(v)) (Ugraph.edges g)
+  && begin
+       (* Walk the adjacency bitsets directly; no edge list is built. *)
+       let exception Clash in
+       try
+         Ugraph.iter_edges
+           (fun u v -> if coloring.(u) = coloring.(v) then raise Clash)
+           g;
+         true
+       with Clash -> false
+     end
 
 let n_colors coloring =
   if Array.length coloring = 0 then 0 else 1 + Array.fold_left max (-1) coloring
 
 let normalize coloring =
-  let rename = Hashtbl.create 16 in
-  let next = ref 0 in
-  Array.map
-    (fun c ->
-      match Hashtbl.find_opt rename c with
-      | Some c' -> c'
-      | None ->
-        let c' = !next in
-        incr next;
-        Hashtbl.add rename c c';
-        c')
-    coloring
+  if Array.length coloring = 0 then [||]
+  else begin
+    (* Colors are dense in practice; a flat rename table over
+       [min .. max] replaces the per-call hashtable. *)
+    let lo = Array.fold_left min coloring.(0) coloring in
+    let hi = Array.fold_left max coloring.(0) coloring in
+    let rename = Array.make (hi - lo + 1) (-1) in
+    let next = ref 0 in
+    Array.map
+      (fun c ->
+        let k = c - lo in
+        if rename.(k) < 0 then begin
+          rename.(k) <- !next;
+          incr next
+        end;
+        rename.(k))
+      coloring
+  end
 
 let smallest_free g coloring v =
   let used = Array.make (Ugraph.degree g v + 1) false in
-  List.iter
+  Bitset.iter
     (fun w ->
       let c = coloring.(w) in
       if c >= 0 && c < Array.length used then used.(c) <- true)
-    (Ugraph.neighbors g v);
+    (Ugraph.neighbor_set g v);
   let rec first i = if not used.(i) then i else first (i + 1) in
   first 0
 
@@ -47,35 +62,88 @@ let greedy_desc_degree g =
   Array.sort (fun u v -> compare (Ugraph.degree g v) (Ugraph.degree g u)) order;
   greedy ~order g
 
+(* DSATUR with saturation buckets.  The selection rule is the classic one —
+   max saturation, tie-break on degree then on lowest index — but instead of
+   an O(n) scan per pick (with an O(n/word) popcount per candidate!), each
+   vertex sits in the bucket of its current saturation degree and only the
+   top bucket is scanned.  Bucket membership uses lazy deletion: a vertex
+   whose saturation has since grown (or that got colored) is dropped when a
+   scan encounters it, so every stale entry is visited at most once. *)
 let dsatur g =
   let n = Ugraph.n_vertices g in
   let coloring = Array.make n (-1) in
-  (* Saturation: set of neighbor colors per vertex. Capacity n colors. *)
-  let sat = Array.init n (fun _ -> Bitset.create (max 1 n)) in
-  let colored = Array.make n false in
-  for _ = 1 to n do
-    (* Pick uncolored vertex with max saturation, tie-break on degree. *)
-    let best = ref (-1) in
-    let best_key = ref (-1, -1) in
-    for v = 0 to n - 1 do
-      if not colored.(v) then begin
-        let key = (Bitset.cardinal sat.(v), Ugraph.degree g v) in
-        if !best = -1 || key > !best_key then begin
-          best := v;
-          best_key := key
-        end
-      end
-    done;
-    let v = !best in
-    let c =
-      let rec first i = if not (Bitset.mem sat.(v) i) then i else first (i + 1) in
-      first 0
+  if n = 0 then coloring
+  else begin
+    let sat = Array.init n (fun _ -> Bitset.create (max 1 n)) in
+    let sat_deg = Array.make n 0 in
+    let deg = Array.init n (Ugraph.degree g) in
+    let colored = Array.make n false in
+    (* buckets.(s): candidate vertices whose saturation reached s. *)
+    let bucket = Array.make n [||] in
+    let bucket_len = Array.make n 0 in
+    let push s v =
+      if bucket_len.(s) = Array.length bucket.(s) then begin
+        let cap = max 8 (2 * Array.length bucket.(s)) in
+        let grown = Array.make cap 0 in
+        Array.blit bucket.(s) 0 grown 0 bucket_len.(s);
+        bucket.(s) <- grown
+      end;
+      bucket.(s).(bucket_len.(s)) <- v;
+      bucket_len.(s) <- bucket_len.(s) + 1
     in
-    coloring.(v) <- c;
-    colored.(v) <- true;
-    List.iter (fun w -> if not colored.(w) then Bitset.add sat.(w) c) (Ugraph.neighbors g v)
-  done;
-  coloring
+    bucket.(0) <- Array.init n Fun.id;
+    bucket_len.(0) <- n;
+    let max_sat = ref 0 in
+    let pick () =
+      while bucket_len.(!max_sat) = 0 do
+        decr max_sat
+      done;
+      let s = !max_sat in
+      let b = bucket.(s) in
+      (* Compact live entries in place while looking for the best one. *)
+      let live = ref 0 in
+      let best = ref (-1) and best_deg = ref (-1) in
+      for i = 0 to bucket_len.(s) - 1 do
+        let v = b.(i) in
+        if (not colored.(v)) && sat_deg.(v) = s then begin
+          b.(!live) <- v;
+          incr live;
+          if deg.(v) > !best_deg || (deg.(v) = !best_deg && v < !best) then begin
+            best := v;
+            best_deg := deg.(v)
+          end
+        end
+      done;
+      bucket_len.(s) <- !live;
+      if !best < 0 then -1 else !best
+    in
+    for _ = 1 to n do
+      let v =
+        let rec go () =
+          match pick () with
+          | -1 ->
+            (* Top bucket emptied out entirely; drop a level and retry. *)
+            go ()
+          | v -> v
+        in
+        go ()
+      in
+      let c = Bitset.first_absent sat.(v) in
+      coloring.(v) <- c;
+      colored.(v) <- true;
+      Bitset.iter
+        (fun w ->
+          if (not colored.(w)) && not (Bitset.mem sat.(w) c) then begin
+            Bitset.add sat.(w) c;
+            let s = sat_deg.(w) + 1 in
+            sat_deg.(w) <- s;
+            push s w;
+            if s > !max_sat then max_sat := s
+          end)
+        (Ugraph.neighbor_set g v)
+    done;
+    coloring
+  end
 
 let best_heuristic g =
   let a = greedy_desc_degree g and b = dsatur g in

@@ -45,12 +45,19 @@ let max_degree t =
   done;
   !best
 
-let edges t =
-  let out = ref [] in
-  for u = t.n - 1 downto 0 do
-    List.iter (fun v -> if u < v then out := (u, v) :: !out) (neighbors t u)
-  done;
-  List.sort compare !out
+let iter_edges f t =
+  (* Each edge once as (u, v) with u < v, in lexicographic order — walking
+     the adjacency bitsets directly, no list is materialized. *)
+  for u = 0 to t.n - 1 do
+    Bitset.iter (fun v -> if u < v then f u v) t.adj.(u)
+  done
+
+let fold_edges f t init =
+  let acc = ref init in
+  iter_edges (fun u v -> acc := f !acc u v) t;
+  !acc
+
+let edges t = List.rev (fold_edges (fun acc u v -> (u, v) :: acc) t [])
 
 let complement t =
   let c = create t.n in
@@ -84,5 +91,5 @@ let equal a b = a.n = b.n && edges a = edges b
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>ugraph: %d vertices, %d edges@," t.n t.m;
-  List.iter (fun (u, v) -> Format.fprintf ppf "  %d -- %d@," u v) (edges t);
+  iter_edges (fun u v -> Format.fprintf ppf "  %d -- %d@," u v) t;
   Format.fprintf ppf "@]"

@@ -27,6 +27,12 @@ val max_degree : t -> int
 val edges : t -> (int * int) list
 (** Each edge once, as [(min, max)] pairs, sorted. *)
 
+val iter_edges : (int -> int -> unit) -> t -> unit
+(** [iter_edges f g] calls [f u v] once per edge, [u < v], in the same
+    sorted order as {!edges} but without materializing the list. *)
+
+val fold_edges : ('a -> int -> int -> 'a) -> t -> 'a -> 'a
+
 val complement : t -> t
 
 val of_edges : int -> (int * int) list -> t

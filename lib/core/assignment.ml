@@ -7,24 +7,30 @@ let first_conflict inst assignment =
   Array.iter (fun c -> if c < 0 then invalid_arg "Assignment: negative color") assignment;
   let g = Instance.graph inst in
   let m = Wl_digraph.Digraph.n_arcs g in
-  let rec scan_arcs a =
-    if a >= m then None
-    else begin
-      let users = Instance.paths_through inst a in
-      let seen = Hashtbl.create 8 in
-      let rec scan_users = function
-        | [] -> scan_arcs (a + 1)
-        | i :: rest -> (
-          match Hashtbl.find_opt seen assignment.(i) with
-          | Some j -> Some (j, i, a)
-          | None ->
-            Hashtbl.add seen assignment.(i) i;
-            scan_users rest)
-      in
-      scan_users users
-    end
-  in
-  scan_arcs 0
+  (* Per-color owner table stamped per arc: one pass over the CSR index,
+     no per-arc hashtable. *)
+  let max_c = Array.fold_left max (-1) assignment in
+  let owner = Array.make (max_c + 2) 0 in
+  let stamp = Array.make (max_c + 2) (-1) in
+  let off, ids = Instance.csr_index inst in
+  let result = ref None in
+  let a = ref 0 in
+  while !result = None && !a < m do
+    let lo = off.(!a) and hi = off.(!a + 1) in
+    let i = ref lo in
+    while !result = None && !i < hi do
+      let p = ids.(!i) in
+      let c = assignment.(p) in
+      if stamp.(c) = !a then result := Some (owner.(c), p, !a)
+      else begin
+        stamp.(c) <- !a;
+        owner.(c) <- p
+      end;
+      incr i
+    done;
+    incr a
+  done;
+  !result
 
 let is_valid inst assignment = first_conflict inst assignment = None
 

@@ -5,15 +5,16 @@ let build inst =
   let n = Instance.n_paths inst in
   let cg = Ugraph.create n in
   let g = Instance.graph inst in
+  (* Emit conflict pairs straight from the CSR slices: no per-arc user list
+     is materialized. *)
+  let off, ids = Instance.csr_index inst in
   for a = 0 to Digraph.n_arcs g - 1 do
-    let users = Instance.paths_through inst a in
-    let rec all_pairs = function
-      | [] -> ()
-      | i :: rest ->
-        List.iter (fun j -> Ugraph.add_edge cg i j) rest;
-        all_pairs rest
-    in
-    all_pairs users
+    let lo = off.(a) and hi = off.(a + 1) in
+    for i = lo to hi - 1 do
+      for j = i + 1 to hi - 1 do
+        Ugraph.add_edge cg ids.(i) ids.(j)
+      done
+    done
   done;
   cg
 

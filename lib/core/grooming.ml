@@ -9,7 +9,9 @@ let load_profile_of inst chosen =
   Array.iteri
     (fun i keep ->
       if keep then
-        List.iter (fun a -> load.(a) <- load.(a) + 1) (Dipath.arcs (Instance.path inst i)))
+        Array.iter
+          (fun a -> load.(a) <- load.(a) + 1)
+          (Dipath.arc_array (Instance.path inst i)))
     chosen;
   load
 
@@ -38,10 +40,10 @@ let greedy inst ~w =
   let chosen = Array.make n false in
   Array.iter
     (fun i ->
-      let arcs = Dipath.arcs (Instance.path inst i) in
-      if List.for_all (fun a -> load.(a) < w) arcs then begin
+      let arcs = Dipath.arc_array (Instance.path inst i) in
+      if Array.for_all (fun a -> load.(a) < w) arcs then begin
         chosen.(i) <- true;
-        List.iter (fun a -> load.(a) <- load.(a) + 1) arcs
+        Array.iter (fun a -> load.(a) <- load.(a) + 1) arcs
       end)
     order;
   selection_of inst chosen
@@ -145,10 +147,20 @@ let on_line inst ~w =
   end
 
 let sub_instance inst chosen =
-  let paths =
-    List.filteri (fun i _ -> chosen.(i)) (Instance.paths_list inst)
-  in
-  Instance.make (Instance.dag inst) paths
+  let count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 chosen in
+  if count = 0 then Instance.of_array (Instance.dag inst) [||]
+  else begin
+  let paths = Array.make count (Instance.path inst 0) in
+  let k = ref 0 in
+  Array.iteri
+    (fun i keep ->
+      if keep then begin
+        paths.(!k) <- Instance.path inst i;
+        incr k
+      end)
+    chosen;
+  Instance.of_array (Instance.dag inst) paths
+  end
 
 let select inst ~w =
   match on_line inst ~w with

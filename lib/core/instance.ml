@@ -1,22 +1,45 @@
 open Wl_digraph
 module Dag = Wl_dag.Dag
 
+(* The arc index is CSR-shaped: [ids.(off.(a) .. off.(a+1) - 1)] are the
+   family indices whose dipath uses arc [a], ascending.  Two flat int arrays
+   instead of an [int list array] keep every hot loop (load profiles,
+   conflict-pair emission, Theorem 1 insertion) allocation-free and cache
+   friendly. *)
 type t = {
   dag : Dag.t;
   paths : Dipath.t array;
-  by_arc : int list array; (* arc id -> family indices using it, ascending *)
+  off : int array; (* length n_arcs + 1 *)
+  ids : int array; (* length = total arc count over the family *)
 }
 
 let build_index g paths =
-  let by_arc = Array.make (max 1 (Digraph.n_arcs g)) [] in
+  let m = Digraph.n_arcs g in
+  let off = Array.make (m + 1) 0 in
+  let arcs = Array.map Dipath.arc_array paths in
+  Array.iter (Array.iter (fun a -> off.(a + 1) <- off.(a + 1) + 1)) arcs;
+  for a = 1 to m do
+    off.(a) <- off.(a) + off.(a - 1)
+  done;
+  let ids = Array.make off.(m) 0 in
+  let cursor = Array.make m 0 in
+  (* Filling in increasing family order keeps every slice ascending. *)
   Array.iteri
-    (fun i p -> List.iter (fun a -> by_arc.(a) <- i :: by_arc.(a)) (Dipath.arcs p))
-    paths;
-  Array.map List.rev by_arc
+    (fun i p_arcs ->
+      Array.iter
+        (fun a ->
+          ids.(off.(a) + cursor.(a)) <- i;
+          cursor.(a) <- cursor.(a) + 1)
+        p_arcs)
+    arcs;
+  (off, ids)
 
-let make dag path_list =
-  let paths = Array.of_list path_list in
-  { dag; paths; by_arc = build_index (Dag.graph dag) paths }
+let of_array dag paths =
+  let paths = Array.copy paths in
+  let off, ids = build_index (Dag.graph dag) paths in
+  { dag; paths; off; ids }
+
+let make dag path_list = of_array dag (Array.of_list path_list)
 
 let of_digraph g path_list =
   Result.map (fun dag -> make dag path_list) (Dag.of_digraph g)
@@ -32,12 +55,39 @@ let path t i =
 let paths t = Array.copy t.paths
 let paths_list t = Array.to_list t.paths
 
-let add_paths t extra = make t.dag (Array.to_list t.paths @ extra)
+let add_paths t extra =
+  (* Single array append, then one re-index pass; the old
+     [Array.to_list t.paths @ extra] rebuild was quadratic. *)
+  of_array t.dag (Array.append t.paths (Array.of_list extra))
+
+let check_arc t a =
+  if a < 0 || a >= Digraph.n_arcs (graph t) then
+    invalid_arg "Instance.paths_through: bad arc"
+
+let n_paths_through t a =
+  check_arc t a;
+  t.off.(a + 1) - t.off.(a)
+
+let paths_through_iter t a f =
+  check_arc t a;
+  for i = t.off.(a) to t.off.(a + 1) - 1 do
+    f t.ids.(i)
+  done
+
+let paths_through_fold t a f init =
+  check_arc t a;
+  let acc = ref init in
+  for i = t.off.(a) to t.off.(a + 1) - 1 do
+    acc := f !acc t.ids.(i)
+  done;
+  !acc
 
 let paths_through t a =
-  if a < 0 || a >= Digraph.n_arcs (graph t) then
-    invalid_arg "Instance.paths_through: bad arc";
-  t.by_arc.(a)
+  check_arc t a;
+  let rec go i acc = if i < t.off.(a) then acc else go (i - 1) (t.ids.(i) :: acc) in
+  go (t.off.(a + 1) - 1) []
+
+let csr_index t = (t.off, t.ids)
 
 let pp ppf t =
   let g = graph t in

@@ -17,6 +17,9 @@ val make : Wl_dag.Dag.t -> Dipath.t list -> t
     dipath was built against the same graph); callers must not pass dipaths
     from a different graph. *)
 
+val of_array : Wl_dag.Dag.t -> Dipath.t array -> t
+(** Like {!make} from an array (copied). *)
+
 val of_digraph : Digraph.t -> Dipath.t list -> (t, string) result
 (** Checks acyclicity first. *)
 
@@ -37,6 +40,23 @@ val add_paths : t -> Dipath.t list -> t
     preserved). *)
 
 val paths_through : t -> Digraph.arc -> int list
-(** Indices of family members whose dipath uses the given arc, ascending. *)
+(** Indices of family members whose dipath uses the given arc, ascending.
+    Allocates; the iteration forms below are the allocation-free interface
+    the solvers use. *)
+
+val n_paths_through : t -> Digraph.arc -> int
+(** Number of family members through the arc (the arc's load), O(1). *)
+
+val paths_through_iter : t -> Digraph.arc -> (int -> unit) -> unit
+(** Iterate the family indices through the arc, ascending, without
+    allocating. *)
+
+val paths_through_fold : t -> Digraph.arc -> ('a -> int -> 'a) -> 'a -> 'a
+
+val csr_index : t -> int array * int array
+(** The underlying CSR index [(off, ids)]: the members through arc [a] are
+    [ids.(off.(a)) .. ids.(off.(a+1) - 1)], ascending.  Exposed for flat-core
+    consumers (conflict-graph construction, Theorem 1 occupancy); callers
+    must not mutate either array. *)
 
 val pp : Format.formatter -> t -> unit

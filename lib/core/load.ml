@@ -1,20 +1,30 @@
 open Wl_digraph
 
-let arc_load inst a = List.length (Instance.paths_through inst a)
+let arc_load inst a = Instance.n_paths_through inst a
 
 let load_profile inst =
   let g = Instance.graph inst in
-  Array.init (Digraph.n_arcs g) (arc_load inst)
+  Array.init (Digraph.n_arcs g) (Instance.n_paths_through inst)
 
-let pi inst = Array.fold_left max 0 (load_profile inst)
+let pi inst =
+  let g = Instance.graph inst in
+  let best = ref 0 in
+  for a = 0 to Digraph.n_arcs g - 1 do
+    best := max !best (Instance.n_paths_through inst a)
+  done;
+  !best
 
 let max_load_arcs inst =
-  let profile = load_profile inst in
-  let best = Array.fold_left max 0 profile in
+  let g = Instance.graph inst in
+  let best = pi inst in
   if best = 0 then []
-  else
-    Array.to_list (Array.mapi (fun a l -> (a, l)) profile)
-    |> List.filter_map (fun (a, l) -> if l = best then Some a else None)
+  else begin
+    let out = ref [] in
+    for a = Digraph.n_arcs g - 1 downto 0 do
+      if Instance.n_paths_through inst a = best then out := a :: !out
+    done;
+    !out
+  end
 
 let max_load_arc_among inst candidates =
   match candidates with

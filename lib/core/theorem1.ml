@@ -7,93 +7,149 @@ exception
     junction : Digraph.vertex;
   }
 
+(* The solver state is all flat arrays.  Scratch marks use generation
+   stamps ([mark.(x) = gen] means "marked in the current round"), so a
+   whole [color] run performs O(total path length) allocations — building
+   the state — and none in the insertion/cascade loops. *)
 type state = {
   inst : Instance.t;
   p_arcs : int array array; (* arc ids of each family dipath, front to back *)
   start_pos : int array; (* index of first live arc; = length when inactive *)
   color : int array; (* -1 while uncolored *)
-  occ : int list array; (* arc id -> live family indices through it *)
+  (* Live occupancy, CSR-shaped over the instance index: the occupants of
+     arc [a] are [occ.(occ_off.(a)) .. occ.(occ_off.(a) + occ_len.(a) - 1)].
+     Occupancy only grows, and occupants of [a] are always a subset of the
+     family members through [a], so the instance offsets fit exactly. *)
+  occ_off : int array;
+  occ_len : int array;
+  occ : int array;
   mutable palette : int; (* current number of colors = running max load *)
+  mutable gen : int; (* shared generation counter for all stamp scratch *)
+  seen : int array; (* per member: stamp for conflict dedup *)
+  visit : int array; (* per member: stamp for Kempe BFS discovery *)
+  flipped : int array; (* per member: stamp asserting single recoloring *)
+  parent : int array; (* per member: Kempe BFS tree, valid when visited *)
+  queue : int array; (* Kempe BFS queue, capacity n_paths *)
+  conflicts : int array; (* live_conflicts output buffer, capacity n_paths *)
+  members : int array; (* live members of the arc being inserted *)
+  col_stamp : int array; (* per color: stamp for duplicate detection *)
+  col_owner : int array; (* per color: member last seen wearing it *)
 }
 
 let make_state inst =
   let g = Instance.graph inst in
   let p_arcs = Array.map Dipath.arc_array (Instance.paths inst) in
+  let n = Array.length p_arcs in
+  let off, ids = Instance.csr_index inst in
   {
     inst;
     p_arcs;
     start_pos = Array.map Array.length p_arcs;
-    color = Array.make (Array.length p_arcs) (-1);
-    occ = Array.make (max 1 (Digraph.n_arcs g)) [];
+    color = Array.make n (-1);
+    occ_off = off;
+    occ_len = Array.make (max 1 (Digraph.n_arcs g)) 0;
+    occ = Array.make (Array.length ids) 0;
     palette = 0;
+    gen = 0;
+    seen = Array.make (max 1 n) 0;
+    visit = Array.make (max 1 n) 0;
+    flipped = Array.make (max 1 n) 0;
+    parent = Array.make (max 1 n) (-1);
+    queue = Array.make (max 1 n) 0;
+    conflicts = Array.make (max 1 n) 0;
+    members = Array.make (max 1 n) 0;
+    (* Colors never reach n: palette = running max load <= n and every
+       assigned color is < palette (plus fresh ones below it). *)
+    col_stamp = Array.make (max 1 n) 0;
+    col_owner = Array.make (max 1 n) 0;
   }
+
+let next_gen st =
+  st.gen <- st.gen + 1;
+  st.gen
 
 let is_live st p = st.start_pos.(p) < Array.length st.p_arcs.(p)
 
-(* Live family indices conflicting with [p] (sharing a live arc). *)
+(* Live family indices conflicting with [p] (sharing a live arc), written
+   into [st.conflicts]; returns their count. *)
 let live_conflicts st p =
-  let seen = Hashtbl.create 8 in
-  let out = ref [] in
-  for k = st.start_pos.(p) to Array.length st.p_arcs.(p) - 1 do
-    List.iter
-      (fun q ->
-        if q <> p && not (Hashtbl.mem seen q) then begin
-          Hashtbl.add seen q ();
-          out := q :: !out
-        end)
-      st.occ.(st.p_arcs.(p).(k))
+  let g = next_gen st in
+  st.seen.(p) <- g;
+  let arcs = st.p_arcs.(p) in
+  let cnt = ref 0 in
+  for k = st.start_pos.(p) to Array.length arcs - 1 do
+    let a = arcs.(k) in
+    let base = st.occ_off.(a) in
+    for j = base to base + st.occ_len.(a) - 1 do
+      let q = st.occ.(j) in
+      if st.seen.(q) <> g then begin
+        st.seen.(q) <- g;
+        st.conflicts.(!cnt) <- q;
+        incr cnt
+      end
+    done
   done;
-  !out
+  !cnt
 
 (* Flip the Kempe component of [p1] in the {alpha, beta} conflict subgraph,
    leaving [protected_p] untouched.  If the component reaches [protected_p],
    raise with the BFS chain from p1 to it (the paper's case C). *)
 let kempe_flip st ~protected_p ~junction ~alpha ~beta p1 =
-  let parent = Hashtbl.create 16 in
-  let flipped = Hashtbl.create 16 in
-  let queue = Queue.create () in
-  Hashtbl.add parent p1 p1;
-  Queue.add p1 queue;
+  let g = next_gen st in
+  st.visit.(p1) <- g;
+  st.parent.(p1) <- p1;
+  let head = ref 0 and tail = ref 0 in
+  st.queue.(!tail) <- p1;
+  incr tail;
   let chain_to q =
     let rec go v acc =
-      let p = Hashtbl.find parent v in
+      let p = st.parent.(v) in
       if p = v then v :: acc else go p (v :: acc)
     in
     go q []
   in
-  while not (Queue.is_empty queue) do
-    let p = Queue.pop queue in
+  while !head < !tail do
+    let p = st.queue.(!head) in
+    incr head;
     (* Proof case B: a dipath is never recolored twice. *)
-    assert (not (Hashtbl.mem flipped p));
-    Hashtbl.add flipped p ();
+    assert (st.flipped.(p) <> g);
+    st.flipped.(p) <- g;
     let other = if st.color.(p) = alpha then beta else alpha in
-    List.iter
-      (fun q ->
-        if st.color.(q) = other && not (Hashtbl.mem parent q) then begin
-          Hashtbl.add parent q p;
-          if q = protected_p then
-            raise (Internal_cycle_encountered { chain = chain_to q; junction });
-          Queue.add q queue
-        end)
-      (live_conflicts st p);
+    let n_conf = live_conflicts st p in
+    for i = 0 to n_conf - 1 do
+      let q = st.conflicts.(i) in
+      if st.color.(q) = other && st.visit.(q) <> g then begin
+        st.visit.(q) <- g;
+        st.parent.(q) <- p;
+        if q = protected_p then
+          raise (Internal_cycle_encountered { chain = chain_to q; junction });
+        st.queue.(!tail) <- q;
+        incr tail
+      end
+    done;
     st.color.(p) <- other
   done
 
 (* Make all live dipaths through the about-to-be-inserted arc use pairwise
-   distinct colors, by repeated Kempe flips.  [members] are live. *)
-let make_rainbow st ~junction members =
+   distinct colors, by repeated Kempe flips.  The members are the first
+   [n_members] entries of [st.members], live, in ascending family order. *)
+let make_rainbow st ~junction n_members =
+  (* First pair of members wearing the same color, in member order. *)
   let distinct_violated () =
-    let seen = Hashtbl.create 8 in
-    let rec go = function
-      | [] -> None
-      | p :: rest -> (
-        match Hashtbl.find_opt seen st.color.(p) with
-        | Some q -> Some (q, p)
-        | None ->
-          Hashtbl.add seen st.color.(p) p;
-          go rest)
-    in
-    go members
+    let g = next_gen st in
+    let found = ref None in
+    let i = ref 0 in
+    while !found = None && !i < n_members do
+      let p = st.members.(!i) in
+      let c = st.color.(p) in
+      if st.col_stamp.(c) = g then found := Some (st.col_owner.(c), p)
+      else begin
+        st.col_stamp.(c) <- g;
+        st.col_owner.(c) <- p
+      end;
+      incr i
+    done;
+    !found
   in
   let rec fix () =
     match distinct_violated () with
@@ -101,12 +157,15 @@ let make_rainbow st ~junction members =
     | Some (p0, p1) ->
       let alpha = st.color.(p0) in
       (* beta: a palette color unused by the whole member set. *)
-      let used = List.map (fun p -> st.color.(p)) members in
+      let g = next_gen st in
+      for i = 0 to n_members - 1 do
+        st.col_stamp.(st.color.(st.members.(i))) <- g
+      done;
       let beta =
         let rec first c =
           if c >= st.palette then
             invalid_arg "Theorem1: no free color (load accounting broken)"
-          else if List.mem c used then first (c + 1)
+          else if st.col_stamp.(c) = g then first (c + 1)
           else c
         in
         first 0
@@ -117,33 +176,41 @@ let make_rainbow st ~junction members =
   fix ()
 
 let insert_arc st e =
-  let through = Instance.paths_through st.inst e in
-  match through with
-  | [] -> ()
-  | _ ->
-    st.palette <- max st.palette (List.length through);
-    let live_members = List.filter (is_live st) through in
-    make_rainbow st ~junction:(Digraph.arc_dst (Instance.graph st.inst) e) live_members;
+  let through = Instance.n_paths_through st.inst e in
+  if through > 0 then begin
+    st.palette <- max st.palette through;
+    let n_members = ref 0 in
+    Instance.paths_through_iter st.inst e (fun p ->
+        if is_live st p then begin
+          st.members.(!n_members) <- p;
+          incr n_members
+        end);
+    let n_members = !n_members in
+    make_rainbow st ~junction:(Digraph.arc_dst (Instance.graph st.inst) e)
+      n_members;
     (* Extend every dipath through [e] over it; newly activated ones get the
        palette colors not used by the live members. *)
-    let used = List.map (fun p -> st.color.(p)) live_members in
+    let g = next_gen st in
+    for i = 0 to n_members - 1 do
+      st.col_stamp.(st.color.(st.members.(i))) <- g
+    done;
     let next_free = ref 0 in
     let fresh_color () =
-      while List.mem !next_free used do
+      while st.col_stamp.(!next_free) = g do
         incr next_free
       done;
       let c = !next_free in
       incr next_free;
       c
     in
-    List.iter
-      (fun p ->
+    Instance.paths_through_iter st.inst e (fun p ->
         if not (is_live st p) then st.color.(p) <- fresh_color ();
         let k = st.start_pos.(p) - 1 in
         assert (st.p_arcs.(p).(k) = e);
         st.start_pos.(p) <- k;
-        st.occ.(e) <- p :: st.occ.(e))
-      through
+        st.occ.(st.occ_off.(e) + st.occ_len.(e)) <- p;
+        st.occ_len.(e) <- st.occ_len.(e) + 1)
+  end
 
 let color inst =
   let st = make_state inst in

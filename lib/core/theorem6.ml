@@ -606,21 +606,26 @@ let split_and_glue ~subcolor inst =
        dipath with the smallest color valid for it.  This guarantees a valid
        assignment always; the bound is then checked by callers/tests rather
        than assumed. *)
-    let conflicts_of i =
-      let p = Instance.path padded i in
-      let seen = Hashtbl.create 8 in
-      List.concat_map
+    (* Smallest color used by none of the victim's conflicting paths,
+       deduplicating via a stamp array over the CSR index (the answer is at
+       most the number of conflicts, so a family-sized table suffices). *)
+    let seen = Array.make n_padded (-1) in
+    let forbidden = Array.make (n_padded + 1) (-1) in
+    let sweep_gen = ref 0 in
+    let smallest_free_for victim =
+      incr sweep_gen;
+      let g = !sweep_gen in
+      Array.iter
         (fun arc ->
-          List.filter
-            (fun q ->
-              q <> i
-              && not (Hashtbl.mem seen q)
-              && begin
-                   Hashtbl.add seen q ();
-                   true
-                 end)
-            (Instance.paths_through padded arc))
-        (Dipath.arcs p)
+          Instance.paths_through_iter padded arc (fun q ->
+              if q <> victim && seen.(q) <> g then begin
+                seen.(q) <- g;
+                let c = final.(q) in
+                if c <= n_padded then forbidden.(c) <- g
+              end))
+        (Dipath.arc_array (Instance.path padded victim));
+      let rec first c = if forbidden.(c) = g then first (c + 1) else c in
+      first 0
     in
     let rec sweep guard =
       if guard > 4 * n_padded then
@@ -635,9 +640,7 @@ let split_and_glue ~subcolor inst =
           let victim =
             if Dipath.mem_arc (Instance.path padded i) ab then j else i
           in
-          let forbidden = List.map (fun q -> final.(q)) (conflicts_of victim) in
-          let rec smallest c = if List.mem c forbidden then smallest (c + 1) else c in
-          let c = smallest 0 in
+          let c = smallest_free_for victim in
           if c >= n_sub_colors + !fresh then fresh := c - n_sub_colors + 1;
           final.(victim) <- c;
           sweep (guard + 1)

@@ -109,6 +109,19 @@ let fold f t init =
 
 let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
 
+let first_absent t =
+  let full = (1 lsl bits_per_word) - 1 in
+  let rec scan w =
+    if w >= Array.length t.words then t.n
+    else if t.words.(w) = full then scan (w + 1)
+    else begin
+      let word = t.words.(w) in
+      let rec bit b i = if word land b = 0 then i else bit (b lsl 1) (i + 1) in
+      min t.n ((w * bits_per_word) + bit 1 0)
+    end
+  in
+  scan 0
+
 let first t =
   let exception Found of int in
   try

@@ -52,6 +52,11 @@ val elements : t -> int list
 val first : t -> int option
 (** Smallest element, if any. *)
 
+val first_absent : t -> int
+(** Smallest [i >= 0] not in the set ([capacity t] when the set is full) —
+    the "first free color" query of the coloring heuristics, walking whole
+    words instead of testing bits one by one. *)
+
 val of_list : int -> int list -> t
 (** [of_list n elems]. *)
 

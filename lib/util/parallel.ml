@@ -1,29 +1,51 @@
 let default_domains () = min 8 (Domain.recommended_domain_count ())
 
+(* Dynamic chunking: domains claim fixed-size index blocks off a shared
+   atomic counter, so an unlucky domain stuck on slow items no longer
+   serializes the whole map (the old static split did).  Each claimed block
+   is computed into a private buffer — no domain ever writes into memory
+   another domain touches, which also kills the false sharing (and the
+   per-element boxing) of the old ['a option array] scheme.  Results are
+   blitted into the output by index after the join, so the outcome is
+   deterministic and identical for any domain count. *)
 let map_array ?domains f input =
   let n = Array.length input in
   let d = match domains with Some d -> d | None -> default_domains () in
   if d <= 1 || n <= 1 then Array.map f input
   else begin
     let d = min d n in
-    let output = Array.make n None in
-    let chunk_size = (n + d - 1) / d in
-    let work lo =
-      let hi = min n (lo + chunk_size) in
-      for i = lo to hi - 1 do
-        output.(i) <- Some (f input.(i))
-      done
+    let block = max 1 (n / (d * 8)) in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec claim acc =
+        let lo = Atomic.fetch_and_add next block in
+        if lo >= n then acc
+        else begin
+          let len = min block (n - lo) in
+          let buf = Array.init len (fun i -> f input.(lo + i)) in
+          claim ((lo, buf) :: acc)
+        end
+      in
+      claim []
     in
-    let handles =
-      List.init (d - 1) (fun k -> Domain.spawn (fun () -> work ((k + 1) * chunk_size)))
+    let handles = List.init (d - 1) (fun _ -> Domain.spawn worker) in
+    let mine = try Ok (worker ()) with e -> Error e in
+    let rest =
+      List.map (fun h -> try Ok (Domain.join h) with e -> Error e) handles
     in
-    work 0;
-    List.iter Domain.join handles;
-    Array.map
-      (function
-        | Some v -> v
-        | None -> invalid_arg "Parallel.map_array: missing result")
-      output
+    let chunks =
+      List.concat_map
+        (function Ok c -> c | Error e -> raise e)
+        (mine :: rest)
+    in
+    match chunks with
+    | [] -> [||] (* unreachable: n > 1 *)
+    | (_, first) :: _ ->
+      let out = Array.make n first.(0) in
+      List.iter
+        (fun (lo, buf) -> Array.blit buf 0 out lo (Array.length buf))
+        chunks;
+      out
   end
 
 let init ?domains n f = map_array ?domains f (Array.init n Fun.id)

@@ -5,10 +5,15 @@
     embarrassingly parallel; this module spreads such workloads over the
     machine's cores without external dependencies.
 
-    Work is split into contiguous chunks, one domain per chunk; the
-    supplied function must be safe to run concurrently (our generators and
-    solvers are: they share no mutable state once given distinct PRNG
-    seeds).  Exceptions propagate to the caller. *)
+    Work is claimed in fixed-size index blocks off a shared atomic counter
+    (dynamic chunking), so domains that finish early keep pulling work
+    instead of idling behind a slow chunk; each block's results live in a
+    buffer private to the computing domain, avoiding both per-element
+    boxing and false sharing.  Results are reassembled by index, so output
+    is deterministic: identical for every domain count.  The supplied
+    function must be safe to run concurrently (our generators and solvers
+    are: they share no mutable state once given distinct PRNG seeds).
+    Exceptions propagate to the caller. *)
 
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count], capped at 8. *)
