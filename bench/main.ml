@@ -605,12 +605,43 @@ let time_ns f =
   done;
   !best *. 1e9
 
+module Metrics = Wl_obs.Metrics
+
 type json_bench = {
   jb_name : string;
   jb_params : (string * int) list;
   jb_ns : float;
   jb_baseline_ns : float option;
+  jb_counters : (string * Metrics.instrument) list;
 }
+
+(* Counter snapshot of one un-timed run of [f]: reset, enable, run, read.
+   Timed sections always run with metrics off so ns/op stays clean; the
+   snapshot run is separate and costs one extra execution. *)
+let counters_of_run f =
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  ignore (f ());
+  Metrics.set_enabled false;
+  let snap = Metrics.snapshot () in
+  Metrics.reset ();
+  snap
+
+let add_counters_json buf indent counters =
+  Printf.bprintf buf "\"counters\": {";
+  List.iteri
+    (fun i (name, inst) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf "\n%s  \"%s\": " indent name;
+      match inst with
+      | Metrics.Counter v -> Printf.bprintf buf "%d" v
+      | Metrics.Histogram h ->
+        Printf.bprintf buf
+          "{\"count\": %d, \"sum\": %d, \"min\": %d, \"max\": %d}" h.Metrics.count
+          h.Metrics.sum h.Metrics.min h.Metrics.max)
+    counters;
+  if counters <> [] then Printf.bprintf buf "\n%s" indent;
+  Buffer.add_char buf '}'
 
 let make_nic_instance (n, k) =
   let rng = Prng.create (20260704 + n) in
@@ -644,12 +675,15 @@ let run_perf_json ~domains () =
   let record name params f baseline =
     let jb_ns = time_ns f in
     let jb_baseline_ns = Option.map time_ns baseline in
+    let jb_counters = counters_of_run f in
     Printf.printf "  %-32s %12.0f ns/op" name jb_ns;
     (match jb_baseline_ns with
     | Some b -> Printf.printf "   baseline %12.0f ns/op   speedup %6.2fx" b (b /. jb_ns)
     | None -> ());
     print_newline ();
-    benches := { jb_name = name; jb_params = params; jb_ns; jb_baseline_ns } :: !benches
+    benches :=
+      { jb_name = name; jb_params = params; jb_ns; jb_baseline_ns; jb_counters }
+      :: !benches
   in
   Array.iteri
     (fun i (n, k) ->
@@ -679,25 +713,43 @@ let run_perf_json ~domains () =
     None;
   (* Parallel sweep trajectory: instances/s of the thm1 validation sweep at
      increasing domain counts, through the dynamic-chunking engine. *)
+  (* Per-point parallel.../sweep... counters ride along so the trajectory
+     explains itself: seq_fallbacks/domains_clamped show when the engine
+     refused to spawn, domain_busy_ns shows who actually worked.  Metrics
+     stay on during the timed run — one atomic load per update, noise
+     well under the seed-to-seed variance. *)
   let sweep_seeds = 400 in
   let trajectory =
     List.map
       (fun d ->
+        Metrics.reset ();
+        Metrics.set_enabled true;
         let t0 = Unix.gettimeofday () in
         let failures = Wl_validate.Sweeps.run ~domains:d ~seeds:sweep_seeds
             (List.assoc "thm1" Wl_validate.Sweeps.all)
         in
         let dt = Unix.gettimeofday () -. t0 in
+        Metrics.set_enabled false;
+        let prefixed p name =
+          String.length name >= String.length p
+          && String.sub name 0 (String.length p) = p
+        in
+        let counters =
+          List.filter
+            (fun (name, _) -> prefixed "parallel." name || prefixed "sweep." name)
+            (Metrics.snapshot ())
+        in
+        Metrics.reset ();
         Printf.printf "  sweep/thm1 domains=%d %6d seeds %8.2fs %8.0f/s %s\n%!" d
           sweep_seeds dt
           (float_of_int sweep_seeds /. dt)
           (if failures = [] then "ok" else "FAILURES");
-        (d, dt, failures = []))
+        (d, dt, failures = [], counters))
       (List.sort_uniq compare [ 1; 2; domains ])
   in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"wavelength-bench-core/1\",\n";
+  Buffer.add_string buf "  \"schema\": \"wavelength-bench-core/2\",\n";
   Buffer.add_string buf
     "  \"command\": \"bench/main.exe -- perf --json\",\n";
   Printf.bprintf buf "  \"domains\": %d,\n" domains;
@@ -713,16 +765,20 @@ let run_perf_json ~domains () =
         Printf.bprintf buf ", \"baseline_ns_per_op\": %.1f, \"speedup\": %.2f" b
           (b /. jb.jb_ns)
       | None -> ());
+      Buffer.add_string buf ", ";
+      add_counters_json buf "    " jb.jb_counters;
       Buffer.add_string buf
         (if i = List.length benches - 1 then "}\n" else "},\n"))
     benches;
   Buffer.add_string buf "  ],\n";
   Buffer.add_string buf "  \"sweep_trajectory\": [\n";
   List.iteri
-    (fun i (d, dt, ok) ->
+    (fun i (d, dt, ok, counters) ->
       Printf.bprintf buf
-        "    {\"sweep\": \"thm1\", \"domains\": %d, \"seeds\": %d, \"seconds\": %.3f, \"ok\": %b}%s\n"
-        d sweep_seeds dt ok
+        "    {\"sweep\": \"thm1\", \"domains\": %d, \"seeds\": %d, \"seconds\": %.3f, \"ok\": %b, "
+        d sweep_seeds dt ok;
+      add_counters_json buf "    " counters;
+      Printf.bprintf buf "}%s\n"
         (if i = List.length trajectory - 1 then "" else ","))
     trajectory;
   Buffer.add_string buf "  ]\n}\n";

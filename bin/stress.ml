@@ -5,11 +5,20 @@
    offending seed so they can be replayed.  Sweeps run chunk-parallel over
    OCaml 5 domains.
 
-   Run with: dune exec bin/stress.exe -- [--seeds N] [--domains D] [SWEEP..]
-   Sweeps: thm1 thm2 thm6 thm6multi casec grooming all (default: all) *)
+   Run with: dune exec bin/stress.exe -- [--seeds N] [--domains D]
+               [--metrics] [--replay SEED] [SWEEP..]
+   Sweeps: thm1 thm2 thm6 thm6multi casec grooming all (default: all)
+
+   --metrics      collect and print solver-internals counters at the end
+   --replay SEED  rerun one sweep on a single seed with tracing enabled
+                  and print the span tree — for diagnosing a reported
+                  failure, not just reproducing it (requires exactly one
+                  SWEEP argument) *)
 
 module Sweeps = Wl_validate.Sweeps
 module Parallel = Wl_util.Parallel
+module Metrics = Wl_obs.Metrics
+module Trace = Wl_obs.Trace
 
 let run_sweep ~seeds ~domains name case =
   let t0 = Unix.gettimeofday () in
@@ -24,8 +33,28 @@ let run_sweep ~seeds ~domains name case =
         seed reason);
   failures = []
 
+(* Rerun a single seed of a single sweep with full observability: the
+   span tree shows where the time went and which phases ran; the counter
+   table shows the solver internals.  Exit status mirrors the case. *)
+let replay ~seed name case =
+  Printf.printf "replaying sweep %s, seed %d\n%!" name seed;
+  let sink = Trace.memory () in
+  Trace.set_sink sink;
+  Metrics.set_enabled true;
+  let result = try case seed with e -> Some (Printexc.to_string e) in
+  Trace.clear ();
+  Metrics.set_enabled false;
+  let events = Trace.events sink in
+  Format.printf "@[<v>span tree:@,%a@,@,span summary:@,%a@,@,counters:@,%a@]@."
+    Trace.pp_tree events Trace.pp_summary events Metrics.pp_summary ();
+  (match result with
+  | None -> Printf.printf "seed %d: ok\n" seed
+  | Some reason -> Printf.printf "seed %d: FAILURE (%s)\n" seed reason);
+  result = None
+
 let () =
   let seeds = ref 2000 and domains = ref (Parallel.default_domains ()) in
+  let metrics = ref false and replay_seed = ref None in
   let chosen = ref [] in
   let rec parse = function
     | [] -> ()
@@ -34,6 +63,12 @@ let () =
       parse rest
     | "--domains" :: v :: rest ->
       domains := int_of_string v;
+      parse rest
+    | "--metrics" :: rest ->
+      metrics := true;
+      parse rest
+    | "--replay" :: v :: rest ->
+      replay_seed := Some (int_of_string v);
       parse rest
     | "all" :: rest -> parse rest
     | name :: rest ->
@@ -46,10 +81,26 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   let to_run = if !chosen = [] then Sweeps.all else List.rev !chosen in
-  Printf.printf "stress: %d seeds per sweep, %d domains\n%!" !seeds !domains;
-  let ok =
-    List.for_all
-      (fun (name, case) -> run_sweep ~seeds:!seeds ~domains:!domains name case)
-      to_run
-  in
-  exit (if ok then 0 else 1)
+  match !replay_seed with
+  | Some seed ->
+    let name, case =
+      match to_run with
+      | [ one ] -> one
+      | _ ->
+        prerr_endline "stress: --replay needs exactly one sweep name (e.g. --replay 42 thm1)";
+        exit 2
+    in
+    exit (if replay ~seed name case then 0 else 1)
+  | None ->
+    Printf.printf "stress: %d seeds per sweep, %d domains\n%!" !seeds !domains;
+    if !metrics then Metrics.set_enabled true;
+    let ok =
+      List.for_all
+        (fun (name, case) -> run_sweep ~seeds:!seeds ~domains:!domains name case)
+        to_run
+    in
+    if !metrics then begin
+      Metrics.set_enabled false;
+      Format.printf "@.metrics:@.%a@." Metrics.pp_summary ()
+    end;
+    exit (if ok then 0 else 1)

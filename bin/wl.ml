@@ -2,14 +2,19 @@
 
    Subcommands:
      analyze FILE     classify the DAG and solve the instance
+                      (--stats for solver counters, --trace OUT.json for a
+                      chrome://tracing / Perfetto trace of the solve)
      color FILE       print one "path <index> wavelength <w>" line per dipath
      generate KIND    emit a generated instance in the text format
      dot FILE         emit Graphviz DOT (wavelength-colored when --solve)
+     trace-check FILE validate a trace file against the trace-event schema
 
    The instance file format is documented in lib/core/serial.mli. *)
 
 open Cmdliner
 open Wl_core
+module Metrics = Wl_obs.Metrics
+module Trace = Wl_obs.Trace
 
 let read_instance file =
   match Serial.read_file file with
@@ -28,15 +33,51 @@ let file_arg =
 
 (* --- analyze --- *)
 
-let analyze file =
+let analyze file trace_file stats =
   let inst = or_die (read_instance file) in
+  let sink =
+    match trace_file with
+    | None -> None
+    | Some _ ->
+      let s = Trace.memory () in
+      Trace.set_sink s;
+      Some s
+  in
+  if stats then Metrics.set_enabled true;
   let report = Solver.solve inst in
-  Format.printf "%a@." Solver.pp_report report
+  Trace.clear ();
+  Metrics.set_enabled false;
+  Format.printf "%a@." (Solver.pp_report ~stats) report;
+  match (trace_file, sink) with
+  | Some out, Some sink ->
+    let json = Trace.to_chrome (Trace.events sink) in
+    let oc = open_out out in
+    output_string oc json;
+    close_out oc;
+    Printf.eprintf "wl: wrote %d trace events to %s\n" (List.length (Trace.events sink)) out
+  | _ -> ()
 
 let analyze_cmd =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"OUT.json"
+          ~doc:
+            "Write a chrome trace-event JSON of the solve to $(docv) (open \
+             in Perfetto or chrome://tracing).")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Collect solver-internals counters during the solve and append \
+             them (plus the lower-bound provenance) to the report.")
+  in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Classify the DAG and solve the wavelength assignment.")
-    Term.(const analyze $ file_arg)
+    Term.(const analyze $ file_arg $ trace $ stats)
 
 (* --- color --- *)
 
@@ -251,6 +292,30 @@ let witness_cmd =
           Theorem 2 gap family) and/or a UPP violation.")
     Term.(const witness $ file_arg)
 
+(* --- trace-check --- *)
+
+let trace_check file =
+  let contents =
+    match In_channel.with_open_text file In_channel.input_all with
+    | s -> s
+    | exception Sys_error msg ->
+      prerr_endline ("wl: " ^ msg);
+      exit 1
+  in
+  match Trace.validate_chrome contents with
+  | Ok n -> Printf.printf "trace ok: %d events\n" n
+  | Error msg ->
+    Printf.eprintf "wl: %s: %s\n" file msg;
+    exit 1
+
+let trace_check_cmd =
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:
+         "Validate a trace file (from analyze --trace) against the chrome \
+          trace-event schema.")
+    Term.(const trace_check $ file_arg)
+
 let () =
   let info =
     Cmd.info "wl" ~version:"1.0.0"
@@ -261,5 +326,5 @@ let () =
        (Cmd.group info
           [
             analyze_cmd; color_cmd; generate_cmd; dot_cmd; svg_cmd; groom_cmd;
-            witness_cmd; verify_cmd;
+            witness_cmd; verify_cmd; trace_check_cmd;
           ]))

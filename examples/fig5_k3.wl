@@ -1,0 +1,32 @@
+dag 12
+vlabel 0 a1
+vlabel 1 a2
+vlabel 2 a3
+vlabel 3 b1
+vlabel 4 b2
+vlabel 5 b3
+vlabel 6 c1
+vlabel 7 c2
+vlabel 8 c3
+vlabel 9 d1
+vlabel 10 d2
+vlabel 11 d3
+arc 0 3
+arc 3 6
+arc 4 6
+arc 6 9
+arc 1 4
+arc 4 7
+arc 5 7
+arc 7 10
+arc 2 5
+arc 5 8
+arc 3 8
+arc 8 11
+path 0 3 8
+path 3 8 11
+path 2 5 8 11
+path 2 5 7 10
+path 1 4 7 10
+path 1 4 6 9
+path 0 3 6 9

@@ -39,7 +39,7 @@ let () =
   | Error msg -> Format.printf "routing failed: %s@." msg
   | Ok inst ->
     let report = Solver.solve inst in
-    Format.printf "%a@." Solver.pp_report report;
+    Format.printf "%a@." (Solver.pp_report ~stats:false) report;
     Format.printf "assignment:@.";
     Array.iteri
       (fun i p ->

@@ -1,4 +1,16 @@
 module Bitset = Wl_util.Bitset
+module Metrics = Wl_obs.Metrics
+module Trace = Wl_obs.Trace
+
+(* DSATUR internals: how many top-bucket scans ran, how many stale (lazily
+   deleted) entries those scans dropped, and how many 62-bit words
+   [Bitset.first_absent] had to walk to hand out colors — the three terms
+   that dominate the bucketed implementation's runtime. *)
+let c_runs = Metrics.counter "dsatur.runs"
+let c_pops = Metrics.counter "dsatur.bucket_pops"
+let c_lazy = Metrics.counter "dsatur.lazy_deletions"
+let c_words = Metrics.counter "dsatur.first_absent_words"
+let h_colors = Metrics.histogram "dsatur.colors"
 
 type t = int array
 
@@ -69,7 +81,7 @@ let greedy_desc_degree g =
    top bucket is scanned.  Bucket membership uses lazy deletion: a vertex
    whose saturation has since grown (or that got colored) is dropped when a
    scan encounters it, so every stale entry is visited at most once. *)
-let dsatur g =
+let dsatur_impl g =
   let n = Ugraph.n_vertices g in
   let coloring = Array.make n (-1) in
   if n = 0 then coloring
@@ -100,9 +112,11 @@ let dsatur g =
       done;
       let s = !max_sat in
       let b = bucket.(s) in
+      Metrics.incr c_pops;
       (* Compact live entries in place while looking for the best one. *)
       let live = ref 0 in
       let best = ref (-1) and best_deg = ref (-1) in
+      let scanned = bucket_len.(s) in
       for i = 0 to bucket_len.(s) - 1 do
         let v = b.(i) in
         if (not colored.(v)) && sat_deg.(v) = s then begin
@@ -115,6 +129,7 @@ let dsatur g =
         end
       done;
       bucket_len.(s) <- !live;
+      Metrics.add c_lazy (scanned - !live);
       if !best < 0 then -1 else !best
     in
     for _ = 1 to n do
@@ -129,6 +144,8 @@ let dsatur g =
         go ()
       in
       let c = Bitset.first_absent sat.(v) in
+      (* first_absent walks whole 62-bit words up to the returned bit. *)
+      Metrics.add c_words ((c / 62) + 1);
       coloring.(v) <- c;
       colored.(v) <- true;
       Bitset.iter
@@ -144,6 +161,19 @@ let dsatur g =
     done;
     coloring
   end
+
+let dsatur g =
+  Metrics.incr c_runs;
+  let coloring =
+    if Trace.enabled () then
+      Trace.with_span
+        ~args:[ ("vertices", Trace.Int (Ugraph.n_vertices g)) ]
+        "dsatur"
+        (fun () -> dsatur_impl g)
+    else dsatur_impl g
+  in
+  Metrics.observe h_colors (n_colors coloring);
+  coloring
 
 let best_heuristic g =
   let a = greedy_desc_degree g and b = dsatur g in

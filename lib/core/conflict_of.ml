@@ -1,7 +1,11 @@
 open Wl_digraph
 module Ugraph = Wl_conflict.Ugraph
+module Metrics = Wl_obs.Metrics
+module Trace = Wl_obs.Trace
 
-let build inst =
+let c_builds = Metrics.counter "conflict.builds"
+
+let build_impl inst =
   let n = Instance.n_paths inst in
   let cg = Ugraph.create n in
   let g = Instance.graph inst in
@@ -17,6 +21,15 @@ let build inst =
     done
   done;
   cg
+
+let build inst =
+  Metrics.incr c_builds;
+  if Trace.enabled () then
+    Trace.with_span
+      ~args:[ ("paths", Trace.Int (Instance.n_paths inst)) ]
+      "conflict.build"
+      (fun () -> build_impl inst)
+  else build_impl inst
 
 let helly_witness inst =
   let cg = build inst in

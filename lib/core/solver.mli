@@ -20,10 +20,16 @@ type method_used =
   | Exact_coloring  (** optimal by search *)
   | Heuristic  (** DSATUR / Welsh–Powell upper bound *)
 
+type lower_bound_source =
+  | From_load  (** the arc load [pi] (on UPP-DAGs also the clique number) *)
+  | From_clique  (** a greedy clique in the conflict graph beat [pi] *)
+  | From_exact_chromatic  (** exact chromatic number: the bound is tight *)
+
 type report = {
   classification : Wl_dag.Classify.t;
   pi : int;
   lower_bound : int;  (** best known lower bound on [w] *)
+  lower_bound_source : lower_bound_source;  (** where that bound came from *)
   assignment : Assignment.t;
   n_wavelengths : int;
   method_used : method_used;
@@ -36,5 +42,10 @@ val solve : ?exact_limit:int -> Instance.t -> report
     The returned assignment is always valid ({!Assignment.is_valid}). *)
 
 val method_name : method_used -> string
+val lower_bound_source_name : lower_bound_source -> string
 
-val pp_report : Format.formatter -> report -> unit
+val pp_report : ?stats:bool -> Format.formatter -> report -> unit
+(** With [~stats:false] (the default) the output is byte-identical to the
+    historical format.  With [~stats:true] the lower-bound line carries its
+    provenance and a {!Wl_obs.Metrics.pp_summary} counter table is
+    appended (enable metrics before {!solve} for it to be non-empty). *)

@@ -1,5 +1,21 @@
 open Wl_digraph
 module Dag = Wl_dag.Dag
+module Metrics = Wl_obs.Metrics
+module Trace = Wl_obs.Trace
+
+(* Solver-internals counters (all no-ops until [Metrics.set_enabled]).
+   The case names follow the paper's proof of Theorem 1: a same-colored
+   pair at an insertion is resolved by a Kempe flip that either stays away
+   from the protected dipath (case A), would revisit an already-flipped
+   dipath (case B — impossible, the stamp assert enforces it; the counter
+   records how many times the guard was exercised), or reaches the
+   protected dipath (case C: an internal cycle exists and we abort). *)
+let c_arcs_peeled = Metrics.counter "thm1.arcs_peeled"
+let c_case_a = Metrics.counter "thm1.case_a_flips"
+let c_case_b = Metrics.counter "thm1.case_b_checks"
+let c_case_c = Metrics.counter "thm1.case_c_aborts"
+let c_fresh = Metrics.counter "thm1.fresh_colors"
+let h_cascade = Metrics.histogram "thm1.cascade_len"
 
 exception
   Internal_cycle_encountered of {
@@ -121,14 +137,20 @@ let kempe_flip st ~protected_p ~junction ~alpha ~beta p1 =
       if st.color.(q) = other && st.visit.(q) <> g then begin
         st.visit.(q) <- g;
         st.parent.(q) <- p;
-        if q = protected_p then
-          raise (Internal_cycle_encountered { chain = chain_to q; junction });
+        if q = protected_p then begin
+          Metrics.incr c_case_c;
+          raise (Internal_cycle_encountered { chain = chain_to q; junction })
+        end;
         st.queue.(!tail) <- q;
         incr tail
       end
     done;
     st.color.(p) <- other
-  done
+  done;
+  (* [!tail] dipaths were discovered and flipped: the cascade length. *)
+  Metrics.incr c_case_a;
+  Metrics.add c_case_b !tail;
+  Metrics.observe h_cascade !tail
 
 (* Make all live dipaths through the about-to-be-inserted arc use pairwise
    distinct colors, by repeated Kempe flips.  The members are the first
@@ -178,6 +200,7 @@ let make_rainbow st ~junction n_members =
 let insert_arc st e =
   let through = Instance.n_paths_through st.inst e in
   if through > 0 then begin
+    Metrics.incr c_arcs_peeled;
     st.palette <- max st.palette through;
     let n_members = ref 0 in
     Instance.paths_through_iter st.inst e (fun p ->
@@ -201,6 +224,7 @@ let insert_arc st e =
       done;
       let c = !next_free in
       incr next_free;
+      Metrics.incr c_fresh;
       c
     in
     Instance.paths_through_iter st.inst e (fun p ->
@@ -212,7 +236,7 @@ let insert_arc st e =
         st.occ_len.(e) <- st.occ_len.(e) + 1)
   end
 
-let color inst =
+let color_impl inst =
   let st = make_state inst in
   let order = Dag.arcs_by_tail_topo (Instance.dag inst) in
   for i = Array.length order - 1 downto 0 do
@@ -221,6 +245,14 @@ let color inst =
   (* Every dipath is fully live and colored now. *)
   Array.iteri (fun p c -> assert (c >= 0 || Array.length st.p_arcs.(p) = 0)) st.color;
   Array.copy st.color
+
+let color inst =
+  if Trace.enabled () then
+    Trace.with_span
+      ~args:[ ("paths", Trace.Int (Instance.n_paths inst)) ]
+      "thm1.color"
+      (fun () -> color_impl inst)
+  else color_impl inst
 
 let color_result inst =
   match color inst with

@@ -2,6 +2,20 @@ open Wl_digraph
 module Dag = Wl_dag.Dag
 module Internal_cycle = Wl_dag.Internal_cycle
 module Upp = Wl_dag.Upp
+module Metrics = Wl_obs.Metrics
+module Trace = Wl_obs.Trace
+
+let c_splits = Metrics.counter "thm6.splits"
+let c_pad = Metrics.counter "thm6.pad_paths"
+let c_fresh = Metrics.counter "thm6.fresh_colors"
+let c_repairs = Metrics.counter "thm6.repair_recolors"
+let c_sweep = Metrics.counter "thm6.sweep_recolors"
+let h_tuples = Metrics.histogram "thm6.tuple_len"
+
+(* Slack of the paper's bound at each split: [ceil(4 pi/3) - w].  Negative
+   observations mark bound violations (possible only on multiset families
+   the proof's Facts do not cover) — [min] in the summary exposes them. *)
+let h_slack = Metrics.histogram "thm6.bound_slack"
 
 exception Not_applicable of string
 
@@ -245,6 +259,7 @@ let split_and_glue ~subcolor inst =
     ( Array.make n_orig 0,
       { pi = 0; split_arc = -1; cycle_type = []; fresh_colors = 0; n_colors = 0 } )
   else begin
+    Metrics.incr c_splits;
     let can =
       match Internal_cycle.find_canonical dag with
       | Some can -> can
@@ -255,6 +270,7 @@ let split_and_glue ~subcolor inst =
     let a, b = Digraph.arc_endpoints g ab in
     (* Pad so that the split arc carries the full load pi. *)
     let pad = pi0 - Load.arc_load inst ab in
+    Metrics.add c_pad pad;
     let padded =
       if pad = 0 then inst
       else Instance.add_paths inst (List.init pad (fun _ -> Dipath.make g [ a; b ]))
@@ -297,7 +313,7 @@ let split_and_glue ~subcolor inst =
       through;
     let split_inst = Instance.make dag' (List.rev !split_paths) in
     let tags = Array.of_list (List.rev !tags) in
-    let split_colors = subcolor split_inst in
+    let split_colors = Trace.with_span "thm6.subcolor" (fun () -> subcolor split_inst) in
     let n_sub_colors =
       Array.fold_left (fun acc c -> max acc (c + 1)) pi split_colors
     in
@@ -350,8 +366,16 @@ let split_and_glue ~subcolor inst =
         | `Outside _ -> ())
       tags;
     let tuples =
-      decompose ~pi ~n_colors:n_sub_colors ~fh_gid ~sh_gid ~f ~g_map
+      Trace.with_span "thm6.decompose" (fun () ->
+          decompose ~pi ~n_colors:n_sub_colors ~fh_gid ~sh_gid ~f ~g_map)
     in
+    if Metrics.enabled () then
+      List.iter
+        (fun t ->
+          match t with
+          | Cycle { members; _ } | Chain { members; _ } ->
+            Metrics.observe h_tuples (Array.length members))
+        tuples;
     let cycle_type =
       let tbl = Hashtbl.create 8 in
       List.iter
@@ -377,6 +401,7 @@ let split_and_glue ~subcolor inst =
     let next_fresh () =
       let c = n_sub_colors + !fresh in
       incr fresh;
+      Metrics.incr c_fresh;
       c
     in
     (* Gluings: (member rank, new color, lazy repair color).  Repair colors
@@ -594,7 +619,10 @@ let split_and_glue ~subcolor inst =
                  land here on multiset families — the final sweep resolves
                  those. *)
               let r = repair () in
-              if r >= 0 then final.(i) <- r
+              if r >= 0 then begin
+                Metrics.incr c_repairs;
+                final.(i) <- r
+              end
             end
           end
         done)
@@ -642,10 +670,11 @@ let split_and_glue ~subcolor inst =
           in
           let c = smallest_free_for victim in
           if c >= n_sub_colors + !fresh then fresh := c - n_sub_colors + 1;
+          Metrics.incr c_sweep;
           final.(victim) <- c;
           sweep (guard + 1)
     in
-    sweep 0;
+    Trace.with_span "thm6.residual_sweep" (fun () -> sweep 0);
     let assignment = Array.sub final 0 n_orig in
     (match Assignment.first_conflict inst assignment with
     | None -> ()
@@ -655,6 +684,7 @@ let split_and_glue ~subcolor inst =
            "Theorem6: internal error, conflict between paths %d and %d on arc %d"
            i j arc));
     let n_colors = Assignment.n_wavelengths (Assignment.normalize assignment) in
+    Metrics.observe h_slack (upper_bound pi0 - n_colors);
     ( assignment,
       {
         pi = pi0;
@@ -667,6 +697,11 @@ let split_and_glue ~subcolor inst =
 
 let color_with_stats ?(check = true) inst =
   if check then check_hypotheses ~exact_one:true (Instance.dag inst);
-  split_and_glue ~subcolor:Theorem1.color inst
+  if Trace.enabled () then
+    Trace.with_span
+      ~args:[ ("paths", Trace.Int (Instance.n_paths inst)) ]
+      "thm6.split_and_glue"
+      (fun () -> split_and_glue ~subcolor:Theorem1.color inst)
+  else split_and_glue ~subcolor:Theorem1.color inst
 
 let color ?check inst = fst (color_with_stats ?check inst)

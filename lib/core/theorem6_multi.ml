@@ -1,9 +1,15 @@
 module Internal_cycle = Wl_dag.Internal_cycle
+module Metrics = Wl_obs.Metrics
+module Trace = Wl_obs.Trace
+
+let c_solves = Metrics.counter "thm6multi.solves"
+let h_depth = Metrics.histogram "thm6multi.recursion_depth"
 
 type level = { depth : int; stats : Theorem6.stats }
 
 let color_with_stats ?(check = true) inst =
   if check then Theorem6.check_hypotheses ~exact_one:false (Instance.dag inst);
+  Metrics.incr c_solves;
   let levels = ref [] in
   let rec solve depth inst =
     if Internal_cycle.count_independent (Instance.dag inst) = 0 then
@@ -16,7 +22,8 @@ let color_with_stats ?(check = true) inst =
       assignment
     end
   in
-  let assignment = solve 0 inst in
+  let assignment = Trace.with_span "thm6multi.color" (fun () -> solve 0 inst) in
+  Metrics.observe h_depth (List.length !levels);
   (assignment, List.sort (fun a b -> compare a.depth b.depth) !levels)
 
 let color ?check inst = fst (color_with_stats ?check inst)

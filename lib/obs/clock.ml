@@ -1,0 +1,6 @@
+(* Origin at module init so the ns values stay far from overflow and the
+   chrome-trace timestamps start near zero. *)
+let origin = Unix.gettimeofday ()
+
+let now_ns () = int_of_float ((Unix.gettimeofday () -. origin) *. 1e9)
+let now_us () = (Unix.gettimeofday () -. origin) *. 1e6

@@ -1,0 +1,14 @@
+(** Wall-clock time for spans and latency metrics.
+
+    A single time source keeps trace timestamps and metric latencies
+    comparable.  Resolution is whatever [Unix.gettimeofday] gives (µs on
+    every platform we run on); that is plenty for spans, which wrap whole
+    algorithm phases, not individual loop iterations. *)
+
+val now_ns : unit -> int
+(** Nanoseconds since an arbitrary process-local origin.  Monotone in
+    practice (we never set the system clock mid-run); subtraction of two
+    readings is the only supported use. *)
+
+val now_us : unit -> float
+(** Same instant as {!now_ns}, in microseconds. *)

@@ -1,0 +1,190 @@
+(* Striping: each instrument holds [stripes] atomic cells and a domain
+   updates cell [domain_id land (stripes - 1)].  Domain ids are assigned
+   sequentially by the runtime, so concurrently live domains land on
+   distinct stripes until more than [stripes] run at once — and even then
+   the cells stay correct, just contended.  Reads sum all stripes; they
+   may race with writers, which is fine for monitoring (each cell read is
+   atomic, so the total is a valid "recent" value). *)
+
+let stripes = 16 (* power of two *)
+
+let stripe () = (Domain.self () :> int) land (stripes - 1)
+
+let on = Atomic.make false
+let set_enabled b = Atomic.set on b
+let enabled () = Atomic.get on
+
+type counter = { c_name : string; cells : int Atomic.t array }
+
+(* 63 power-of-two buckets cover every non-negative OCaml int. *)
+let n_buckets = 63
+
+type histogram = {
+  h_name : string;
+  counts : int Atomic.t array; (* n_buckets cells, shared across domains *)
+  sums : int Atomic.t array; (* striped *)
+  ns : int Atomic.t array; (* striped observation counts *)
+  mn : int Atomic.t;
+  mx : int Atomic.t;
+}
+
+type entry = C of counter | H of histogram
+
+let registry : (string, entry) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+let atomic_cells n = Array.init n (fun _ -> Atomic.make 0)
+
+let register name mk unwrap =
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some e -> unwrap e
+      | None ->
+        let v = mk () in
+        v)
+
+let counter name =
+  register name
+    (fun () ->
+      let c = { c_name = name; cells = atomic_cells stripes } in
+      Hashtbl.add registry name (C c);
+      c)
+    (function
+      | C c -> c
+      | H _ -> invalid_arg ("Metrics.counter: " ^ name ^ " is a histogram"))
+
+let histogram name =
+  register name
+    (fun () ->
+      let h =
+        {
+          h_name = name;
+          counts = atomic_cells n_buckets;
+          sums = atomic_cells stripes;
+          ns = atomic_cells stripes;
+          mn = Atomic.make max_int;
+          mx = Atomic.make min_int;
+        }
+      in
+      Hashtbl.add registry name (H h);
+      h)
+    (function
+      | H h -> h
+      | C _ -> invalid_arg ("Metrics.histogram: " ^ name ^ " is a counter"))
+
+let add c v =
+  if Atomic.get on then
+    ignore (Atomic.fetch_and_add c.cells.(stripe ()) v : int)
+
+let incr c = add c 1
+
+let sum_cells cells = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 cells
+let value c = sum_cells c.cells
+
+(* Index of the power-of-two bucket: smallest b with v <= 2^b. *)
+let bucket_of v =
+  if v <= 1 then 0
+  else begin
+    let rec go b top = if v <= top then b else go (b + 1) (top * 2) in
+    go 1 2
+  end
+
+let rec cas_extreme cell better v =
+  let cur = Atomic.get cell in
+  if better v cur && not (Atomic.compare_and_set cell cur v) then
+    cas_extreme cell better v
+
+let observe h v =
+  if Atomic.get on then begin
+    let s = stripe () in
+    ignore (Atomic.fetch_and_add h.counts.(bucket_of v) 1 : int);
+    ignore (Atomic.fetch_and_add h.sums.(s) v : int);
+    ignore (Atomic.fetch_and_add h.ns.(s) 1 : int);
+    cas_extreme h.mn ( < ) v;
+    cas_extreme h.mx ( > ) v
+  end
+
+type hist_snapshot = {
+  count : int;
+  sum : int;
+  min : int;
+  max : int;
+  buckets : (int * int) list;
+}
+
+type instrument = Counter of int | Histogram of hist_snapshot
+
+let snapshot_hist h =
+  let buckets = ref [] in
+  for b = n_buckets - 1 downto 0 do
+    let c = Atomic.get h.counts.(b) in
+    if c > 0 then buckets := ((if b >= 62 then max_int else 1 lsl b), c) :: !buckets
+  done;
+  {
+    count = sum_cells h.ns;
+    sum = sum_cells h.sums;
+    min = Atomic.get h.mn;
+    max = Atomic.get h.mx;
+    buckets = !buckets;
+  }
+
+let snapshot () =
+  let all =
+    Mutex.protect registry_lock (fun () ->
+        Hashtbl.fold (fun name e acc -> (name, e) :: acc) registry [])
+  in
+  List.filter_map
+    (fun (name, e) ->
+      match e with
+      | C c ->
+        let v = value c in
+        if v = 0 then None else Some (name, Counter v)
+      | H h ->
+        let s = snapshot_hist h in
+        if s.count = 0 then None else Some (name, Histogram s))
+    all
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let find_counter name =
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (C c) -> Some (value c)
+      | _ -> None)
+
+let find_histogram name =
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (H h) -> Some (snapshot_hist h)
+      | _ -> None)
+
+let reset () =
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.iter
+        (fun _ e ->
+          match e with
+          | C c -> Array.iter (fun a -> Atomic.set a 0) c.cells
+          | H h ->
+            Array.iter (fun a -> Atomic.set a 0) h.counts;
+            Array.iter (fun a -> Atomic.set a 0) h.sums;
+            Array.iter (fun a -> Atomic.set a 0) h.ns;
+            Atomic.set h.mn max_int;
+            Atomic.set h.mx min_int)
+        registry)
+
+let pp_summary ppf () =
+  let entries = snapshot () in
+  if entries = [] then Format.fprintf ppf "(no metrics recorded)"
+  else begin
+    Format.fprintf ppf "@[<v>";
+    List.iteri
+      (fun i (name, inst) ->
+        if i > 0 then Format.fprintf ppf "@,";
+        match inst with
+        | Counter v -> Format.fprintf ppf "%-32s %12d" name v
+        | Histogram s ->
+          Format.fprintf ppf "%-32s %12d  sum %-10d min %-8d mean %-10.1f max %d"
+            name s.count s.sum s.min
+            (float_of_int s.sum /. float_of_int (Stdlib.max 1 s.count))
+            s.max)
+      entries;
+    Format.fprintf ppf "@]"
+  end

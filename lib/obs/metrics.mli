@@ -1,0 +1,65 @@
+(** Domain-safe counters and histograms for solver internals.
+
+    Instruments are created once at module-init time (creation takes a
+    registry lock) and then updated lock-free from any domain: updates go
+    to per-domain-striped [Atomic.t] cells, so concurrent sweeps over
+    {!Wl_util.Parallel} never contend on a single cache line, and reads
+    sum the stripes.
+
+    The whole subsystem is gated on one flag: while disabled (the default)
+    every update is a single atomic load and a branch — no allocation, no
+    store — so instruments can sit inside the Theorem 1 insertion loop
+    without showing up in a profile.  Enable with {!set_enabled} around the
+    region you want measured, then {!snapshot} or {!pp_summary}. *)
+
+type counter
+type histogram
+
+val set_enabled : bool -> unit
+(** Enable/disable all updates.  Call before spawning worker domains so
+    they observe the flag. *)
+
+val enabled : unit -> bool
+
+val counter : string -> counter
+(** Find-or-create the counter registered under this name. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val histogram : string -> histogram
+(** Find-or-create.  Buckets are powers of two: observation [v] lands in
+    bucket [ceil(log2 (max v 1))], so one histogram covers counts of 1 and
+    latencies of 10^9 ns alike. *)
+
+val observe : histogram -> int -> unit
+(** Record one observation.  Negative values are clamped into the first
+    bucket but still counted in [sum]/[min]/[max]. *)
+
+type hist_snapshot = {
+  count : int;
+  sum : int;
+  min : int;  (** [max_int] when empty *)
+  max : int;  (** [min_int] when empty *)
+  buckets : (int * int) list;
+      (** [(upper_bound, count)] for each non-empty bucket, ascending *)
+}
+
+type instrument = Counter of int | Histogram of hist_snapshot
+
+val snapshot : unit -> (string * instrument) list
+(** Every registered instrument with a non-zero value/count, sorted by
+    name.  Instruments that were never touched are omitted. *)
+
+val find_counter : string -> int option
+(** Current value of a registered counter, [None] if absent. *)
+
+val find_histogram : string -> hist_snapshot option
+
+val reset : unit -> unit
+(** Zero every instrument (registration survives). *)
+
+val pp_summary : Format.formatter -> unit -> unit
+(** Human-readable table of {!snapshot}: counters as [name value],
+    histograms as [name count/sum/min/mean/max]. *)

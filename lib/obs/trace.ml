@@ -1,0 +1,398 @@
+type value = Int of int | Float of float | Str of string
+
+type event = {
+  name : string;
+  tid : int;
+  ts_us : float;
+  dur_us : float;
+  depth : int;
+  instant : bool;
+  args : (string * value) list;
+}
+
+type collector = { lock : Mutex.t; mutable events : event list }
+type sink = Null | Memory of collector
+
+let null = Null
+let memory () = Memory { lock = Mutex.create (); events = [] }
+
+(* The installed sink and the trace origin.  [on] mirrors "sink <> Null"
+   so the disabled fast path is a single atomic load; [current]/[origin]
+   are only read once a span actually fires. *)
+let on = Atomic.make false
+let current = ref Null
+let origin = ref 0.
+
+let set_sink s =
+  current := s;
+  origin := Clock.now_us ();
+  Atomic.set on (s <> Null)
+
+let clear () = set_sink Null
+let enabled () = Atomic.get on
+
+(* Per-domain nesting depth. *)
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let emit ev =
+  match !current with
+  | Null -> ()
+  | Memory c ->
+    Mutex.protect c.lock (fun () -> c.events <- ev :: c.events)
+
+let emit_span name args t0 =
+  let t1 = Clock.now_us () in
+  let depth = Domain.DLS.get depth_key in
+  emit
+    {
+      name;
+      tid = (Domain.self () :> int);
+      ts_us = t0 -. !origin;
+      dur_us = t1 -. t0;
+      depth = !depth;
+      instant = false;
+      args;
+    }
+
+let with_span ?(args = []) name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let t0 = Clock.now_us () in
+    let depth = Domain.DLS.get depth_key in
+    incr depth;
+    Fun.protect
+      ~finally:(fun () ->
+        decr depth;
+        emit_span name args t0)
+      f
+  end
+
+let instant ?(args = []) name =
+  if Atomic.get on then begin
+    let depth = Domain.DLS.get depth_key in
+    emit
+      {
+        name;
+        tid = (Domain.self () :> int);
+        ts_us = Clock.now_us () -. !origin;
+        dur_us = 0.;
+        depth = !depth;
+        instant = true;
+        args;
+      }
+  end
+
+let events = function
+  | Null -> []
+  | Memory c ->
+    let evs = Mutex.protect c.lock (fun () -> c.events) in
+    List.sort (fun a b -> compare a.ts_us b.ts_us) evs
+
+(* --- Renderers ----------------------------------------------------------- *)
+
+let escape_json s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let add_args buf args =
+  Buffer.add_string buf "{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Printf.bprintf buf "\"%s\": " (escape_json k);
+      match v with
+      | Int n -> Printf.bprintf buf "%d" n
+      | Float f -> Printf.bprintf buf "%.3f" f
+      | Str s -> Printf.bprintf buf "\"%s\"" (escape_json s))
+    args;
+  Buffer.add_string buf "}"
+
+let add_chrome_event buf ev =
+  Printf.bprintf buf "{\"name\": \"%s\", \"cat\": \"wl\", \"ph\": \"%s\", "
+    (escape_json ev.name)
+    (if ev.instant then "i" else "X");
+  Printf.bprintf buf "\"pid\": 1, \"tid\": %d, \"ts\": %.3f" ev.tid ev.ts_us;
+  if not ev.instant then Printf.bprintf buf ", \"dur\": %.3f" ev.dur_us
+  else Buffer.add_string buf ", \"s\": \"t\"";
+  if ev.args <> [] then begin
+    Buffer.add_string buf ", \"args\": ";
+    add_args buf ev.args
+  end;
+  Buffer.add_string buf "}"
+
+let to_chrome evs =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      add_chrome_event buf ev)
+    evs;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let to_jsonl evs =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun ev ->
+      add_chrome_event buf ev;
+      Buffer.add_char buf '\n')
+    evs;
+  Buffer.contents buf
+
+let pp_args ppf args =
+  if args <> [] then begin
+    Format.fprintf ppf " (";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Format.fprintf ppf ", ";
+        match v with
+        | Int n -> Format.fprintf ppf "%s=%d" k n
+        | Float f -> Format.fprintf ppf "%s=%.3f" k f
+        | Str s -> Format.fprintf ppf "%s=%s" k s)
+      args;
+    Format.fprintf ppf ")"
+  end
+
+let pp_tree ppf evs =
+  (* Events arrive in start-time order with recorded depths; group per
+     domain so interleaved worker tracks stay readable. *)
+  let tids = List.sort_uniq compare (List.map (fun e -> e.tid) evs) in
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i tid ->
+      if i > 0 then Format.fprintf ppf "@,";
+      Format.fprintf ppf "domain %d:" tid;
+      List.iter
+        (fun ev ->
+          if ev.tid = tid then begin
+            Format.fprintf ppf "@,  %s%s" (String.make (2 * ev.depth) ' ') ev.name;
+            if ev.instant then Format.fprintf ppf " !"
+            else Format.fprintf ppf " %.1fus" ev.dur_us;
+            pp_args ppf ev.args
+          end)
+        evs)
+    tids;
+  Format.fprintf ppf "@]"
+
+let pp_summary ppf evs =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun ev ->
+      if not ev.instant then begin
+        let n, total, mn, mx =
+          Option.value ~default:(0, 0., infinity, 0.) (Hashtbl.find_opt tbl ev.name)
+        in
+        Hashtbl.replace tbl ev.name
+          (n + 1, total +. ev.dur_us, Float.min mn ev.dur_us, Float.max mx ev.dur_us)
+      end)
+    evs;
+  let rows =
+    Hashtbl.fold (fun name v acc -> (name, v) :: acc) tbl []
+    |> List.sort (fun (_, (_, a, _, _)) (_, (_, b, _, _)) -> compare b a)
+  in
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i (name, (n, total, mn, mx)) ->
+      if i > 0 then Format.fprintf ppf "@,";
+      Format.fprintf ppf "%-28s %6d calls  total %10.1fus  min %8.1fus  max %8.1fus"
+        name n total mn mx)
+    rows;
+  Format.fprintf ppf "@]"
+
+(* --- Chrome-trace validation ---------------------------------------------
+
+   A minimal JSON parser — just enough to check the trace-event schema
+   without an external dependency.  Numbers are parsed as floats, objects
+   as assoc lists; that is all the validator needs. *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jarr of json list
+  | Jobj of (string * json) list
+
+exception Bad of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then s.[!pos] else '\000' in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | ' ' | '\t' | '\n' | '\r' ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () <> c then fail (Printf.sprintf "expected %c" c);
+    advance ()
+  in
+  let literal word v =
+    String.iter (fun c -> expect c) word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (match peek () with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'u' ->
+          if !pos + 4 >= n then fail "bad \\u escape";
+          (match int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4) with
+          | None -> fail "bad \\u escape"
+          | Some code ->
+            pos := !pos + 4;
+            (* Validation only: any code point becomes '?'. *)
+            Buffer.add_char buf (if code < 128 then Char.chr code else '?'))
+        | _ -> fail "bad escape");
+        advance ();
+        go ()
+      | c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while num_char (peek ()) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then begin
+        advance ();
+        Jobj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | '}' ->
+            advance ();
+            Jobj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected , or }"
+        in
+        members []
+      end
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then begin
+        advance ();
+        Jarr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            elements (v :: acc)
+          | ']' ->
+            advance ();
+            Jarr (List.rev (v :: acc))
+          | _ -> fail "expected , or ]"
+        in
+        elements []
+      end
+    | '"' -> Jstr (parse_string ())
+    | 't' -> literal "true" (Jbool true)
+    | 'f' -> literal "false" (Jbool false)
+    | 'n' -> literal "null" Jnull
+    | c when c = '-' || (c >= '0' && c <= '9') -> Jnum (parse_number ())
+    | _ -> fail "unexpected character"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let validate_chrome s =
+  match parse_json s with
+  | exception Bad msg -> Error ("invalid JSON: " ^ msg)
+  | Jobj fields -> (
+    match List.assoc_opt "traceEvents" fields with
+    | None -> Error "missing traceEvents"
+    | Some (Jarr evs) -> (
+      let check i = function
+        | Jobj f -> (
+          let str k =
+            match List.assoc_opt k f with Some (Jstr s) -> Some s | _ -> None
+          in
+          let num k =
+            match List.assoc_opt k f with Some (Jnum x) -> Some x | _ -> None
+          in
+          match (str "name", str "ph", num "ts") with
+          | None, _, _ -> Some (Printf.sprintf "event %d: missing name" i)
+          | _, None, _ -> Some (Printf.sprintf "event %d: missing ph" i)
+          | _, _, None -> Some (Printf.sprintf "event %d: missing ts" i)
+          | _, Some "X", _ -> (
+            match num "dur" with
+            | Some d when d >= 0. -> None
+            | _ -> Some (Printf.sprintf "event %d: X without dur >= 0" i))
+          | _ -> None)
+        | _ -> Some (Printf.sprintf "event %d: not an object" i)
+      in
+      let rec go i = function
+        | [] -> Ok (List.length evs)
+        | ev :: rest -> (
+          match check i ev with Some e -> Error e | None -> go (i + 1) rest)
+      in
+      go 0 evs)
+    | Some _ -> Error "traceEvents is not an array")
+  | _ -> Error "top level is not an object"

@@ -1,4 +1,29 @@
+module Metrics = Wl_obs.Metrics
+module Trace = Wl_obs.Trace
+module Clock = Wl_obs.Clock
+
 let default_domains () = min 8 (Domain.recommended_domain_count ())
+
+(* Observability: one map-level counter set plus per-domain busy/chunk
+   figures, so a trace of a slow sweep shows where the wall-clock went —
+   in particular whether extra domains did useful work or just paid the
+   spawn + minor-GC-barrier tax (the BENCH_core.json 2-domain anomaly). *)
+let m_maps = Metrics.counter "parallel.maps"
+let m_items = Metrics.counter "parallel.items"
+let m_chunks = Metrics.counter "parallel.chunks"
+let m_seq_fallbacks = Metrics.counter "parallel.seq_fallbacks"
+let m_domains_clamped = Metrics.counter "parallel.domains_clamped"
+let m_workers = Metrics.counter "parallel.workers_spawned"
+let h_domain_busy = Metrics.histogram "parallel.domain_busy_ns"
+let h_probe_est = Metrics.histogram "parallel.probe_estimate_ns"
+
+(* Below this projected total runtime, spawning extra domains costs more
+   than it buys: each spawn is ~100µs+ of setup, and every minor GC then
+   needs a stop-the-world handshake across all running domains — ruinous
+   when cores are scarce.  2 ms is several times the worst combined
+   overhead we have measured, and workloads that small finish instantly
+   either way. *)
+let seq_threshold_ns = 2_000_000
 
 (* Dynamic chunking: domains claim fixed-size index blocks off a shared
    atomic counter, so an unlucky domain stuck on slow items no longer
@@ -7,46 +32,91 @@ let default_domains () = min 8 (Domain.recommended_domain_count ())
    another domain touches, which also kills the false sharing (and the
    per-element boxing) of the old ['a option array] scheme.  Results are
    blitted into the output by index after the join, so the outcome is
-   deterministic and identical for any domain count. *)
+   deterministic and identical for any domain count.
+
+   Two guards keep small workloads fast: the requested domain count is
+   clamped to [Domain.recommended_domain_count] (domains beyond the core
+   count only add GC-barrier contention — the measured cause of the
+   2-domains-slower-than-1 sweep regression), and the first block is timed
+   on the calling domain before any spawn, falling back to a fully
+   sequential map when the whole workload projects under
+   {!seq_threshold_ns}. *)
 let map_array ?domains f input =
   let n = Array.length input in
-  let d = match domains with Some d -> d | None -> default_domains () in
-  if d <= 1 || n <= 1 then Array.map f input
+  let requested = match domains with Some d -> d | None -> default_domains () in
+  let d = min requested (Domain.recommended_domain_count ()) in
+  if d < requested then Metrics.incr m_domains_clamped;
+  Metrics.incr m_maps;
+  Metrics.add m_items n;
+  if d <= 1 || n <= 1 then begin
+    if requested > 1 && n > 1 then Metrics.incr m_seq_fallbacks;
+    Array.map f input
+  end
   else begin
     let d = min d n in
     let block = max 1 (n / (d * 8)) in
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec claim acc =
-        let lo = Atomic.fetch_and_add next block in
-        if lo >= n then acc
-        else begin
-          let len = min block (n - lo) in
-          let buf = Array.init len (fun i -> f input.(lo + i)) in
-          claim ((lo, buf) :: acc)
-        end
+    (* Probe: run the first block sequentially and project the total. *)
+    let t0 = Clock.now_ns () in
+    let probe_len = min block n in
+    let probe = Array.init probe_len (fun i -> f input.(i)) in
+    let elapsed = Clock.now_ns () - t0 in
+    let estimate = elapsed * n / probe_len in
+    Metrics.observe h_probe_est estimate;
+    if estimate < seq_threshold_ns then begin
+      Metrics.incr m_seq_fallbacks;
+      Metrics.incr m_chunks;
+      Array.init n (fun i -> if i < probe_len then probe.(i) else f input.(i))
+    end
+    else begin
+      let next = Atomic.make probe_len in
+      let worker () =
+        let busy0 = Clock.now_ns () in
+        let chunks = ref 0 in
+        let rec claim acc =
+          let lo = Atomic.fetch_and_add next block in
+          if lo >= n then acc
+          else begin
+            incr chunks;
+            let len = min block (n - lo) in
+            let buf = Array.init len (fun i -> f input.(lo + i)) in
+            claim ((lo, buf) :: acc)
+          end
+        in
+        let acc = claim [] in
+        Metrics.add m_chunks !chunks;
+        Metrics.observe h_domain_busy (Clock.now_ns () - busy0);
+        acc
       in
-      claim []
-    in
-    let handles = List.init (d - 1) (fun _ -> Domain.spawn worker) in
-    let mine = try Ok (worker ()) with e -> Error e in
-    let rest =
-      List.map (fun h -> try Ok (Domain.join h) with e -> Error e) handles
-    in
-    let chunks =
-      List.concat_map
-        (function Ok c -> c | Error e -> raise e)
-        (mine :: rest)
-    in
-    match chunks with
-    | [] -> [||] (* unreachable: n > 1 *)
-    | (_, first) :: _ ->
-      let out = Array.make n first.(0) in
+      let traced_worker () =
+        if Trace.enabled () then Trace.with_span "parallel.worker" worker
+        else worker ()
+      in
+      Metrics.add m_workers (d - 1);
+      let handles = List.init (d - 1) (fun _ -> Domain.spawn traced_worker) in
+      let mine = try Ok (worker ()) with e -> Error e in
+      let rest =
+        List.map (fun h -> try Ok (Domain.join h) with e -> Error e) handles
+      in
+      let chunks =
+        List.concat_map
+          (function Ok c -> c | Error e -> raise e)
+          (mine :: rest)
+      in
+      let out = Array.make n probe.(0) in
+      Array.blit probe 0 out 0 probe_len;
       List.iter
         (fun (lo, buf) -> Array.blit buf 0 out lo (Array.length buf))
         chunks;
       out
+    end
   end
+
+let map_array ?domains f input =
+  if Trace.enabled () then
+    Trace.with_span
+      ~args:[ ("items", Trace.Int (Array.length input)) ]
+      "parallel.map" (fun () -> map_array ?domains f input)
+  else map_array ?domains f input
 
 let init ?domains n f = map_array ?domains f (Array.init n Fun.id)
 

@@ -13,7 +13,22 @@
     is deterministic: identical for every domain count.  The supplied
     function must be safe to run concurrently (our generators and solvers
     are: they share no mutable state once given distinct PRNG seeds).
-    Exceptions propagate to the caller. *)
+    Exceptions propagate to the caller.
+
+    Two guards protect small workloads from parallelism overhead (domain
+    spawn plus the stop-the-world minor-GC handshake every extra running
+    domain joins): the requested domain count is clamped to
+    [Domain.recommended_domain_count ()], and the first block is timed on
+    the calling domain — when the projected total runtime is under ~2 ms
+    the rest of the map runs sequentially too.  Neither guard changes the
+    result, only where it is computed.
+
+    When {!Wl_obs.Metrics} is enabled, every map records
+    [parallel.maps]/[parallel.items]/[parallel.chunks], the fallback and
+    clamp counters ([parallel.seq_fallbacks], [parallel.domains_clamped],
+    [parallel.workers_spawned]) and a per-domain busy-time histogram
+    ([parallel.domain_busy_ns]); with {!Wl_obs.Trace} enabled each worker
+    domain emits a [parallel.worker] span on its own track. *)
 
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count], capped at 8. *)

@@ -2,8 +2,42 @@ open Wl_core
 module Generators = Wl_netgen.Generators
 module Path_gen = Wl_netgen.Path_gen
 module Prng = Wl_util.Prng
+module Metrics = Wl_obs.Metrics
+module Trace = Wl_obs.Trace
+module Clock = Wl_obs.Clock
 
 type case = int -> string option
+
+(* Wrap a case with per-seed observability: a latency histogram and a
+   failure counter per sweep name, a [sweep.<name>] span per seed and an
+   instant event carrying the failing seed + reason.  All of it vanishes
+   (one atomic load per seed) while metrics and tracing are off. *)
+let instrument name case =
+  let h_latency = Metrics.histogram ("sweep." ^ name ^ ".ns") in
+  let c_failures = Metrics.counter ("sweep." ^ name ^ ".failures") in
+  let c_seeds = Metrics.counter ("sweep." ^ name ^ ".seeds") in
+  let span_name = "sweep." ^ name in
+  fun seed ->
+    if not (Metrics.enabled () || Trace.enabled ()) then case seed
+    else begin
+      let run () =
+        Metrics.incr c_seeds;
+        let t0 = Clock.now_ns () in
+        let result = case seed in
+        Metrics.observe h_latency (Clock.now_ns () - t0);
+        (match result with
+        | Some reason ->
+          Metrics.incr c_failures;
+          Trace.instant
+            ~args:[ ("seed", Trace.Int seed); ("reason", Trace.Str reason) ]
+            (span_name ^ ".failure")
+        | None -> ());
+        result
+      in
+      if Trace.enabled () then
+        Trace.with_span ~args:[ ("seed", Trace.Int seed) ] span_name run
+      else run ()
+    end
 
 let dedup paths =
   let seen = Hashtbl.create 16 in
@@ -101,6 +135,13 @@ let grooming seed =
     if sel.Grooming.load > w then Some "selection over load"
     else if Assignment.n_wavelengths assignment > w then Some "over w colors"
     else None
+
+let theorem1 = instrument "thm1" theorem1
+let theorem2 = instrument "thm2" theorem2
+let theorem6 = instrument "thm6" theorem6
+let theorem6_multi = instrument "thm6multi" theorem6_multi
+let case_c = instrument "casec" case_c
+let grooming = instrument "grooming" grooming
 
 let all =
   [

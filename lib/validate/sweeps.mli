@@ -4,7 +4,13 @@
     algorithm, and checks the paper's claim on the result; [None] means the
     claim held.  `bin/stress` runs them at six-figure scale (in parallel
     over domains), the test suite at CI scale.  Every case is a pure
-    function of its seed, so a reported failure replays exactly. *)
+    function of its seed, so a reported failure replays exactly.
+
+    Each named case is instrumented: with {!Wl_obs.Metrics} enabled it
+    records a per-seed latency histogram ([sweep.<name>.ns]) plus seed and
+    failure counters, and with {!Wl_obs.Trace} enabled each seed runs in a
+    [sweep.<name>] span (failures add an instant event carrying the seed
+    and reason).  Off by default, at one atomic load per seed. *)
 
 type case = int -> string option
 (** [case seed] is [None] on success, [Some reason] on failure. *)

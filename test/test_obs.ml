@@ -1,0 +1,252 @@
+(* Observability (Wl_obs): span nesting and timing, counter correctness
+   under domain-parallel maps, chrome trace-event JSON round-trips, and
+   the zero-overhead contract of the disabled path on the Theorem 1 hot
+   loop.  Metrics and tracing are global state, so every test restores
+   the disabled defaults before returning. *)
+
+open Helpers
+module Metrics = Wl_obs.Metrics
+module Trace = Wl_obs.Trace
+module Parallel = Wl_util.Parallel
+module Theorem1 = Wl_core.Theorem1
+module Solver = Wl_core.Solver
+module Sweeps = Wl_validate.Sweeps
+
+let with_metrics f =
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ())
+    f
+
+let with_trace f =
+  let sink = Trace.memory () in
+  Trace.set_sink sink;
+  Fun.protect ~finally:Trace.clear (fun () -> f sink)
+
+(* --- spans --------------------------------------------------------------- *)
+
+let test_span_nesting () =
+  let events =
+    with_trace (fun sink ->
+        Trace.with_span "outer" (fun () ->
+            Trace.with_span "inner" (fun () -> ignore (Sys.opaque_identity 1));
+            Trace.instant "mark");
+        Trace.events sink)
+  in
+  check_int "three events" 3 (List.length events);
+  let find name = List.find (fun e -> e.Trace.name = name) events in
+  let outer = find "outer" and inner = find "inner" and mark = find "mark" in
+  check_int "outer at depth 0" 0 outer.Trace.depth;
+  check_int "inner at depth 1" 1 inner.Trace.depth;
+  check "instant flagged" true mark.Trace.instant;
+  check "inner starts after outer" true (inner.Trace.ts_us >= outer.Trace.ts_us);
+  check "inner contained in outer" true
+    (inner.Trace.ts_us +. inner.Trace.dur_us
+    <= outer.Trace.ts_us +. outer.Trace.dur_us +. 1e-3);
+  check "durations non-negative" true
+    (List.for_all (fun e -> e.Trace.dur_us >= 0.) events);
+  (* [events] promises start-time order. *)
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a.Trace.ts_us <= b.Trace.ts_us && sorted rest
+    | _ -> true
+  in
+  check "start-time sorted" true (sorted events)
+
+let test_span_survives_raise () =
+  let events =
+    with_trace (fun sink ->
+        (try Trace.with_span "doomed" (fun () -> failwith "boom")
+         with Failure _ -> ());
+        Trace.events sink)
+  in
+  check_int "span emitted despite raise" 1 (List.length events)
+
+(* --- counters under parallel maps ---------------------------------------- *)
+
+let test_counters_under_map_array () =
+  let c = Metrics.counter "test.obs.items" in
+  List.iter
+    (fun domains ->
+      with_metrics (fun () ->
+          let n = 500 in
+          let input = Array.init n Fun.id in
+          let out =
+            Parallel.map_array ~domains
+              (fun x ->
+                Metrics.incr c;
+                x * x)
+              input
+          in
+          check_int
+            (Printf.sprintf "all %d increments seen at %d domains" n domains)
+            n (Metrics.value c);
+          check
+            (Printf.sprintf "map result intact at %d domains" domains)
+            true
+            (Array.for_all Fun.id (Array.mapi (fun i y -> y = i * i) out))))
+    [ 1; 2; 4 ]
+
+let test_histogram_snapshot () =
+  with_metrics (fun () ->
+      let h = Metrics.histogram "test.obs.hist" in
+      List.iter (Metrics.observe h) [ 1; 3; 3; 100; 1000 ];
+      match Metrics.find_histogram "test.obs.hist" with
+      | None -> Alcotest.fail "histogram not registered"
+      | Some s ->
+        check_int "count" 5 s.Metrics.count;
+        check_int "sum" 1107 s.Metrics.sum;
+        check_int "min" 1 s.Metrics.min;
+        check_int "max" 1000 s.Metrics.max;
+        check_int "bucket counts total to count" 5
+          (List.fold_left (fun acc (_, c) -> acc + c) 0 s.Metrics.buckets);
+        let rec ascending = function
+          | (a, _) :: ((b, _) :: _ as rest) -> a < b && ascending rest
+          | _ -> true
+        in
+        check "buckets ascending" true (ascending s.Metrics.buckets))
+
+let test_disabled_updates_ignored () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.obs.off" in
+  Metrics.incr c;
+  Metrics.add c 10;
+  check_int "updates dropped while disabled" 0 (Metrics.value c)
+
+(* --- chrome trace JSON ---------------------------------------------------- *)
+
+let test_chrome_roundtrip () =
+  let events =
+    with_trace (fun sink ->
+        Trace.with_span
+          ~args:[ ("n", Trace.Int 7); ("tag", Trace.Str "a\"b\\c") ]
+          "solve"
+          (fun () -> Trace.instant "checkpoint");
+        Trace.events sink)
+  in
+  let json = Trace.to_chrome events in
+  (match Trace.validate_chrome json with
+  | Ok n -> check_int "all events survive the round-trip" (List.length events) n
+  | Error msg -> Alcotest.failf "generated trace rejected: %s" msg);
+  (* The JSONL rendering has one object per line. *)
+  let jsonl = Trace.to_jsonl events in
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' jsonl)
+  in
+  check_int "jsonl line per event" (List.length events) (List.length lines)
+
+let test_chrome_rejects_malformed () =
+  let rejected s = Result.is_error (Trace.validate_chrome s) in
+  check "empty input" true (rejected "");
+  check "top-level array" true (rejected "[]");
+  check "traceEvents not an array" true (rejected {|{"traceEvents": 3}|});
+  check "event missing name" true
+    (rejected {|{"traceEvents": [{"ph": "X", "ts": 0, "dur": 1}]}|});
+  check "negative dur on X event" true
+    (rejected
+       {|{"traceEvents": [{"name": "s", "ph": "X", "ts": 0, "dur": -5}]}|});
+  check "trailing garbage" true (rejected {|{"traceEvents": []} extra|});
+  check "minimal valid trace accepted" true
+    (Trace.validate_chrome {|{"traceEvents": []}|} = Ok 0)
+
+(* --- zero-overhead disabled path ------------------------------------------ *)
+
+let minor_words_of f =
+  let before = Gc.minor_words () in
+  f ();
+  Gc.minor_words () -. before
+
+let test_disabled_counter_no_alloc () =
+  Metrics.set_enabled false;
+  let c = Metrics.counter "test.obs.noalloc" in
+  (* Warm up so the closure and any lazy state exist before measuring. *)
+  Metrics.incr c;
+  let words =
+    minor_words_of (fun () ->
+        for _ = 1 to 100_000 do
+          Metrics.incr c
+        done)
+  in
+  (* A single boxed float from Gc.minor_words itself is fine; anything
+     per-iteration would show up as >= 200k words. *)
+  check "disabled incr allocates nothing" true (words < 256.)
+
+let test_disabled_obs_theorem1_deterministic_alloc () =
+  (* With the null sink and metrics off, instrumentation must not change
+     Theorem 1's allocation behaviour: two identical runs allocate
+     identical minor words. *)
+  Metrics.set_enabled false;
+  Trace.clear ();
+  let inst = random_nic_instance ~n:60 ~k:80 5 in
+  ignore (Theorem1.color inst);
+  let a = minor_words_of (fun () -> ignore (Theorem1.color inst)) in
+  let b = minor_words_of (fun () -> ignore (Theorem1.color inst)) in
+  check "identical allocation across runs" true (a = b)
+
+(* --- end-to-end instrumentation ------------------------------------------- *)
+
+let test_sweep_latency_histogram () =
+  with_metrics (fun () ->
+      let case = List.assoc "thm1" Sweeps.all in
+      let failures = Sweeps.run ~seeds:10 case in
+      check "sweep clean" true (failures = []);
+      match Metrics.find_histogram "sweep.thm1.ns" with
+      | None -> Alcotest.fail "sweep.thm1.ns not populated"
+      | Some s ->
+        check_int "one latency sample per seed" 10 s.Metrics.count;
+        check "latencies positive" true (s.Metrics.min > 0))
+
+let test_solver_counters_and_provenance () =
+  let inst = random_nic_instance ~n:24 ~k:16 3 in
+  let report =
+    with_metrics (fun () ->
+        let report = Solver.solve inst in
+        check "solver.solves counted" true
+          (Metrics.find_counter "solver.solves" = Some 1);
+        let arm =
+          "solver.arm." ^ Solver.method_name report.Solver.method_used
+        in
+        check (arm ^ " counted") true (Metrics.find_counter arm = Some 1);
+        report)
+  in
+  let render stats =
+    Format.asprintf "%a" (Solver.pp_report ~stats) report
+  in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec at i = i + nl <= hl && (String.sub hay i nl = needle || at (i + 1)) in
+    at 0
+  in
+  check "default report has no provenance" false
+    (contains (render false) "(from ");
+  check "stats report names the bound source" true
+    (contains (render true) "(from ");
+  check "stats report appends counters" true
+    (contains (render true) "counters:")
+
+let suite =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "span nesting and timing" `Quick test_span_nesting;
+        Alcotest.test_case "span survives raise" `Quick test_span_survives_raise;
+        Alcotest.test_case "counters under map_array" `Quick
+          test_counters_under_map_array;
+        Alcotest.test_case "histogram snapshot" `Quick test_histogram_snapshot;
+        Alcotest.test_case "disabled updates ignored" `Quick
+          test_disabled_updates_ignored;
+        Alcotest.test_case "chrome trace round-trip" `Quick test_chrome_roundtrip;
+        Alcotest.test_case "chrome validator rejects malformed" `Quick
+          test_chrome_rejects_malformed;
+        Alcotest.test_case "disabled counter allocates nothing" `Quick
+          test_disabled_counter_no_alloc;
+        Alcotest.test_case "theorem1 alloc unchanged when off" `Quick
+          test_disabled_obs_theorem1_deterministic_alloc;
+        Alcotest.test_case "sweep latency histogram" `Quick
+          test_sweep_latency_histogram;
+        Alcotest.test_case "solver counters and provenance" `Quick
+          test_solver_counters_and_provenance;
+      ] );
+  ]
