@@ -610,6 +610,7 @@ module Metrics = Wl_obs.Metrics
 type json_bench = {
   jb_name : string;
   jb_params : (string * int) list;
+  jb_extras : (string * float) list;
   jb_ns : float;
   jb_baseline_ns : float option;
   jb_counters : (string * Metrics.instrument) list;
@@ -672,7 +673,7 @@ let run_perf_json ~domains () =
     Path_gen.random_instance rng dag 150
   in
   let benches = ref [] in
-  let record name params f baseline =
+  let record ?(extras = []) name params f baseline =
     let jb_ns = time_ns f in
     let jb_baseline_ns = Option.map time_ns baseline in
     let jb_counters = counters_of_run f in
@@ -682,7 +683,14 @@ let run_perf_json ~domains () =
     | None -> ());
     print_newline ();
     benches :=
-      { jb_name = name; jb_params = params; jb_ns; jb_baseline_ns; jb_counters }
+      {
+        jb_name = name;
+        jb_params = params;
+        jb_extras = extras;
+        jb_ns;
+        jb_baseline_ns;
+        jb_counters;
+      }
       :: !benches
   in
   Array.iteri
@@ -711,6 +719,65 @@ let run_perf_json ~domains () =
     [ ("n", 1600); ("paths", 1280) ]
     (fun () -> Load.pi thm1_insts.(1))
     None;
+  (* Engine: one warm incremental mutation (add a path, query, remove it)
+     on a live session over the n=1600 instance, against re-solving the
+     grown instance from scratch — the dynamic-instance acceptance bench.
+     The add/remove pair keeps the session state periodic so every timed
+     iteration does the same work. *)
+  let module Engine = Wl_engine.Engine in
+  let inst1600 = thm1_insts.(1) in
+  let bench_verts =
+    Wl_digraph.Dipath.vertices (List.hd (Wl_core.Instance.paths_list inst1600))
+  in
+  let session1600 = Engine.create inst1600 in
+  ignore (Engine.report session1600);
+  let engine_step () =
+    match Engine.add_path session1600 bench_verts with
+    | Error e -> failwith (Error.to_string e)
+    | Ok pid ->
+      let r = Engine.report session1600 in
+      (match Engine.remove_path session1600 pid with
+      | Ok () -> ()
+      | Error e -> failwith (Error.to_string e));
+      r
+  in
+  let grown1600 =
+    Wl_core.Instance.of_vertex_seqs
+      (Wl_core.Instance.graph inst1600)
+      (List.map Wl_digraph.Dipath.vertices (Wl_core.Instance.paths_list inst1600)
+      @ [ bench_verts ])
+    |> Error.get_exn
+  in
+  (* Steady-state warm hit rate, measured over a prewarm burst (the
+     add/remove cycle is periodic, so these steps are representative). *)
+  let pre = Engine.stats session1600 in
+  for _ = 1 to 8 do
+    ignore (engine_step ())
+  done;
+  let post = Engine.stats session1600 in
+  let steady_rate =
+    Engine.hit_rate
+      {
+        post with
+        Engine.ops = post.Engine.ops - pre.Engine.ops;
+        warm_hits = post.Engine.warm_hits - pre.Engine.warm_hits;
+        fresh_colors = post.Engine.fresh_colors - pre.Engine.fresh_colors;
+        repairs = post.Engine.repairs - pre.Engine.repairs;
+        warm_removes = post.Engine.warm_removes - pre.Engine.warm_removes;
+      }
+  in
+  record "engine/add_path/n=1600"
+    [ ("n", 1600); ("paths", 1280) ]
+    ~extras:[ ("warm_hit_rate", steady_rate) ]
+    engine_step
+    (Some (fun () -> Solver.solve grown1600));
+  let engine_stats = Engine.stats session1600 in
+  Printf.printf
+    "  engine session: %d ops, warm hit rate %.3f, %d repairs, %d fallbacks, %d full solves\n"
+    engine_stats.Engine.ops
+    (Engine.hit_rate engine_stats)
+    engine_stats.Engine.repairs engine_stats.Engine.fallbacks
+    engine_stats.Engine.full_solves;
   (* Parallel sweep trajectory: instances/s of the thm1 validation sweep at
      increasing domain counts, through the dynamic-chunking engine. *)
   (* Per-point parallel.../sweep... counters ride along so the trajectory
@@ -759,6 +826,7 @@ let run_perf_json ~domains () =
     (fun i jb ->
       Printf.bprintf buf "    {\"name\": \"%s\"" jb.jb_name;
       List.iter (fun (k, v) -> Printf.bprintf buf ", \"%s\": %d" k v) jb.jb_params;
+      List.iter (fun (k, v) -> Printf.bprintf buf ", \"%s\": %.4f" k v) jb.jb_extras;
       Printf.bprintf buf ", \"ns_per_op\": %.1f" jb.jb_ns;
       (match jb.jb_baseline_ns with
       | Some b ->

@@ -16,11 +16,15 @@ open Wl_core
 module Metrics = Wl_obs.Metrics
 module Trace = Wl_obs.Trace
 
-let read_instance file =
-  match Serial.read_file file with
-  | Ok inst -> Ok inst
-  | Error msg -> Error (Printf.sprintf "%s: %s" file msg)
-  | exception Sys_error msg -> Error msg
+(* Structured errors exit with their sysexits-style code ({!Error.exit_code});
+   plain string errors (CLI usage problems) keep the historical exit 1. *)
+let or_die_e ~ctx = function
+  | Ok v -> v
+  | Error e ->
+    Printf.eprintf "wl: %s: %s\n" ctx (Error.to_string e);
+    exit (Error.exit_code e)
+
+let read_instance file = or_die_e ~ctx:file (Serial.read_file file)
 
 let or_die = function
   | Ok v -> v
@@ -34,7 +38,7 @@ let file_arg =
 (* --- analyze --- *)
 
 let analyze file trace_file stats =
-  let inst = or_die (read_instance file) in
+  let inst = read_instance file in
   let sink =
     match trace_file with
     | None -> None
@@ -82,7 +86,7 @@ let analyze_cmd =
 (* --- color --- *)
 
 let color file =
-  let inst = or_die (read_instance file) in
+  let inst = read_instance file in
   let report = Solver.solve inst in
   Array.iteri
     (fun i w -> Printf.printf "path %d wavelength %d\n" i w)
@@ -153,7 +157,7 @@ let generate_cmd =
 (* --- dot --- *)
 
 let dot file solve =
-  let inst = or_die (read_instance file) in
+  let inst = read_instance file in
   let g = Instance.graph inst in
   if solve then begin
     let report = Solver.solve inst in
@@ -177,7 +181,7 @@ let dot_cmd =
 (* --- svg --- *)
 
 let svg file solve =
-  let inst = or_die (read_instance file) in
+  let inst = read_instance file in
   let g = Instance.graph inst in
   if solve then begin
     let report = Solver.solve inst in
@@ -201,7 +205,7 @@ let svg_cmd =
 (* --- groom --- *)
 
 let groom file w =
-  let inst = or_die (read_instance file) in
+  let inst = read_instance file in
   match Grooming.satisfy inst ~w with
   | None ->
     prerr_endline "wl: no w-satisfiable selection found";
@@ -236,7 +240,7 @@ let groom_cmd =
 (* --- verify --- *)
 
 let verify file =
-  let inst = or_die (read_instance file) in
+  let inst = read_instance file in
   let report = Solver.solve inst in
   match Certificate.audit inst report with
   | [] ->
@@ -258,7 +262,7 @@ let verify_cmd =
 (* --- witness --- *)
 
 let witness file =
-  let inst = or_die (read_instance file) in
+  let inst = read_instance file in
   let dag = Instance.dag inst in
   let g = Instance.graph inst in
   (match Wl_dag.Internal_cycle.find_canonical dag with
@@ -291,6 +295,76 @@ let witness_cmd =
          "Show the DAG's structural witnesses: an internal cycle (with the \
           Theorem 2 gap family) and/or a UPP violation.")
     Term.(const witness $ file_arg)
+
+(* --- session --- *)
+
+let session file ops_file budget quiet =
+  let module Engine = Wl_engine.Engine in
+  let module Script = Wl_engine.Script in
+  let inst = read_instance file in
+  let s = Engine.create ?repair_budget:budget inst in
+  let r0 = Engine.report s in
+  if not quiet then
+    Printf.printf "initial: %d paths, %d wavelengths (load %d)\n"
+      (Engine.n_live_paths s) r0.Solver.n_wavelengths r0.Solver.pi;
+  let ops = or_die_e ~ctx:ops_file (Script.read_file ops_file) in
+  let batch = Engine.submit s ops in
+  Array.iteri
+    (fun i outcome ->
+      match outcome with
+      | Ok (Engine.Path_added pid) ->
+        if not quiet then Printf.printf "op %d: path added, id %d\n" i pid
+      | Ok (Engine.Path_removed pid) ->
+        if not quiet then Printf.printf "op %d: path %d removed\n" i pid
+      | Ok (Engine.Arc_added a) ->
+        if not quiet then Printf.printf "op %d: arc added, id %d\n" i a
+      | Error e -> Printf.printf "op %d: REJECTED: %s\n" i (Error.to_string e))
+    batch.Engine.outcomes;
+  let r = batch.Engine.batch_report in
+  let st = batch.Engine.batch_stats in
+  Printf.printf "final: %d paths, %d wavelengths (load %d, method %s%s)\n"
+    (Engine.n_live_paths s) r.Solver.n_wavelengths r.Solver.pi
+    (Solver.method_name r.Solver.method_used)
+    (if r.Solver.optimal then ", optimal" else "");
+  Printf.printf
+    "engine: %d ops (%d rejected), %d warm hits, %d fresh colors, %d \
+     repairs (%d flips), %d shrinks, %d fallbacks, %d full solves, hit \
+     rate %.2f\n"
+    st.Engine.ops st.Engine.rejected st.Engine.warm_hits
+    st.Engine.fresh_colors st.Engine.repairs st.Engine.repair_flips
+    st.Engine.shrink_recolors st.Engine.fallbacks st.Engine.full_solves
+    (Engine.hit_rate st)
+
+let session_cmd =
+  let ops_file =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"OPS"
+          ~doc:
+            "Op script: text ($(b,wlops 1) header; $(b,path)/$(b,remove)/\
+             $(b,arc) directives) or the JSON mirror (wl-ops).")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "repair-budget" ] ~docv:"N"
+          ~doc:
+            "Max dipaths a single warm repair may recolor before falling \
+             back to a full re-solve (0 disables warm repairs).")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "quiet" ] ~doc:"Only print the final report and engine stats.")
+  in
+  Cmd.v
+    (Cmd.info "session"
+       ~doc:
+         "Replay an op script against an incremental solving session and \
+          report the final assignment plus engine counters.")
+    Term.(const session $ file_arg $ ops_file $ budget $ quiet)
 
 (* --- trace-check --- *)
 
@@ -326,5 +400,5 @@ let () =
        (Cmd.group info
           [
             analyze_cmd; color_cmd; generate_cmd; dot_cmd; svg_cmd; groom_cmd;
-            witness_cmd; verify_cmd; trace_check_cmd;
+            witness_cmd; verify_cmd; session_cmd; trace_check_cmd;
           ]))

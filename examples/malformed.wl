@@ -1,0 +1,3 @@
+dag 2
+arc 0 5
+path 0 1

@@ -1,0 +1,22 @@
+# A 6-stop metro line with a branch — no internal cycle, so the
+# incremental engine stays in its warm (Theorem 1) regime.
+wl 2
+dag 7
+vlabel 0 west
+vlabel 1 center
+vlabel 2 east
+vlabel 3 port
+vlabel 4 airport
+vlabel 5 depot
+vlabel 6 expo
+arc 0 1
+arc 1 2
+arc 2 3
+arc 3 4
+arc 1 5
+arc 5 6
+path 0 1 2
+path 2 3 4
+path 1 2 3
+path 0 1 5
+path 5 6

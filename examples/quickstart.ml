@@ -5,11 +5,12 @@
    structural hypotheses, and solving the wavelength-assignment problem
    with the dispatching solver.
 
+   Everything is reached through the [Wl] umbrella facade (the
+   [wavelength] library) — one [open] instead of one per sub-library.
+
    Run with: dune exec examples/quickstart.exe *)
 
-open Wl_digraph
-open Wl_core
-module Dag = Wl_dag.Dag
+open Wl
 
 let () =
   (* A little optical network: two parallel east-west routes sharing their
@@ -30,8 +31,8 @@ let () =
   let dag = Dag.of_digraph_exn g in
 
   (* The paper's hypotheses are easy to check programmatically. *)
-  let cls = Wl_dag.Classify.classify dag in
-  Format.printf "network: %a@." Wl_dag.Classify.pp cls;
+  let cls = Classify.classify dag in
+  Format.printf "network: %a@." Classify.pp cls;
 
   (* Route requests along unique dipaths (this DAG is UPP), then solve. *)
   let requests = [ (paris, milano); (paris, milano); (lyon, milano); (geneva, milano) ] in
@@ -50,4 +51,16 @@ let () =
     (* Theorem 1 applies (no internal cycle): the wavelength count equals
        the load, which is optimal. *)
     assert (report.Solver.n_wavelengths = Load.pi inst);
-    Format.printf "w = pi = %d, as Theorem 1 promises.@." (Load.pi inst)
+    Format.printf "w = pi = %d, as Theorem 1 promises.@." (Load.pi inst);
+
+    (* The same instance can seed a long-lived session that keeps the
+       optimum warm while the demand set changes. *)
+    let s = Engine.create inst in
+    ignore (Engine.report s);
+    (match Engine.add_path s [ paris; lyon; torino; milano ] with
+    | Error e -> Format.printf "add failed: %s@." (Error.to_string e)
+    | Ok _ ->
+      let r = Engine.report s in
+      Format.printf "after one more lightpath: w = %d (warm hit rate %.2f)@."
+        r.Solver.n_wavelengths
+        (Engine.hit_rate (Engine.stats s)))

@@ -1,0 +1,43 @@
+type t =
+  | Parse of { line : int; msg : string }
+  | Invalid_path of string
+  | Cyclic of string
+  | Bad_index of { what : string; index : int }
+  | Invalid_op of string
+  | Precondition of string
+  | Unsupported_version of int
+  | Io of string
+
+exception Error of t
+
+let to_string = function
+  | Parse { line; msg } ->
+    if line <= 0 then msg else Printf.sprintf "line %d: %s" line msg
+  | Invalid_path msg -> msg
+  | Cyclic msg -> msg
+  | Bad_index { what; index } -> Printf.sprintf "%s: no such index %d" what index
+  | Invalid_op msg -> msg
+  | Precondition msg -> msg
+  | Unsupported_version v -> Printf.sprintf "unsupported format version %d" v
+  | Io msg -> msg
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+(* Stable sysexits-style codes; [distinct] (tested) so scripts can dispatch
+   on the exit status of the CLI alone. *)
+let exit_code = function
+  | Parse _ -> 65 (* EX_DATAERR *)
+  | Cyclic _ -> 66
+  | Invalid_path _ -> 67
+  | Bad_index _ -> 68
+  | Invalid_op _ -> 69
+  | Precondition _ -> 70 (* EX_SOFTWARE *)
+  | Unsupported_version _ -> 71
+  | Io _ -> 74 (* EX_IOERR *)
+
+let raise_error e = raise (Error e)
+
+let get_exn = function Ok v -> v | Error e -> raise_error e
+
+let of_invalid_arg f x =
+  match f x with v -> Ok v | exception Invalid_argument msg -> Error (Precondition msg)

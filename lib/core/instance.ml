@@ -42,7 +42,24 @@ let of_array dag paths =
 let make dag path_list = of_array dag (Array.of_list path_list)
 
 let of_digraph g path_list =
-  Result.map (fun dag -> make dag path_list) (Dag.of_digraph g)
+  match Dag.of_digraph g with
+  | Ok dag -> Ok (make dag path_list)
+  | Error msg -> Error (Error.Cyclic msg)
+
+let of_digraph_exn g path_list = Error.get_exn (of_digraph g path_list)
+
+let of_vertex_seqs g seqs =
+  match Dag.of_digraph g with
+  | Error msg -> Error (Error.Cyclic msg)
+  | Ok dag ->
+    let rec build acc = function
+      | [] -> Ok (make dag (List.rev acc))
+      | verts :: rest -> (
+        match Dipath.of_vertices g verts with
+        | Ok p -> build (p :: acc) rest
+        | Error msg -> Error (Error.Invalid_path msg))
+    in
+    build [] seqs
 
 let dag t = t.dag
 let graph t = Dag.graph t.dag

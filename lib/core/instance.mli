@@ -20,8 +20,17 @@ val make : Wl_dag.Dag.t -> Dipath.t list -> t
 val of_array : Wl_dag.Dag.t -> Dipath.t array -> t
 (** Like {!make} from an array (copied). *)
 
-val of_digraph : Digraph.t -> Dipath.t list -> (t, string) result
-(** Checks acyclicity first. *)
+val of_digraph : Digraph.t -> Dipath.t list -> (t, Error.t) result
+(** Checks acyclicity first; [Error (Cyclic _)] on a directed cycle. *)
+
+val of_digraph_exn : Digraph.t -> Dipath.t list -> t
+(** Raises {!Error.Error}. *)
+
+val of_vertex_seqs :
+  Digraph.t -> Digraph.vertex list list -> (t, Error.t) result
+(** Full result-typed construction from raw vertex sequences: checks
+    acyclicity ([Cyclic]) and validates every dipath ([Invalid_path]).
+    The entry point the {!Serial} parsers and the engine build on. *)
 
 val dag : t -> Wl_dag.Dag.t
 val graph : t -> Digraph.t

@@ -153,6 +153,15 @@ let solve ?exact_limit inst =
   if observed then record_solve report (Clock.now_ns () - t0);
   report
 
+let solve_result ?exact_limit inst =
+  match exact_limit with
+  | Some l when l < 0 ->
+    Error (Error.Precondition "Solver.solve: exact_limit must be non-negative")
+  | _ -> (
+    match solve ?exact_limit inst with
+    | report -> Ok report
+    | exception Invalid_argument msg -> Error (Error.Precondition msg))
+
 let pp_report ?(stats = false) ppf r =
   if not stats then
     Format.fprintf ppf

@@ -41,6 +41,10 @@ val solve : ?exact_limit:int -> Instance.t -> report
     coloring / exact clique solvers are invoked on the fallback paths.
     The returned assignment is always valid ({!Assignment.is_valid}). *)
 
+val solve_result : ?exact_limit:int -> Instance.t -> (report, Error.t) result
+(** Exception-free {!solve}: a negative [exact_limit] or any precondition
+    violation surfaces as [Error (Precondition _)]. *)
+
 val method_name : method_used -> string
 val lower_bound_source_name : lower_bound_source -> string
 

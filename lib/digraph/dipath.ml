@@ -4,29 +4,55 @@ type t = {
   arcs_sorted : int array; (* arc_ids sorted, for fast intersection *)
 }
 
+(* Exception-free validation; the raising entry points wrap it. *)
 let validate g verts =
   let k = Array.length verts in
-  if k < 2 then invalid_arg "Dipath: needs at least two vertices";
-  let seen = Hashtbl.create k in
-  Array.iter
-    (fun v ->
-      if Hashtbl.mem seen v then invalid_arg "Dipath: repeated vertex";
-      Hashtbl.add seen v ())
-    verts;
-  Array.init (k - 1) (fun i ->
-      match Digraph.find_arc g verts.(i) verts.(i + 1) with
-      | Some a -> a
-      | None ->
-        invalid_arg
-          (Printf.sprintf "Dipath: missing arc %s -> %s"
-             (Digraph.label g verts.(i))
-             (Digraph.label g verts.(i + 1))))
+  if k < 2 then Error "Dipath: needs at least two vertices"
+  else begin
+    let seen = Hashtbl.create k in
+    let dup = Array.exists (fun v ->
+        Hashtbl.mem seen v || (Hashtbl.add seen v (); false))
+        verts
+    in
+    if dup then Error "Dipath: repeated vertex"
+    else if
+      Array.exists
+        (fun v -> v < 0 || v >= Digraph.n_vertices g)
+        verts
+    then Error "Dipath: no such vertex"
+    else begin
+      let missing = ref None in
+      let arc_ids =
+        Array.init (k - 1) (fun i ->
+            match Digraph.find_arc g verts.(i) verts.(i + 1) with
+            | Some a -> a
+            | None ->
+              if !missing = None then
+                missing :=
+                  Some
+                    (Printf.sprintf "Dipath: missing arc %s -> %s"
+                       (Digraph.label g verts.(i))
+                       (Digraph.label g verts.(i + 1)));
+              -1)
+      in
+      match !missing with Some msg -> Error msg | None -> Ok arc_ids
+    end
+  end
+
+let of_vertex_array_result g verts =
+  match validate g verts with
+  | Error _ as e -> e
+  | Ok arc_ids ->
+    let arcs_sorted = Array.copy arc_ids in
+    Array.sort compare arcs_sorted;
+    Ok { verts = Array.copy verts; arc_ids; arcs_sorted }
 
 let of_vertex_array g verts =
-  let arc_ids = validate g verts in
-  let arcs_sorted = Array.copy arc_ids in
-  Array.sort compare arcs_sorted;
-  { verts = Array.copy verts; arc_ids; arcs_sorted }
+  match of_vertex_array_result g verts with
+  | Ok p -> p
+  | Error msg -> invalid_arg msg
+
+let of_vertices g vertex_list = of_vertex_array_result g (Array.of_list vertex_list)
 
 let make g vertex_list = of_vertex_array g (Array.of_list vertex_list)
 

@@ -8,10 +8,13 @@
 
 type t
 
+val of_vertices : Digraph.t -> Digraph.vertex list -> (t, string) result
+(** Validates the vertex sequence: at least two vertices, all in range, no
+    repeated vertex, every consecutive pair an arc.  The primary,
+    exception-free constructor. *)
+
 val make : Digraph.t -> Digraph.vertex list -> t
-(** Validates the vertex sequence: at least two vertices, no repeated
-    vertex, every consecutive pair an arc.  Raises [Invalid_argument]
-    otherwise. *)
+(** {!of_vertices}, raising [Invalid_argument] on invalid input. *)
 
 val of_arcs : Digraph.t -> Digraph.arc list -> t
 (** Builds a dipath from a non-empty chain of arc ids (each arc's head must

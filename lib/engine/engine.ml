@@ -1,0 +1,925 @@
+open Wl_digraph
+open Wl_core
+module Dag = Wl_dag.Dag
+module Classify = Wl_dag.Classify
+module Metrics = Wl_obs.Metrics
+module Trace = Wl_obs.Trace
+module Parallel = Wl_util.Parallel
+
+(* Global engine counters (no-ops until [Metrics.set_enabled]); the
+   per-session [stats] record is always live, so the warm-start hit rate can
+   be reported without enabling the metrics subsystem. *)
+let c_ops = Metrics.counter "engine.ops"
+let c_warm_hits = Metrics.counter "engine.warm_hits"
+let c_fresh = Metrics.counter "engine.fresh_colors"
+let c_repairs = Metrics.counter "engine.repairs"
+let c_shrinks = Metrics.counter "engine.shrink_recolors"
+let c_fallbacks = Metrics.counter "engine.fallbacks"
+let c_full = Metrics.counter "engine.full_solves"
+let h_cascade = Metrics.histogram "engine.cascade_len"
+
+type path_id = int
+
+type op =
+  | Add_path of Digraph.vertex list
+  | Remove_path of path_id
+  | Add_arc of Digraph.vertex * Digraph.vertex
+
+type op_outcome =
+  | Path_added of path_id
+  | Path_removed of path_id
+  | Arc_added of Digraph.arc
+
+type stats = {
+  ops : int;
+  warm_hits : int;
+  fresh_colors : int;
+  repairs : int;
+  repair_flips : int;
+  shrink_recolors : int;
+  warm_removes : int;
+  fallbacks : int;
+  full_solves : int;
+  rejected : int;
+}
+
+let hit_rate st =
+  if st.ops = 0 then 1.0
+  else
+    float_of_int (st.warm_hits + st.fresh_colors + st.repairs + st.warm_removes)
+    /. float_of_int st.ops
+
+(* All rollback-able state lives in one record so snapshot/rollback are a
+   single deep copy.  The occupancy index is the mutable cousin of the
+   instance CSR index: per arc, the live slots through it ([occ_slot]) with,
+   for each entry, which position of the slot's own arc sequence it is
+   ([occ_back]); [slot_pos] is the inverse.  Swap-removal keeps every update
+   O(1) per arc of the touched dipath, and [occ_len] doubles as the live
+   per-arc load. *)
+type core = {
+  mutable g : Digraph.t;
+  mutable slots : Dipath.t option array; (* None = removed; ids never reused *)
+  mutable n_slots : int;
+  mutable n_live : int;
+  mutable colors : int array; (* per slot; meaningful when [warm] *)
+  mutable slot_arcs : int array array; (* cached Dipath.arc_array per slot *)
+  mutable slot_pos : int array array; (* slot_pos.(s).(k): index in occ of s's k-th arc *)
+  mutable occ_slot : int array array; (* per arc, capacity >= occ_len *)
+  mutable occ_back : int array array;
+  mutable occ_len : int array; (* live load per arc *)
+  mutable n_arcs : int;
+  mutable load_hist : int array; (* # arcs with load l, l >= 1 *)
+  mutable maxload : int; (* live pi *)
+  mutable palette : int; (* # colors in use when [warm] *)
+  mutable color_count : int array; (* live wearers per color, length >= palette *)
+  mutable classification : Classify.t;
+  mutable has_cycle : bool; (* internal cycle present (monotone under add_arc) *)
+  mutable warm : bool; (* colors valid, contiguous, palette = maxload = pi *)
+  mutable dirty : bool; (* state diverged; next query runs a full solve *)
+  mutable cached_report : Solver.report option;
+}
+
+type session = {
+  sid : int;
+  repair_budget : int;
+  core : core ref;
+  mutable s_ops : int;
+  mutable s_warm_hits : int;
+  mutable s_fresh : int;
+  mutable s_repairs : int;
+  mutable s_repair_flips : int;
+  mutable s_shrinks : int;
+  mutable s_warm_removes : int;
+  mutable s_fallbacks : int;
+  mutable s_full : int;
+  mutable s_rejected : int;
+}
+
+type snapshot = { snap_sid : int; snap_core : core }
+
+let next_sid = Atomic.make 0
+
+let clone_core c =
+  {
+    g = Digraph.copy c.g;
+    slots = Array.copy c.slots;
+    n_slots = c.n_slots;
+    n_live = c.n_live;
+    colors = Array.copy c.colors;
+    slot_arcs = Array.copy c.slot_arcs; (* rows are immutable once built *)
+    slot_pos = Array.map Array.copy c.slot_pos;
+    occ_slot = Array.map Array.copy c.occ_slot;
+    occ_back = Array.map Array.copy c.occ_back;
+    occ_len = Array.copy c.occ_len;
+    n_arcs = c.n_arcs;
+    load_hist = Array.copy c.load_hist;
+    maxload = c.maxload;
+    palette = c.palette;
+    color_count = Array.copy c.color_count;
+    classification = c.classification;
+    has_cycle = c.has_cycle;
+    warm = c.warm;
+    dirty = c.dirty;
+    cached_report =
+      Option.map (fun r -> { r with Solver.assignment = Array.copy r.Solver.assignment })
+        c.cached_report;
+  }
+
+(* --- growth helpers -------------------------------------------------------- *)
+
+let grow_int_array a len fill =
+  if Array.length a >= len then a
+  else begin
+    let b = Array.make (max len (2 * Array.length a + 4)) fill in
+    Array.blit a 0 b 0 (Array.length a);
+    b
+  end
+
+let grow_row_array a len fill =
+  if Array.length a >= len then a
+  else begin
+    let b = Array.make (max len (2 * Array.length a + 4)) fill in
+    Array.blit a 0 b 0 (Array.length a);
+    b
+  end
+
+let ensure_arc_capacity c m =
+  c.occ_slot <- grow_row_array c.occ_slot m [||];
+  c.occ_back <- grow_row_array c.occ_back m [||];
+  c.occ_len <- grow_int_array c.occ_len m 0
+
+let ensure_slot_capacity c n =
+  c.slots <- grow_row_array c.slots n None;
+  c.colors <- grow_int_array c.colors n (-1);
+  c.slot_arcs <- grow_row_array c.slot_arcs n [||];
+  c.slot_pos <- grow_row_array c.slot_pos n [||]
+
+let bump_load c a =
+  let l = c.occ_len.(a) in
+  (* [l] is the pre-insert load; the entry itself is pushed by the caller. *)
+  c.load_hist <- grow_int_array c.load_hist (l + 2) 0;
+  if l >= 1 then c.load_hist.(l) <- c.load_hist.(l) - 1;
+  c.load_hist.(l + 1) <- c.load_hist.(l + 1) + 1;
+  if l + 1 > c.maxload then c.maxload <- l + 1
+
+let drop_load c a =
+  let l = c.occ_len.(a) in
+  (* [l] is the pre-remove load. *)
+  c.load_hist.(l) <- c.load_hist.(l) - 1;
+  if l > 1 then c.load_hist.(l - 1) <- c.load_hist.(l - 1) + 1;
+  while c.maxload > 0 && c.load_hist.(c.maxload) = 0 do
+    c.maxload <- c.maxload - 1
+  done
+
+(* Insert slot [s] into the occupancy of every arc it traverses. *)
+let occ_insert c s =
+  let arcs = c.slot_arcs.(s) in
+  let pos = Array.make (Array.length arcs) 0 in
+  Array.iteri
+    (fun k a ->
+      let i = c.occ_len.(a) in
+      let row = c.occ_slot.(a) in
+      if i >= Array.length row then begin
+        let cap = max 4 (2 * Array.length row) in
+        let ns = Array.make cap 0 and nb = Array.make cap 0 in
+        Array.blit row 0 ns 0 i;
+        Array.blit c.occ_back.(a) 0 nb 0 i;
+        c.occ_slot.(a) <- ns;
+        c.occ_back.(a) <- nb
+      end;
+      bump_load c a;
+      c.occ_slot.(a).(i) <- s;
+      c.occ_back.(a).(i) <- k;
+      pos.(k) <- i;
+      c.occ_len.(a) <- i + 1)
+    arcs;
+  c.slot_pos.(s) <- pos
+
+let occ_remove c s =
+  let arcs = c.slot_arcs.(s) and pos = c.slot_pos.(s) in
+  Array.iteri
+    (fun k a ->
+      let i = pos.(k) in
+      let last = c.occ_len.(a) - 1 in
+      let t = c.occ_slot.(a).(last) and kt = c.occ_back.(a).(last) in
+      c.occ_slot.(a).(i) <- t;
+      c.occ_back.(a).(i) <- kt;
+      c.slot_pos.(t).(kt) <- i;
+      drop_load c a;
+      c.occ_len.(a) <- last)
+    arcs
+
+(* --- construction ---------------------------------------------------------- *)
+
+let default_repair_budget = 256
+
+let make_core g classification =
+  let m = Digraph.n_arcs g in
+  {
+    g;
+    slots = Array.make 8 None;
+    n_slots = 0;
+    n_live = 0;
+    colors = Array.make 8 (-1);
+    slot_arcs = Array.make 8 [||];
+    slot_pos = Array.make 8 [||];
+    occ_slot = Array.make (max 1 m) [||];
+    occ_back = Array.make (max 1 m) [||];
+    occ_len = Array.make (max 1 m) 0;
+    n_arcs = m;
+    load_hist = Array.make 8 0;
+    maxload = 0;
+    palette = 0;
+    color_count = Array.make 8 0;
+    classification;
+    has_cycle = classification.Classify.n_internal_cycles > 0;
+    warm = false;
+    dirty = true;
+    cached_report = None;
+  }
+
+let fresh_session ?(repair_budget = default_repair_budget) core =
+  {
+    sid = Atomic.fetch_and_add next_sid 1;
+    repair_budget;
+    core = ref core;
+    s_ops = 0;
+    s_warm_hits = 0;
+    s_fresh = 0;
+    s_repairs = 0;
+    s_repair_flips = 0;
+    s_shrinks = 0;
+    s_warm_removes = 0;
+    s_fallbacks = 0;
+    s_full = 0;
+    s_rejected = 0;
+  }
+
+let new_slot c p =
+  ensure_slot_capacity c (c.n_slots + 1);
+  let s = c.n_slots in
+  c.n_slots <- s + 1;
+  c.slots.(s) <- Some p;
+  c.colors.(s) <- -1;
+  c.slot_arcs.(s) <- Dipath.arc_array p;
+  c.n_live <- c.n_live + 1;
+  occ_insert c s;
+  s
+
+let create ?repair_budget inst =
+  let g = Digraph.copy (Instance.graph inst) in
+  let classification = Classify.classify (Instance.dag inst) in
+  let core = make_core g classification in
+  List.iter (fun p -> ignore (new_slot core p)) (Instance.paths_list inst);
+  fresh_session ?repair_budget core
+
+let of_digraph ?repair_budget g =
+  match Dag.of_digraph (Digraph.copy g) with
+  | Error msg -> Error (Error.Cyclic msg)
+  | Ok dag ->
+    let core = make_core (Dag.graph dag) (Classify.classify dag) in
+    Ok (fresh_session ?repair_budget core)
+
+let id s = s.sid
+let n_live_paths s = !(s.core).n_live
+let classification s = !(s.core).classification
+let pi s = !(s.core).maxload
+let is_warm s = (not !(s.core).dirty) && !(s.core).warm
+
+let live_paths s =
+  let c = !(s.core) in
+  let acc = ref [] in
+  for i = c.n_slots - 1 downto 0 do
+    match c.slots.(i) with Some p -> acc := (i, p) :: !acc | None -> ()
+  done;
+  !acc
+
+let stats s =
+  {
+    ops = s.s_ops;
+    warm_hits = s.s_warm_hits;
+    fresh_colors = s.s_fresh;
+    repairs = s.s_repairs;
+    repair_flips = s.s_repair_flips;
+    shrink_recolors = s.s_shrinks;
+    warm_removes = s.s_warm_removes;
+    fallbacks = s.s_fallbacks;
+    full_solves = s.s_full;
+    rejected = s.s_rejected;
+  }
+
+(* --- materialization and the full-solve path ------------------------------- *)
+
+let materialize_core c =
+  let g = Digraph.copy c.g in
+  (* The session never lets a directed cycle in, so this cannot fail. *)
+  let dag = Dag.of_digraph_exn g in
+  let live = ref [] in
+  for i = c.n_slots - 1 downto 0 do
+    match c.slots.(i) with Some p -> live := p :: !live | None -> ()
+  done;
+  Instance.of_array dag (Array.of_list !live)
+
+let instance s = materialize_core !(s.core)
+
+(* Install a solver assignment back into the per-slot colors; the session
+   returns to warm mode when the result has Theorem-1 shape (contiguous
+   colors, palette = pi) and the graph still has no internal cycle. *)
+let install_assignment c (report : Solver.report) =
+  let j = ref 0 in
+  let max_c = ref (-1) in
+  for i = 0 to c.n_slots - 1 do
+    match c.slots.(i) with
+    | Some _ ->
+      let col = report.Solver.assignment.(!j) in
+      c.colors.(i) <- col;
+      if col > !max_c then max_c := col;
+      incr j
+    | None -> ()
+  done;
+  let palette = !max_c + 1 in
+  c.palette <- palette;
+  c.color_count <- grow_int_array c.color_count (max 1 palette) 0;
+  Array.fill c.color_count 0 (Array.length c.color_count) 0;
+  for i = 0 to c.n_slots - 1 do
+    if c.slots.(i) <> None then
+      c.color_count.(c.colors.(i)) <- c.color_count.(c.colors.(i)) + 1
+  done;
+  let contiguous = ref true in
+  for col = 0 to palette - 1 do
+    if c.color_count.(col) = 0 then contiguous := false
+  done;
+  c.warm <- (not c.has_cycle) && !contiguous && palette = c.maxload
+
+let ensure_clean s =
+  let c = !(s.core) in
+  if c.dirty then begin
+    let solve () =
+      let inst = materialize_core c in
+      let report = Solver.solve inst in
+      install_assignment c report;
+      c.dirty <- false;
+      c.cached_report <- Some report;
+      s.s_full <- s.s_full + 1;
+      Metrics.incr c_full
+    in
+    if Trace.enabled () then
+      Trace.with_span
+        ~args:[ ("paths", Trace.Int c.n_live) ]
+        "engine.full_solve" solve
+    else solve ()
+  end
+
+let build_warm_report c =
+  assert (c.warm && not c.dirty);
+  let assignment = Array.make c.n_live 0 in
+  let j = ref 0 in
+  for i = 0 to c.n_slots - 1 do
+    if c.slots.(i) <> None then begin
+      assignment.(!j) <- c.colors.(i);
+      incr j
+    end
+  done;
+  {
+    Solver.classification = c.classification;
+    pi = c.maxload;
+    lower_bound = c.maxload;
+    lower_bound_source = Solver.From_load;
+    assignment;
+    n_wavelengths = c.palette;
+    method_used = Solver.Theorem_1;
+    optimal = true;
+  }
+
+let report s =
+  ensure_clean s;
+  let c = !(s.core) in
+  match c.cached_report with
+  | Some r -> r
+  | None ->
+    let r = build_warm_report c in
+    c.cached_report <- Some r;
+    r
+
+let color_of s pid =
+  let c = !(s.core) in
+  if pid < 0 || pid >= c.n_slots then
+    Error (Error.Bad_index { what = "path"; index = pid })
+  else if c.slots.(pid) = None then
+    Error (Error.Invalid_op (Printf.sprintf "path %d was removed" pid))
+  else begin
+    ensure_clean s;
+    Ok c.colors.(pid)
+  end
+
+(* --- warm-path machinery --------------------------------------------------- *)
+
+(* Smallest color of [0 .. palette - 1] worn by no live occupant of the
+   slot's arcs (other than the slot itself), if any. *)
+let free_color c s =
+  if c.palette = 0 then None
+  else begin
+    let used = Array.make c.palette false in
+    Array.iter
+      (fun a ->
+        for j = 0 to c.occ_len.(a) - 1 do
+          let q = c.occ_slot.(a).(j) in
+          if q <> s then used.(c.colors.(q)) <- true
+        done)
+      c.slot_arcs.(s);
+    let rec first col =
+      if col >= c.palette then None else if used.(col) then first (col + 1) else Some col
+    in
+    first 0
+  end
+
+let push_color_count c col =
+  c.color_count <- grow_int_array c.color_count (col + 1) 0;
+  c.color_count.(col) <- c.color_count.(col) + 1
+
+(* Kempe component of [start] in the {alpha, beta} conflict subgraph over
+   live colored slots; collect-then-flip so a partial traversal never leaves
+   an invalid coloring behind. *)
+let kempe_flip c ~alpha ~beta start =
+  let visited = Array.make c.n_slots false in
+  let queue = Queue.create () in
+  let component = ref [] in
+  visited.(start) <- true;
+  Queue.push start queue;
+  while not (Queue.is_empty queue) do
+    let x = Queue.pop queue in
+    component := x :: !component;
+    let other = if c.colors.(x) = alpha then beta else alpha in
+    Array.iter
+      (fun a ->
+        for j = 0 to c.occ_len.(a) - 1 do
+          let q = c.occ_slot.(a).(j) in
+          if (not visited.(q)) && c.colors.(q) = other then begin
+            visited.(q) <- true;
+            Queue.push q queue
+          end
+        done)
+      c.slot_arcs.(x)
+  done;
+  List.iter
+    (fun x ->
+      let old = c.colors.(x) in
+      let nw = if old = alpha then beta else alpha in
+      c.colors.(x) <- nw;
+      c.color_count.(old) <- c.color_count.(old) - 1;
+      c.color_count.(nw) <- c.color_count.(nw) + 1)
+    !component;
+  List.length !component
+
+(* The slot is inserted in the occupancy but uncolored; make some color free
+   on all its arcs by bounded Theorem-1-style Kempe flips and wear it.
+   Returns the number of recolored dipaths, or [None] when the flip budget
+   ran out (caller falls back to a full solve). *)
+let try_repair c ~budget s =
+  (* alpha: the color with the fewest wearers along the slot's arcs. *)
+  let cnt = Array.make c.palette 0 in
+  Array.iter
+    (fun a ->
+      for j = 0 to c.occ_len.(a) - 1 do
+        let q = c.occ_slot.(a).(j) in
+        if q <> s then cnt.(c.colors.(q)) <- cnt.(c.colors.(q)) + 1
+      done)
+    c.slot_arcs.(s);
+  let alpha = ref 0 in
+  for col = 1 to c.palette - 1 do
+    if cnt.(col) < cnt.(!alpha) then alpha := col
+  done;
+  let alpha = !alpha in
+  (* First arc of the slot still carrying an alpha-wearer. *)
+  let find_conflict () =
+    let found = ref None in
+    let arcs = c.slot_arcs.(s) in
+    let i = ref 0 in
+    while !found = None && !i < Array.length arcs do
+      let a = arcs.(!i) in
+      let j = ref 0 in
+      while !found = None && !j < c.occ_len.(a) do
+        let q = c.occ_slot.(a).(!j) in
+        if q <> s && c.colors.(q) = alpha then found := Some (a, q);
+        incr j
+      done;
+      incr i
+    done;
+    !found
+  in
+  let rec fix flips =
+    match find_conflict () with
+    | None ->
+      c.colors.(s) <- alpha;
+      push_color_count c alpha;
+      Some flips
+    | Some (a, q) ->
+      if flips >= budget then None
+      else begin
+        (* beta: a palette color absent on arc [a].  One exists: the arc's
+           load counts the uncolored slot, so at most [palette - 1] of its
+           occupants are colored. *)
+        let present = Array.make c.palette false in
+        for j = 0 to c.occ_len.(a) - 1 do
+          let x = c.occ_slot.(a).(j) in
+          if x <> s then present.(c.colors.(x)) <- true
+        done;
+        let beta = ref 0 in
+        while !beta < c.palette && present.(!beta) do
+          incr beta
+        done;
+        if !beta >= c.palette then None (* load accounting broken; bail out *)
+        else begin
+          let size = kempe_flip c ~alpha ~beta:!beta q in
+          if flips + size > budget then None else fix (flips + size)
+        end
+      end
+  in
+  fix 0
+
+(* After a warm removal [palette] can exceed the (possibly lowered) load by
+   one; empty the smallest color class by greedy recoloring to restore
+   [palette = pi].  Fully reverted on failure. *)
+let try_shrink c =
+  let d = ref 0 in
+  for col = 1 to c.palette - 1 do
+    if c.color_count.(col) < c.color_count.(!d) then d := col
+  done;
+  let d = !d in
+  let members = ref [] in
+  for i = 0 to c.n_slots - 1 do
+    if c.slots.(i) <> None && c.colors.(i) = d then members := i :: !members
+  done;
+  let applied = ref [] in
+  let revert () =
+    List.iter
+      (fun (q, e) ->
+        c.colors.(q) <- d;
+        c.color_count.(d) <- c.color_count.(d) + 1;
+        c.color_count.(e) <- c.color_count.(e) - 1)
+      !applied
+  in
+  let recolor q =
+    let used = Array.make c.palette false in
+    used.(d) <- true;
+    Array.iter
+      (fun a ->
+        for j = 0 to c.occ_len.(a) - 1 do
+          let x = c.occ_slot.(a).(j) in
+          if x <> q then used.(c.colors.(x)) <- true
+        done)
+      c.slot_arcs.(q);
+    let rec first e =
+      if e >= c.palette then None else if used.(e) then first (e + 1) else Some e
+    in
+    match first 0 with
+    | None -> false
+    | Some e ->
+      c.colors.(q) <- e;
+      c.color_count.(d) <- c.color_count.(d) - 1;
+      c.color_count.(e) <- c.color_count.(e) + 1;
+      applied := (q, e) :: !applied;
+      true
+  in
+  if List.for_all recolor !members then begin
+    (* Class [d] is empty; keep colors contiguous by renaming the last one. *)
+    let last = c.palette - 1 in
+    if d <> last then begin
+      for i = 0 to c.n_slots - 1 do
+        if c.slots.(i) <> None && c.colors.(i) = last then c.colors.(i) <- d
+      done;
+      c.color_count.(d) <- c.color_count.(last)
+    end;
+    c.color_count.(last) <- 0;
+    c.palette <- last;
+    true
+  end
+  else begin
+    revert ();
+    false
+  end
+
+let go_dirty s =
+  let c = !(s.core) in
+  c.dirty <- true;
+  c.warm <- false;
+  s.s_fallbacks <- s.s_fallbacks + 1;
+  Metrics.incr c_fallbacks
+
+(* --- mutations ------------------------------------------------------------- *)
+
+let count_op s =
+  s.s_ops <- s.s_ops + 1;
+  Metrics.incr c_ops;
+  !(s.core).cached_report <- None
+
+let add_path s verts =
+  let c = !(s.core) in
+  match Dipath.of_vertices c.g verts with
+  | Error msg ->
+    s.s_rejected <- s.s_rejected + 1;
+    Error (Error.Invalid_path msg)
+  | Ok p ->
+    count_op s;
+    let warm = c.warm && not c.dirty in
+    let slot = new_slot c p in
+    if not warm then c.dirty <- true
+    else begin
+      match free_color c slot with
+      | Some col ->
+        (* A free color implies the insertion did not push any arc past the
+           palette, so palette = pi still holds. *)
+        c.colors.(slot) <- col;
+        push_color_count c col;
+        s.s_warm_hits <- s.s_warm_hits + 1;
+        Metrics.incr c_warm_hits
+      | None ->
+        if c.maxload = c.palette + 1 then begin
+          (* The new path completed a full rainbow arc: the optimum itself
+             grew, so a fresh color keeps palette = pi. *)
+          c.colors.(slot) <- c.palette;
+          push_color_count c c.palette;
+          c.palette <- c.palette + 1;
+          s.s_fresh <- s.s_fresh + 1;
+          Metrics.incr c_fresh
+        end
+        else
+          match try_repair c ~budget:s.repair_budget slot with
+          | Some flips ->
+            s.s_repairs <- s.s_repairs + 1;
+            s.s_repair_flips <- s.s_repair_flips + flips;
+            Metrics.incr c_repairs;
+            Metrics.observe h_cascade flips
+          | None -> go_dirty s
+    end;
+    Ok slot
+
+let remove_path s pid =
+  let c = !(s.core) in
+  if pid < 0 || pid >= c.n_slots then begin
+    s.s_rejected <- s.s_rejected + 1;
+    Error (Error.Bad_index { what = "path"; index = pid })
+  end
+  else
+    match c.slots.(pid) with
+    | None ->
+      s.s_rejected <- s.s_rejected + 1;
+      Error (Error.Invalid_op (Printf.sprintf "path %d was already removed" pid))
+    | Some _ ->
+      count_op s;
+      let warm = c.warm && not c.dirty in
+      occ_remove c pid;
+      c.slots.(pid) <- None;
+      c.n_live <- c.n_live - 1;
+      if not warm then c.dirty <- true
+      else begin
+        let col = c.colors.(pid) in
+        c.colors.(pid) <- -1;
+        c.color_count.(col) <- c.color_count.(col) - 1;
+        if c.color_count.(col) = 0 then begin
+          let last = c.palette - 1 in
+          if col <> last then begin
+            for i = 0 to c.n_slots - 1 do
+              if c.slots.(i) <> None && c.colors.(i) = last then c.colors.(i) <- col
+            done;
+            c.color_count.(col) <- c.color_count.(last)
+          end;
+          c.color_count.(last) <- 0;
+          c.palette <- last
+        end;
+        if c.palette > c.maxload then begin
+          if try_shrink c then begin
+            s.s_shrinks <- s.s_shrinks + 1;
+            s.s_warm_removes <- s.s_warm_removes + 1;
+            Metrics.incr c_shrinks
+          end
+          else go_dirty s
+        end
+        else s.s_warm_removes <- s.s_warm_removes + 1
+      end;
+      Ok ()
+
+(* DFS reachability used to reject directed cycles on arc insertion. *)
+let reaches g src dst =
+  let n = Digraph.n_vertices g in
+  let visited = Array.make n false in
+  let stack = ref [ src ] in
+  let found = ref false in
+  while (not !found) && !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | v :: rest ->
+      stack := rest;
+      if v = dst then found := true
+      else if not visited.(v) then begin
+        visited.(v) <- true;
+        List.iter
+          (fun w -> if not visited.(w) then stack := w :: !stack)
+          (Digraph.succ g v)
+      end
+  done;
+  !found
+
+let add_arc s u v =
+  let c = !(s.core) in
+  let n = Digraph.n_vertices c.g in
+  if u < 0 || u >= n then begin
+    s.s_rejected <- s.s_rejected + 1;
+    Error (Error.Bad_index { what = "vertex"; index = u })
+  end
+  else if v < 0 || v >= n then begin
+    s.s_rejected <- s.s_rejected + 1;
+    Error (Error.Bad_index { what = "vertex"; index = v })
+  end
+  else if u = v then begin
+    s.s_rejected <- s.s_rejected + 1;
+    Error (Error.Invalid_op "add_arc: self-loop")
+  end
+  else if Digraph.mem_arc c.g u v then begin
+    s.s_rejected <- s.s_rejected + 1;
+    Error (Error.Invalid_op "add_arc: duplicate arc")
+  end
+  else if reaches c.g v u then begin
+    s.s_rejected <- s.s_rejected + 1;
+    Error
+      (Error.Cyclic
+         (Printf.sprintf "adding arc %d -> %d would close a directed cycle" u v))
+  end
+  else begin
+    count_op s;
+    let a = Digraph.add_arc c.g u v in
+    ensure_arc_capacity c (a + 1);
+    c.occ_slot.(a) <- [||];
+    c.occ_back.(a) <- [||];
+    c.occ_len.(a) <- 0;
+    c.n_arcs <- a + 1;
+    (* Arc ids are append-only, so cached dipath arc ids stay valid; only the
+       classification can change — and an internal cycle appearing is exactly
+       the Theorem-1 boundary, where the warm invariant stops being
+       meaningful and the next query re-solves from scratch. *)
+    let dag = Dag.of_digraph_exn c.g in
+    c.classification <- Classify.classify dag;
+    let had_cycle = c.has_cycle in
+    c.has_cycle <- c.classification.Classify.n_internal_cycles > 0;
+    if c.has_cycle && not had_cycle then begin
+      c.warm <- false;
+      c.dirty <- true
+    end;
+    if not (c.warm && not c.dirty) then c.dirty <- true;
+    Ok a
+  end
+
+(* --- snapshot / rollback --------------------------------------------------- *)
+
+let snapshot s = { snap_sid = s.sid; snap_core = clone_core !(s.core) }
+
+let rollback s snap =
+  if snap.snap_sid <> s.sid then
+    Error
+      (Error.Invalid_op
+         (Printf.sprintf "rollback: snapshot belongs to session %d, not %d"
+            snap.snap_sid s.sid))
+  else begin
+    s.core := clone_core snap.snap_core;
+    Ok ()
+  end
+
+(* --- batched submission ---------------------------------------------------- *)
+
+type batch = {
+  outcomes : (op_outcome, Error.t) result array;
+  batch_report : Solver.report;
+  batch_stats : stats;
+}
+
+let apply_op s = function
+  | Add_path verts -> Result.map (fun pid -> Path_added pid) (add_path s verts)
+  | Remove_path pid -> Result.map (fun () -> Path_removed pid) (remove_path s pid)
+  | Add_arc (u, v) -> Result.map (fun a -> Arc_added a) (add_arc s u v)
+
+let submit s ops =
+  let run () =
+    let outcomes = Array.of_list (List.map (apply_op s) ops) in
+    let batch_report = report s in
+    { outcomes; batch_report; batch_stats = stats s }
+  in
+  if Trace.enabled () then
+    Trace.with_span
+      ~args:[ ("ops", Trace.Int (List.length ops)) ]
+      "engine.submit" run
+  else run ()
+
+let submit_many ?domains ?max_in_flight jobs =
+  let n = Array.length jobs in
+  let distinct =
+    let seen = Hashtbl.create n in
+    Array.for_all
+      (fun (s, _) ->
+        if Hashtbl.mem seen s.sid then false
+        else begin
+          Hashtbl.add seen s.sid ();
+          true
+        end)
+      jobs
+  in
+  if not distinct then
+    (* The same session twice in one wave would race against itself; degrade
+       to deterministic sequential submission. *)
+    Array.map (fun (s, ops) -> submit s ops) jobs
+  else begin
+    let wave =
+      match max_in_flight with
+      | Some w when w > 0 -> w
+      | _ -> 4 * Parallel.default_domains ()
+    in
+    let out = Array.make n None in
+    let i = ref 0 in
+    while !i < n do
+      let hi = min n (!i + wave) in
+      let slice = Array.sub jobs !i (hi - !i) in
+      let results = Parallel.map_array ?domains (fun (s, ops) -> submit s ops) slice in
+      Array.iteri (fun k r -> out.(!i + k) <- Some r) results;
+      i := hi
+    done;
+    Array.map Option.get out
+  end
+
+(* --- invariant audit (for tests) ------------------------------------------- *)
+
+let audit s =
+  let c = !(s.core) in
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let check_occ () =
+    let rec go a =
+      if a >= c.n_arcs then Ok ()
+      else begin
+        let ok = ref (Ok ()) in
+        for j = 0 to c.occ_len.(a) - 1 do
+          let q = c.occ_slot.(a).(j) and k = c.occ_back.(a).(j) in
+          if q < 0 || q >= c.n_slots || c.slots.(q) = None then
+            ok := fail "arc %d: dead occupant %d" a q
+          else if c.slot_arcs.(q).(k) <> a then
+            ok := fail "arc %d: back-pointer of slot %d is wrong" a q
+          else if c.slot_pos.(q).(k) <> j then
+            ok := fail "arc %d: position of slot %d is wrong" a q
+        done;
+        match !ok with Ok () -> go (a + 1) | e -> e
+      end
+    in
+    go 0
+  in
+  let check_loads () =
+    let loads = Array.make (max 1 c.n_arcs) 0 in
+    for i = 0 to c.n_slots - 1 do
+      if c.slots.(i) <> None then
+        Array.iter (fun a -> loads.(a) <- loads.(a) + 1) c.slot_arcs.(i)
+    done;
+    let rec go a =
+      if a >= c.n_arcs then Ok ()
+      else if loads.(a) <> c.occ_len.(a) then
+        fail "arc %d: load %d but occ_len %d" a loads.(a) c.occ_len.(a)
+      else go (a + 1)
+    in
+    match go 0 with
+    | Error _ as e -> e
+    | Ok () ->
+      let m = Array.fold_left max 0 loads in
+      if m <> c.maxload then fail "maxload %d but real max %d" c.maxload m else Ok ()
+  in
+  let check_warm () =
+    if not (c.warm && not c.dirty) then Ok ()
+    else begin
+      let rec arcs_ok a =
+        if a >= c.n_arcs then Ok ()
+        else begin
+          let seen = Array.make (max 1 c.palette) false in
+          let clash = ref None in
+          for j = 0 to c.occ_len.(a) - 1 do
+            let col = c.colors.(c.occ_slot.(a).(j)) in
+            if col < 0 || col >= c.palette then clash := Some col
+            else if seen.(col) then clash := Some col
+            else seen.(col) <- true
+          done;
+          match !clash with
+          | Some col -> fail "arc %d: color %d clashes or out of range" a col
+          | None -> arcs_ok (a + 1)
+        end
+      in
+      match arcs_ok 0 with
+      | Error _ as e -> e
+      | Ok () ->
+        if c.palette <> c.maxload then
+          fail "warm but palette %d <> pi %d" c.palette c.maxload
+        else begin
+          let rec counts_ok col =
+            if col >= c.palette then Ok ()
+            else if c.color_count.(col) <= 0 then fail "warm color %d unused" col
+            else counts_ok (col + 1)
+          in
+          counts_ok 0
+        end
+    end
+  in
+  match check_occ () with
+  | Error _ as e -> e
+  | Ok () -> ( match check_loads () with Error _ as e -> e | Ok () -> check_warm ())

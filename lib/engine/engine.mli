@@ -1,0 +1,164 @@
+(** Incremental solving sessions over mutable instances.
+
+    A session owns a private copy of a digraph plus a multiset of live
+    dipaths and keeps a wavelength assignment warm across mutations.  While
+    the graph has no internal cycle (the paper's Theorem 1 regime) the
+    session maintains the exact optimum [w = pi] incrementally:
+
+    {ul
+    {- {!add_path} first looks for a palette color free on the touched arcs
+       (a {e warm hit}), opens a fresh color when the insertion itself
+       raised the load [pi], and otherwise runs a bounded Theorem-1-style
+       Kempe-cascade repair;}
+    {- {!remove_path} keeps the palette contiguous and, when the optimum
+       shrank, greedily empties the smallest color class;}
+    {- {!add_arc} rejects directed cycles outright and re-classifies the
+       graph — the first internal cycle ends the warm regime.}}
+
+    Whenever the warm path gives up (flip budget exhausted, shrink failure,
+    internal cycle appeared) the session only marks itself dirty; the next
+    query transparently re-solves the materialized instance with
+    {!Wl_core.Solver.solve}, so results are always exactly what a fresh
+    solve of the current instance would report.  Cumulative per-session
+    {!stats} record how often each path was taken; the [engine.*]
+    {!Wl_obs.Metrics} counters aggregate the same events globally. *)
+
+open Wl_digraph
+open Wl_core
+
+type session
+
+type path_id = int
+(** Handles returned by {!add_path}: slot indices, never reused, so a stale
+    handle is detected ([Invalid_op]) rather than silently rebound. *)
+
+(** {1 Construction} *)
+
+val create : ?repair_budget:int -> Instance.t -> session
+(** Start a session from an existing instance (graph and paths are copied;
+    the instance value is not aliased).  [repair_budget] bounds the number
+    of dipaths a single warm repair may recolor before falling back to a
+    full re-solve (default 256; [0] disables warm repairs entirely). *)
+
+val of_digraph : ?repair_budget:int -> Digraph.t -> (session, Error.t) result
+(** Path-less session over a copy of the graph; [Error (Cyclic _)] when the
+    graph is not a DAG. *)
+
+(** {1 Mutations}
+
+    All mutations are result-typed and leave the session unchanged on
+    [Error]. *)
+
+val add_path : session -> Digraph.vertex list -> (path_id, Error.t) result
+(** Validates the vertex sequence against the current graph
+    ([Invalid_path]) and inserts it. *)
+
+val remove_path : session -> path_id -> (unit, Error.t) result
+(** [Bad_index] for an out-of-range handle, [Invalid_op] for an
+    already-removed one. *)
+
+val add_arc :
+  session -> Digraph.vertex -> Digraph.vertex -> (Digraph.arc, Error.t) result
+(** Appends an arc.  [Bad_index] on a bad endpoint, [Invalid_op] on a
+    self-loop or duplicate, [Cyclic] when the arc would close a directed
+    cycle (the graph must stay a DAG).  Arc ids are append-only, so dipath
+    handles survive. *)
+
+(** {1 Queries} *)
+
+val report : session -> Solver.report
+(** The solver report for the current instance.  O(live paths) straight off
+    the warm state; triggers one full solve first when the session is
+    dirty.  Equal (same wavelength count, same optimality) to
+    [Solver.solve (instance session)]. *)
+
+val color_of : session -> path_id -> (int, Error.t) result
+(** Current wavelength of a live path (forces a re-solve when dirty). *)
+
+val instance : session -> Instance.t
+(** Materialize the current graph and live paths (in handle order) as an
+    immutable instance.  The result does not alias session state. *)
+
+val id : session -> int
+val n_live_paths : session -> int
+val live_paths : session -> (path_id * Dipath.t) list
+val classification : session -> Wl_dag.Classify.t
+val pi : session -> int
+(** The live load, maintained incrementally (O(1) to read). *)
+
+val is_warm : session -> bool
+(** Whether the next mutation can take the incremental path. *)
+
+(** {1 Batched submission} *)
+
+type op =
+  | Add_path of Digraph.vertex list
+  | Remove_path of path_id
+  | Add_arc of Digraph.vertex * Digraph.vertex
+
+type op_outcome =
+  | Path_added of path_id
+  | Path_removed of path_id
+  | Arc_added of Digraph.arc
+
+type stats = {
+  ops : int;  (** accepted mutations *)
+  warm_hits : int;  (** adds colored with an existing free color *)
+  fresh_colors : int;  (** adds that opened a color because [pi] grew *)
+  repairs : int;  (** adds resolved by a Kempe cascade *)
+  repair_flips : int;  (** total dipaths recolored across repairs *)
+  shrink_recolors : int;  (** removals that emptied a color class greedily *)
+  warm_removes : int;  (** removals handled without re-solving *)
+  fallbacks : int;  (** warm attempts abandoned to a dirty re-solve *)
+  full_solves : int;  (** full [Solver.solve] runs *)
+  rejected : int;  (** mutations refused with an [Error] *)
+}
+
+val stats : session -> stats
+(** Cumulative since [create] (never rolled back). *)
+
+val hit_rate : stats -> float
+(** Fraction of accepted mutations handled warm; [1.0] when idle. *)
+
+type batch = {
+  outcomes : (op_outcome, Error.t) result array;
+      (** per-op, in submission order; failed ops are recorded and the rest
+          of the batch still runs *)
+  batch_report : Solver.report;  (** the report after the whole batch *)
+  batch_stats : stats;
+}
+
+val submit : session -> op list -> batch
+(** Apply a batch of mutations, then report once — intermediate states are
+    never solved, so a dirty streak inside the batch costs one solve at the
+    end, not one per op. *)
+
+val submit_many :
+  ?domains:int ->
+  ?max_in_flight:int ->
+  (session * op list) array ->
+  batch array
+(** Independent sessions solve in parallel over {!Wl_util.Parallel} domains,
+    processed in waves of [max_in_flight] (default [4 * default_domains ()])
+    as backpressure.  If the same session appears twice the whole call
+    degrades to deterministic sequential submission. *)
+
+(** {1 Snapshot / rollback} *)
+
+type snapshot
+
+val snapshot : session -> snapshot
+(** Deep copy of the session state (graph, paths, coloring, caches); O(size
+    of session), independent of later mutations. *)
+
+val rollback : session -> snapshot -> (unit, Error.t) result
+(** Restore a snapshot taken from {e this} session; [Invalid_op] when the
+    snapshot belongs to another session.  A snapshot can be rolled back to
+    any number of times.  Cumulative {!stats} are not rolled back. *)
+
+(** {1 Auditing} *)
+
+val audit : session -> (unit, string) result
+(** Exhaustive internal-invariant check (occupancy index, load accounting,
+    warm coloring validity and contiguity); O(total path length).  Test
+    hook. *)

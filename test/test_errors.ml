@@ -99,6 +99,36 @@ let test_baselines_contracts () =
     (raises_invalid (fun () ->
          Baselines.best_of_random_orders (Prng.create 1) ~tries:0 inst))
 
+(* The CLI dispatches on these, so every constructor must keep a distinct
+   sysexits-style code and a printable message. *)
+let test_error_exit_codes () =
+  let samples =
+    [
+      Error.Parse { line = 3; msg = "boom" };
+      Error.Invalid_path "p";
+      Error.Cyclic "c";
+      Error.Bad_index { what = "path"; index = 7 };
+      Error.Invalid_op "op";
+      Error.Precondition "pre";
+      Error.Unsupported_version 9;
+      Error.Io "io";
+    ]
+  in
+  let codes = List.map Error.exit_code samples in
+  check_int "all codes distinct" (List.length samples)
+    (List.length (List.sort_uniq compare codes));
+  List.iter2
+    (fun e code ->
+      check "sysexits range" true (code >= 64 && code <= 78);
+      check "message nonempty" true (String.length (Error.to_string e) > 0))
+    samples codes;
+  (* get_exn mirrors raise_error *)
+  check_int "get_exn ok" 5 (Error.get_exn (Ok 5));
+  check "get_exn raises" true
+    (match Error.get_exn (Error (Error.Io "x")) with
+    | exception Error.Error (Error.Io "x") -> true
+    | _ -> false)
+
 let suite =
   [
     ( "contracts",
@@ -112,5 +142,6 @@ let suite =
         Alcotest.test_case "generators" `Quick test_generator_contracts;
         Alcotest.test_case "exact coloring" `Quick test_exact_contracts;
         Alcotest.test_case "baselines" `Quick test_baselines_contracts;
+        Alcotest.test_case "error exit codes" `Quick test_error_exit_codes;
       ] );
   ]
