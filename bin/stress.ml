@@ -6,21 +6,49 @@
    OCaml 5 domains.
 
    Run with: dune exec bin/stress.exe -- [--seeds N] [--domains D]
-               [--metrics] [--replay SEED] [SWEEP..]
+               [--metrics] [--replay SEED] [--shrink] [SWEEP..]
    Sweeps: thm1 thm2 thm6 thm6multi casec grooming all (default: all)
 
    --metrics      collect and print solver-internals counters at the end
    --replay SEED  rerun one sweep on a single seed with tracing enabled
                   and print the span tree — for diagnosing a reported
                   failure, not just reproducing it (requires exactly one
-                  SWEEP argument) *)
+                  SWEEP argument)
+   --shrink       when a sweep fails, minimize its first failure with the
+                  Wl_check shrinker and print the reduced .wl instance *)
 
 module Sweeps = Wl_validate.Sweeps
 module Parallel = Wl_util.Parallel
 module Metrics = Wl_obs.Metrics
 module Trace = Wl_obs.Trace
 
-let run_sweep ~seeds ~domains name case =
+(* Minimize the first failing seed of a sweep and print the reduced
+   instance.  The sweep's property can stop applying as the shrinker
+   strips structure (guards return None off-class); in that case the
+   original seed is still the reproducer, just not a minimal one. *)
+let shrink_failure name seed =
+  match Sweeps.find_sweep name with
+  | None -> ()
+  | Some sweep -> (
+    let oracle = Wl_check.Oracle.of_sweep sweep in
+    let subject = oracle.Wl_check.Oracle.generate seed in
+    match
+      Wl_check.Shrink.minimize ~check:oracle.Wl_check.Oracle.check subject
+    with
+    | exception Invalid_argument _ ->
+      Printf.printf "  seed %d no longer fails under the oracle; not shrunk\n"
+        seed
+    | shrunk ->
+      let s = shrunk.Wl_check.Shrink.subject in
+      Printf.printf
+        "  seed %d shrunk to %d vertices / %d paths in %d attempts (%s)\n"
+        seed
+        (Wl_check.Subject.n_vertices s)
+        (Wl_check.Subject.n_paths s)
+        shrunk.Wl_check.Shrink.attempts shrunk.Wl_check.Shrink.reason;
+      print_string (Wl_check.Subject.wl_string s))
+
+let run_sweep ~seeds ~domains ~shrink name case =
   let t0 = Unix.gettimeofday () in
   let failures = Sweeps.run ~domains ~seeds case in
   let dt = Unix.gettimeofday () -. t0 in
@@ -31,6 +59,9 @@ let run_sweep ~seeds ~domains name case =
     | (seed, reason) :: _ ->
       Printf.sprintf "%d FAILURES (first: seed %d, %s)" (List.length failures)
         seed reason);
+  (match failures with
+  | (seed, _) :: _ when shrink -> shrink_failure name seed
+  | _ -> ());
   failures = []
 
 (* Rerun a single seed of a single sweep with full observability: the
@@ -55,6 +86,7 @@ let replay ~seed name case =
 let () =
   let seeds = ref 2000 and domains = ref (Parallel.default_domains ()) in
   let metrics = ref false and replay_seed = ref None in
+  let shrink = ref false in
   let chosen = ref [] in
   let rec parse = function
     | [] -> ()
@@ -69,6 +101,9 @@ let () =
       parse rest
     | "--replay" :: v :: rest ->
       replay_seed := Some (int_of_string v);
+      parse rest
+    | "--shrink" :: rest ->
+      shrink := true;
       parse rest
     | "all" :: rest -> parse rest
     | name :: rest ->
@@ -96,7 +131,8 @@ let () =
     if !metrics then Metrics.set_enabled true;
     let ok =
       List.for_all
-        (fun (name, case) -> run_sweep ~seeds:!seeds ~domains:!domains name case)
+        (fun (name, case) ->
+          run_sweep ~seeds:!seeds ~domains:!domains ~shrink:!shrink name case)
         to_run
     in
     if !metrics then begin

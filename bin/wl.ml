@@ -366,6 +366,155 @@ let session_cmd =
           report the final assignment plus engine counters.")
     Term.(const session $ file_arg $ ops_file $ budget $ quiet)
 
+(* --- fuzz --- *)
+
+let fuzz_oracles spec =
+  let all = Wl_check.Oracle.all in
+  if spec = "all" then Ok all
+  else
+    let names = String.split_on_char ',' spec |> List.map String.trim in
+    let rec resolve acc = function
+      | [] -> Ok (List.rev acc)
+      | name :: rest -> (
+        match Wl_check.Oracle.find name with
+        | Some o -> resolve (o :: acc) rest
+        | None ->
+          Error
+            (Printf.sprintf "unknown check %S (try: %s, selftest)" name
+               (String.concat ", "
+                  (List.map (fun o -> o.Wl_check.Oracle.name) all))))
+    in
+    resolve [] names
+
+let fuzz checks seeds seed0 budget domains corpus json replay list_checks
+    shrink_attempts =
+  let module Oracle = Wl_check.Oracle in
+  let module Fuzz = Wl_check.Fuzz in
+  if list_checks then
+    List.iter
+      (fun o -> Printf.printf "%-12s %s\n" o.Oracle.name o.Oracle.doc)
+      (Oracle.all @ [ Oracle.selftest ])
+  else
+    match replay with
+    | Some dir -> (
+      match Wl_check.Corpus.load dir with
+      | Error msg ->
+        Printf.eprintf "wl: %s: %s\n" dir msg;
+        exit 74
+      | Ok entries ->
+        let failures =
+          List.filter_map
+            (fun e ->
+              Option.map
+                (fun reason -> (Filename.basename e.Wl_check.Corpus.wl_file, reason))
+                (Wl_check.Corpus.replay e))
+            entries
+        in
+        if failures = [] then
+          Printf.printf "corpus ok: %d entries replayed\n" (List.length entries)
+        else begin
+          List.iter
+            (fun (file, reason) -> Printf.printf "REGRESSION: %s: %s\n" file reason)
+            failures;
+          exit 1
+        end)
+    | None ->
+      let oracles = or_die (fuzz_oracles checks) in
+      let summary =
+        Fuzz.run ?domains ~seed0 ?budget_s:budget ?shrink_attempts ~seeds
+          oracles
+      in
+      (match corpus with
+      | None -> ()
+      | Some dir ->
+        let written = Fuzz.write_corpus ~dir summary in
+        List.iter (fun f -> Printf.eprintf "wl: wrote %s\n" f) written);
+      if json then print_string (Fuzz.to_json ~pretty:true summary ^ "\n")
+      else Format.printf "%a" Fuzz.pp summary;
+      if summary.Fuzz.total_failures > 0 then exit 1
+
+let fuzz_cmd =
+  let checks =
+    Arg.(
+      value & opt string "all"
+      & info [ "checks" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated oracle names, or $(b,all) for the full \
+             differential set plus the lifted validation sweeps (see \
+             $(b,--list)).")
+  in
+  let seeds =
+    Arg.(
+      value & opt int 100
+      & info [ "seeds" ] ~docv:"N" ~doc:"Seeds to run per check.")
+  in
+  let seed0 =
+    Arg.(value & opt int 0 & info [ "seed0" ] ~docv:"K" ~doc:"First seed.")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "time" ] ~docv:"SECS"
+          ~doc:
+            "Global wall-clock budget: stop starting new work after $(docv) \
+             seconds (the CI smoke-run bound).")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"D" ~doc:"Worker domains for the seed sweep.")
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Write every failure's shrunk reproducer into this corpus \
+             directory as CHECK.sSEED.wl (plus .wlops when ops are \
+             involved).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print the machine summary (schema wl-fuzz/1, includes the \
+             shrunk reproducers; byte-stable at a fixed seed range).")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "replay" ] ~docv:"DIR"
+          ~doc:
+            "Replay a regression corpus instead of fuzzing: every entry's \
+             oracle must pass; exits 1 on any regression.")
+  in
+  let list_checks =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"List the available checks and exit.")
+  in
+  let shrink_attempts =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shrink-attempts" ] ~docv:"N"
+          ~doc:"Max oracle re-runs per failure minimization (default 4000).")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Property-based fuzzing: run differential oracles over seeded \
+          random instances, shrink failures to minimal reproducers, and \
+          maintain the regression corpus.")
+    Term.(
+      const fuzz $ checks $ seeds $ seed0 $ budget $ domains $ corpus $ json
+      $ replay $ list_checks $ shrink_attempts)
+
 (* --- trace-check --- *)
 
 let trace_check file =
@@ -400,5 +549,5 @@ let () =
        (Cmd.group info
           [
             analyze_cmd; color_cmd; generate_cmd; dot_cmd; svg_cmd; groom_cmd;
-            witness_cmd; verify_cmd; session_cmd; trace_check_cmd;
+            witness_cmd; verify_cmd; session_cmd; fuzz_cmd; trace_check_cmd;
           ]))

@@ -1,0 +1,398 @@
+open Wl_digraph
+open Wl_core
+module Engine = Wl_engine.Engine
+module Script = Wl_engine.Script
+module Generators = Wl_netgen.Generators
+module Path_gen = Wl_netgen.Path_gen
+module Prng = Wl_util.Prng
+module Classify = Wl_dag.Classify
+module Sweeps = Wl_validate.Sweeps
+
+type t = {
+  name : string;
+  doc : string;
+  generate : int -> Subject.t;
+  check : Subject.t -> string option;
+}
+
+(* --- shared generator pieces ------------------------------------------------ *)
+
+let dedup paths =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun p ->
+      let key = Dipath.vertices p in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    paths
+
+(* Random engine op mix (same shape as the PR-3 equivalence property):
+   mostly path insertions via short random walks, some removals by raw
+   handle, some arc insertions by raw endpoints — including ops the engine
+   must reject, since rejection is part of the behavior under test. *)
+let random_ops rng g ~n_initial ~count =
+  let n = Digraph.n_vertices g in
+  let next = ref n_initial in
+  List.init count (fun _ ->
+      match Prng.int rng 10 with
+      | 0 | 1 ->
+        if !next = 0 then Engine.Add_arc (Prng.int rng n, Prng.int rng n)
+        else Engine.Remove_path (Prng.int rng !next)
+      | 2 -> Engine.Add_arc (Prng.int rng n, Prng.int rng n)
+      | _ ->
+        let rec go v acc len =
+          let succs = Digraph.succ g v in
+          if succs = [] || len >= 5 || (len >= 1 && Prng.bernoulli rng 0.3) then
+            List.rev acc
+          else
+            let w = Prng.choose_list rng succs in
+            go w (w :: acc) (len + 1)
+        in
+        let v0 = Prng.int rng n in
+        incr next;
+        Engine.Add_path (go v0 [ v0 ] 0))
+
+let distinct_paths inst =
+  let seen = Hashtbl.create 16 in
+  List.for_all
+    (fun p ->
+      let key = Dipath.vertices p in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    (Instance.paths_list inst)
+
+let same_instance a b =
+  let ga = Instance.graph a and gb = Instance.graph b in
+  Digraph.n_vertices ga = Digraph.n_vertices gb
+  && Digraph.arcs ga = Digraph.arcs gb
+  && List.map Dipath.vertices (Instance.paths_list a)
+     = List.map Dipath.vertices (Instance.paths_list b)
+
+(* --- thm1_dsatur ------------------------------------------------------------ *)
+
+let thm1_dsatur =
+  let generate seed =
+    let rng = Prng.create seed in
+    let dag = Generators.gnp_no_internal_cycle rng 14 0.25 in
+    Subject.make (Path_gen.random_instance rng dag 8)
+  in
+  let check (s : Subject.t) =
+    let inst = s.Subject.inst in
+    if Wl_dag.Internal_cycle.has_internal_cycle (Instance.dag inst) then None
+    else begin
+      let pi = Load.pi inst in
+      match Theorem1.color_result inst with
+      | Error _ -> Some "theorem 1 hit case C without an internal cycle"
+      | Ok a ->
+        if not (Assignment.is_valid inst a) then
+          Some "theorem 1 produced an invalid assignment"
+        else begin
+          let w1 = Assignment.n_wavelengths (Assignment.normalize a) in
+          if w1 <> pi then
+            Some
+              (Printf.sprintf "theorem 1 used %d wavelengths, load is %d" w1 pi)
+          else begin
+            let cg = Conflict_of.build inst in
+            let d = Wl_conflict.Coloring.dsatur cg in
+            if not (Wl_conflict.Coloring.is_valid cg d) then
+              Some "DSATUR produced an invalid coloring"
+            else begin
+              let wd =
+                Wl_conflict.Coloring.n_colors (Wl_conflict.Coloring.normalize d)
+              in
+              if wd < pi then
+                Some
+                  (Printf.sprintf "DSATUR used %d colors, below the load %d" wd
+                     pi)
+              else None
+            end
+          end
+        end
+    end
+  in
+  {
+    name = "thm1_dsatur";
+    doc = "Theorem 1 (w = pi) vs an independent DSATUR arm, both audited";
+    generate;
+    check;
+  }
+
+(* --- solver_exact ----------------------------------------------------------- *)
+
+let solver_exact =
+  let generate seed =
+    let rng = Prng.create seed in
+    let dag = Generators.gnp_dag rng 10 0.3 in
+    Subject.make (Path_gen.random_instance rng dag 6)
+  in
+  let check (s : Subject.t) =
+    let inst = s.Subject.inst in
+    if Instance.n_paths inst > 12 then None
+    else begin
+      let report = Solver.solve inst in
+      let chi = Bounds.chromatic_exact inst in
+      if not (Assignment.is_valid inst report.Solver.assignment) then
+        Some "solver produced an invalid assignment"
+      else if report.Solver.n_wavelengths < chi then
+        Some
+          (Printf.sprintf "solver used %d wavelengths, chromatic number is %d"
+             report.Solver.n_wavelengths chi)
+      else if report.Solver.lower_bound > chi then
+        Some
+          (Printf.sprintf "lower bound %d exceeds the chromatic number %d"
+             report.Solver.lower_bound chi)
+      else if Load.pi inst > chi then
+        Some
+          (Printf.sprintf "load %d exceeds the chromatic number %d"
+             (Load.pi inst) chi)
+      else if report.Solver.optimal && report.Solver.n_wavelengths <> chi then
+        Some
+          (Printf.sprintf
+             "optimal report used %d wavelengths, chromatic number is %d"
+             report.Solver.n_wavelengths chi)
+      else None
+    end
+  in
+  {
+    name = "solver_exact";
+    doc = "Solver dispatch vs the exact chromatic number on small instances";
+    generate;
+    check;
+  }
+
+(* --- engine ----------------------------------------------------------------- *)
+
+let engine =
+  let generate seed =
+    let rng = Prng.create seed in
+    let dag = Generators.gnp_no_internal_cycle rng 12 0.25 in
+    let inst = Path_gen.random_instance rng dag 5 in
+    let ops =
+      random_ops rng (Instance.graph inst)
+        ~n_initial:(Instance.n_paths inst) ~count:12
+    in
+    Subject.make ~ops inst
+  in
+  let check (s : Subject.t) =
+    let sess = Engine.create s.Subject.inst in
+    let compare_with_fresh step =
+      let r = Engine.report sess in
+      let inst = Engine.instance sess in
+      let fresh = Solver.solve inst in
+      if not (Assignment.is_valid inst r.Solver.assignment) then
+        Some (Printf.sprintf "engine assignment invalid after op %d" step)
+      else if r.Solver.n_wavelengths <> fresh.Solver.n_wavelengths then
+        Some
+          (Printf.sprintf
+             "engine reported %d wavelengths, fresh solve %d, after op %d"
+             r.Solver.n_wavelengths fresh.Solver.n_wavelengths step)
+      else if r.Solver.optimal <> fresh.Solver.optimal then
+        Some (Printf.sprintf "optimality flag diverged after op %d" step)
+      else
+        match Engine.audit sess with
+        | Ok () -> None
+        | Error msg -> Some (Printf.sprintf "audit after op %d: %s" step msg)
+    in
+    let rec go step = function
+      | [] -> None
+      | op :: rest -> (
+        ignore (Engine.submit sess [ op ]);
+        match compare_with_fresh step with
+        | Some _ as failure -> failure
+        | None -> go (step + 1) rest)
+    in
+    match compare_with_fresh (-1) with
+    | Some _ as failure -> failure
+    | None -> go 0 s.Subject.ops
+  in
+  {
+    name = "engine";
+    doc = "Warm incremental sessions vs a fresh solve after every op";
+    generate;
+    check;
+  }
+
+(* --- serial ----------------------------------------------------------------- *)
+
+let serial =
+  let generate seed =
+    let rng = Prng.create seed in
+    let dag = Generators.gnp_dag rng 12 0.25 in
+    let inst = Path_gen.random_instance rng dag 6 in
+    let ops =
+      random_ops rng (Instance.graph inst)
+        ~n_initial:(Instance.n_paths inst) ~count:6
+    in
+    Subject.make ~ops inst
+  in
+  let check (s : Subject.t) =
+    let inst = s.Subject.inst in
+    let text = Serial.to_string inst in
+    match Serial.of_string text with
+    | Error e -> Some ("v2 parse failed: " ^ Error.to_string e)
+    | Ok inst2 ->
+      if Serial.to_string inst2 <> text then Some "v2 re-render not byte-stable"
+      else if not (same_instance inst inst2) then
+        Some "v2 round-trip changed the instance"
+      else begin
+        let v1 = Serial.to_string ~version:1 inst in
+        match Serial.of_string v1 with
+        | Error e -> Some ("v1 parse failed: " ^ Error.to_string e)
+        | Ok inst1 ->
+          if not (same_instance inst inst1) then
+            Some "v1 round-trip changed the instance"
+          else begin
+            match Serial.of_json (Serial.to_json inst) with
+            | Error e -> Some ("json parse failed: " ^ Error.to_string e)
+            | Ok instj ->
+              if not (same_instance inst instj) then
+                Some "json round-trip changed the instance"
+              else begin
+                match Serial.of_json (Serial.to_json ~pretty:true inst) with
+                | Error e ->
+                  Some ("pretty json parse failed: " ^ Error.to_string e)
+                | Ok instp ->
+                  if not (same_instance inst instp) then
+                    Some "pretty json round-trip changed the instance"
+                  else begin
+                    let ops = s.Subject.ops in
+                    match Script.of_string (Script.to_string ops) with
+                    | Error e ->
+                      Some ("ops text parse failed: " ^ Error.to_string e)
+                    | Ok ops' when ops' <> ops ->
+                      Some "ops text round-trip changed the script"
+                    | Ok _ -> (
+                      match Script.of_json (Script.to_json ops) with
+                      | Error e ->
+                        Some ("ops json parse failed: " ^ Error.to_string e)
+                      | Ok ops' when ops' <> ops ->
+                        Some "ops json round-trip changed the script"
+                      | Ok _ -> None)
+                  end
+              end
+          end
+      end
+  in
+  {
+    name = "serial";
+    doc = "Text v1/v2 and JSON round-trips of instances and op scripts";
+    generate;
+    check;
+  }
+
+(* --- invariants ------------------------------------------------------------- *)
+
+let invariants =
+  let generate seed =
+    let rng = Prng.create seed in
+    match seed mod 4 with
+    | 0 ->
+      let dag = Generators.gnp_no_internal_cycle rng 12 0.25 in
+      Subject.make (Path_gen.random_instance rng dag 8)
+    | 1 ->
+      let dag = Generators.gnp_dag rng 12 0.3 in
+      Subject.make (Path_gen.random_instance rng dag 8)
+    | 2 ->
+      let dag = Generators.upp_one_internal_cycle rng () in
+      Subject.make (Instance.make dag (dedup (Path_gen.random_family rng dag 10)))
+    | _ ->
+      let dag = Generators.upp_internal_cycles rng ~cycles:(1 + (seed mod 3)) () in
+      Subject.make (Instance.make dag (dedup (Path_gen.random_family rng dag 10)))
+  in
+  let check (s : Subject.t) =
+    let inst = s.Subject.inst in
+    let report = Solver.solve inst in
+    let pi = Load.pi inst in
+    let c = report.Solver.classification in
+    if not (Assignment.is_valid inst report.Solver.assignment) then
+      Some "invalid assignment"
+    else if report.Solver.pi <> pi then
+      Some
+        (Printf.sprintf "report load %d, recomputed load %d" report.Solver.pi
+           pi)
+    else if report.Solver.n_wavelengths < pi then
+      Some
+        (Printf.sprintf "pi <= w violated: %d wavelengths, load %d"
+           report.Solver.n_wavelengths pi)
+    else if
+      c.Classify.n_internal_cycles = 0 && report.Solver.n_wavelengths <> pi
+    then
+      Some
+        (Printf.sprintf
+           "w = pi violated without internal cycle: %d wavelengths, load %d"
+           report.Solver.n_wavelengths pi)
+    else if
+      c.Classify.is_upp
+      && Wl_conflict.Graph_props.has_k23 (Conflict_of.build inst)
+    then Some "induced K_{2,3} in a UPP conflict graph (Corollary 5)"
+    else if
+      report.Solver.method_used = Solver.Theorem_6
+      && distinct_paths inst
+      && report.Solver.n_wavelengths > Theorem6.upper_bound pi
+    then
+      Some
+        (Printf.sprintf "Theorem 6 ceiling violated: %d wavelengths, load %d"
+           report.Solver.n_wavelengths pi)
+    else
+      match Certificate.audit inst report with
+      | [] -> None
+      | issue :: _ -> Some ("certificate: " ^ issue)
+  in
+  {
+    name = "invariants";
+    doc =
+      "Paper invariants on mixed classes: validity, pi <= w, w = pi without \
+       internal cycles, UPP K_{2,3}-freeness, Theorem 6 ceiling, certificate \
+       audit";
+    generate;
+    check;
+  }
+
+(* --- lifted sweeps and the self-test ---------------------------------------- *)
+
+let of_sweep (sw : Sweeps.sweep) =
+  {
+    name = sw.Sweeps.name;
+    doc = "validation sweep " ^ sw.Sweeps.name ^ " (see Wl_validate.Sweeps)";
+    generate = (fun seed -> Subject.make (sw.Sweeps.generate seed));
+    check = (fun s -> sw.Sweeps.property s.Subject.inst);
+  }
+
+let selftest =
+  let generate seed =
+    let rng = Prng.create seed in
+    let dag = Generators.gnp_no_internal_cycle rng 6 0.5 in
+    Subject.make (Path_gen.random_instance rng dag 4)
+  in
+  let check (s : Subject.t) =
+    let pi = Load.pi s.Subject.inst in
+    if pi >= 2 then
+      Some (Printf.sprintf "load %d >= 2 (deliberate self-test failure)" pi)
+    else None
+  in
+  {
+    name = "selftest";
+    doc =
+      "Deliberately false claim (load < 2) exercising the shrink pipeline; \
+       not part of the default set";
+    generate;
+    check;
+  }
+
+let all =
+  [ thm1_dsatur; solver_exact; engine; serial; invariants ]
+  @ List.map of_sweep Sweeps.sweeps
+
+let find name = List.find_opt (fun o -> o.name = name) (all @ [ selftest ])
+
+let run oracle seed =
+  match oracle.check (oracle.generate seed) with
+  | None -> None
+  | Some reason -> Some (seed, reason)
+  | exception e -> Some (seed, Printexc.to_string e)

@@ -1,0 +1,66 @@
+(** Named fuzzing oracles: seeded subject generators paired with checks.
+
+    Each oracle bundles a deterministic generator ([generate seed], always
+    the same subject for the same seed) with a total check ([None] when
+    every claim held).  The differential oracles pit independent solver
+    arms against each other — the paper's sharp statements make every arm
+    an oracle for every other:
+
+    {ul
+    {- [thm1_dsatur]: on internal-cycle-free DAGs, Theorem 1 must be
+       valid and use exactly [pi] colors, while DSATUR (independent arm,
+       via the conflict graph) must be valid and can never beat [pi];}
+    {- [solver_exact]: {!Wl_core.Solver.solve} vs the exact chromatic
+       number of the conflict graph on small instances — an [optimal]
+       report must agree with it exactly, and no arm may go below it;}
+    {- [engine]: random op sequences against a warm {!Wl_engine.Engine}
+       session, compared op by op with a fresh [Solver.solve] of the
+       materialized instance (the PR-3 equivalence property, here in
+       shrinkable form);}
+    {- [serial]: text v1/v2 and JSON round-trips of instances and op
+       scripts must reproduce the structure byte-stably;}
+    {- [invariants]: the paper's unconditional claims on a mixed diet of
+       generated classes — validity, [pi <= w], [w = pi] without internal
+       cycles, [K_{2,3}]-freeness of UPP conflict graphs (Corollary 5),
+       the Theorem 6 ceiling, and a full {!Wl_core.Certificate} audit.}}
+
+    The validation sweeps of {!Wl_validate.Sweeps} are lifted into the
+    same shape by {!of_sweep}, so one fuzz/shrink pipeline serves both.
+
+    Checks guard their own applicability: a subject outside an oracle's
+    structural class (which the shrinker produces on purpose) reads as a
+    pass, never as a spurious failure. *)
+
+type t = {
+  name : string;
+  doc : string;  (** one-line description, shown by [wl fuzz --list] *)
+  generate : int -> Subject.t;  (** deterministic in the seed *)
+  check : Subject.t -> string option;  (** [None] = every claim held *)
+}
+
+val thm1_dsatur : t
+val solver_exact : t
+val engine : t
+val serial : t
+val invariants : t
+
+val of_sweep : Wl_validate.Sweeps.sweep -> t
+(** Lift a validation sweep (op script always empty, the property as the
+    check) so sweep failures shrink like native oracle failures. *)
+
+val selftest : t
+(** A deliberately false claim ("no instance has load [>= 2]") used to
+    exercise the whole catch/shrink/reproduce pipeline deterministically.
+    Not part of {!all}; reachable by name. *)
+
+val all : t list
+(** The native oracles above followed by the lifted sweeps ([thm1],
+    [thm2], [thm6], [thm6multi], [casec], [grooming]).  Excludes
+    {!selftest}. *)
+
+val find : string -> t option
+(** Lookup by name over {!all} plus {!selftest}. *)
+
+val run : t -> int -> (int * string) option
+(** Generate and check one seed; exceptions from either phase are captured
+    as failures.  Returns [(seed, reason)] on failure. *)

@@ -1,0 +1,168 @@
+module Engine = Wl_engine.Engine
+
+type result = {
+  subject : Subject.t;
+  reason : string;
+  rounds : int;
+  attempts : int;
+}
+
+let run_check check s =
+  match check s with
+  | r -> r
+  | exception e -> Some (Printexc.to_string e)
+
+let remove_window i len xs = List.filteri (fun j _ -> j < i || j >= i + len) xs
+
+let minimize ?(max_attempts = 4000) ~check subject =
+  let reason0 =
+    match run_check check subject with
+    | Some r -> r
+    | None -> invalid_arg "Shrink.minimize: subject does not fail the check"
+  in
+  let attempts = ref 0 in
+  let best_parts = ref (Subject.to_parts subject) in
+  let best_subject = ref subject in
+  let best_reason = ref reason0 in
+  let improved = ref false in
+  (* Keep a candidate exactly when it is well-formed and still fails. *)
+  let try_parts parts =
+    if !attempts >= max_attempts then false
+    else begin
+      incr attempts;
+      match Subject.of_parts parts with
+      | None -> false
+      | Some s -> (
+        match run_check check s with
+        | None -> false
+        | Some reason ->
+          best_parts := parts;
+          best_subject := s;
+          best_reason := reason;
+          improved := true;
+          true)
+    end
+  in
+  (* Chunked deletion at halving granularity over one list component. *)
+  let ddmin get set =
+    let rec granularity chunk =
+      if chunk > 0 then begin
+        let rec at i =
+          let items = get !best_parts in
+          if i < List.length items then
+            if try_parts (set !best_parts (remove_window i chunk items)) then
+              at i (* window gone; same position in the shorter list *)
+            else at (i + chunk)
+        in
+        at 0;
+        granularity (if chunk = 1 then 0 else chunk / 2)
+      end
+    in
+    let n = List.length (get !best_parts) in
+    if n > 0 then granularity (max 1 (n / 2))
+  in
+  (* Trim path ends: a shorter dipath witnessing the same failure. *)
+  let trim_paths () =
+    let try_variant i f =
+      let p = !best_parts in
+      match f (List.nth p.Subject.paths i) with
+      | None -> false
+      | Some path' ->
+        let paths =
+          List.mapi (fun j q -> if j = i then path' else q) p.Subject.paths
+        in
+        try_parts { p with Subject.paths }
+    in
+    let drop_last p =
+      let n = List.length p in
+      if n > 2 then Some (List.filteri (fun j _ -> j < n - 1) p) else None
+    in
+    let drop_first = function
+      | _ :: (_ :: _ :: _ as rest) -> Some rest
+      | _ -> None
+    in
+    let rec per_path i =
+      if i < List.length (!best_parts).Subject.paths then begin
+        while try_variant i drop_last do
+          ()
+        done;
+        while try_variant i drop_first do
+          ()
+        done;
+        per_path (i + 1)
+      end
+    in
+    per_path 0
+  in
+  (* Renumber away vertices referenced by nothing. *)
+  let compact_vertices () =
+    let p = !best_parts in
+    let n = p.Subject.n_vertices in
+    let used = Array.make (max 1 n) false in
+    let mark v = if v >= 0 && v < n then used.(v) <- true in
+    List.iter
+      (fun (u, v) ->
+        mark u;
+        mark v)
+      p.Subject.arcs;
+    List.iter (List.iter mark) p.Subject.paths;
+    List.iter
+      (function
+        | Engine.Add_path vs -> List.iter mark vs
+        | Engine.Add_arc (u, v) ->
+          mark u;
+          mark v
+        | Engine.Remove_path _ -> ())
+      p.Subject.ops;
+    let remap = Array.make (max 1 n) (-1) in
+    let next = ref 0 in
+    Array.iteri
+      (fun v u ->
+        if u then begin
+          remap.(v) <- !next;
+          incr next
+        end)
+      used;
+    if !next < n then begin
+      (* Out-of-range references stay out of range in the smaller graph. *)
+      let mv v = if v >= 0 && v < n && remap.(v) >= 0 then remap.(v) else v in
+      ignore
+        (try_parts
+           {
+             Subject.n_vertices = !next;
+             arcs = List.map (fun (u, v) -> (mv u, mv v)) p.Subject.arcs;
+             paths = List.map (List.map mv) p.Subject.paths;
+             ops =
+               List.map
+                 (function
+                   | Engine.Add_path vs -> Engine.Add_path (List.map mv vs)
+                   | Engine.Add_arc (u, v) -> Engine.Add_arc (mv u, mv v)
+                   | Engine.Remove_path _ as op -> op)
+                 p.Subject.ops;
+           })
+    end
+  in
+  let rounds = ref 0 in
+  let keep_going = ref true in
+  while !keep_going && !attempts < max_attempts do
+    incr rounds;
+    improved := false;
+    ddmin
+      (fun p -> p.Subject.ops)
+      (fun p ops -> { p with Subject.ops });
+    ddmin
+      (fun p -> p.Subject.paths)
+      (fun p paths -> { p with Subject.paths });
+    ddmin
+      (fun p -> p.Subject.arcs)
+      (fun p arcs -> { p with Subject.arcs });
+    trim_paths ();
+    compact_vertices ();
+    keep_going := !improved
+  done;
+  {
+    subject = !best_subject;
+    reason = !best_reason;
+    rounds = !rounds;
+    attempts = !attempts;
+  }

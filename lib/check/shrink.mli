@@ -1,0 +1,34 @@
+(** Failure minimization by delta debugging.
+
+    Given a failing subject and the oracle check it fails, produce a
+    (locally) minimal subject that still fails.  The shrinker edits the
+    subject's raw {!Subject.parts} — never the solver state — and re-runs
+    the check after every candidate edit, keeping an edit exactly when the
+    candidate is well-formed and {e still fails} (any reason counts: a
+    shifted diagnosis on a smaller input is still a reproducer).
+
+    One round applies, in order: ddmin (chunked deletion at halving
+    granularity) over the op script, ddmin over the path family, per-arc
+    deletion, per-path end trimming, and unused-vertex compaction with
+    renumbering.  Rounds repeat to a fixed point.  Everything is
+    deterministic — no randomness, a fixed candidate order — so shrinking
+    the same failure twice yields byte-identical reproducers, which is
+    what lets them be golden-tested and checked into the corpus. *)
+
+type result = {
+  subject : Subject.t;  (** the minimized subject; still fails the check *)
+  reason : string;  (** the check's reason on the minimized subject *)
+  rounds : int;  (** fixed-point iterations *)
+  attempts : int;  (** candidate evaluations (oracle re-runs) *)
+}
+
+val minimize :
+  ?max_attempts:int ->
+  check:(Subject.t -> string option) ->
+  Subject.t ->
+  result
+(** [max_attempts] (default 4000) bounds oracle re-runs; when exhausted
+    the best subject so far is returned.  Raises [Invalid_argument] when
+    the initial subject does not fail [check].  Exceptions raised by
+    [check] count as failures (with [Printexc.to_string] as the reason),
+    matching the fuzz driver. *)

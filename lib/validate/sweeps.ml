@@ -2,11 +2,19 @@ open Wl_core
 module Generators = Wl_netgen.Generators
 module Path_gen = Wl_netgen.Path_gen
 module Prng = Wl_util.Prng
+module Classify = Wl_dag.Classify
 module Metrics = Wl_obs.Metrics
 module Trace = Wl_obs.Trace
 module Clock = Wl_obs.Clock
 
 type case = int -> string option
+type property = Instance.t -> string option
+
+type sweep = {
+  name : string;
+  generate : int -> Instance.t;
+  property : property;
+}
 
 (* Wrap a case with per-seed observability: a latency histogram and a
    failure counter per sweep name, a [sweep.<name>] span per seed and an
@@ -51,23 +59,38 @@ let dedup paths =
       end)
     paths
 
-(* Each case returns [None] on success, [Some reason] on failure. *)
+(* Each sweep splits into a deterministic [generate] (seed to instance) and
+   a [property] checked on the generated instance.  Properties guard their
+   own applicability (returning [None] off-hypothesis) so that they stay
+   meaningful on arbitrary instances — the Wl_check shrinker re-runs them
+   on mutilated copies of a failing instance, and an off-class copy must
+   read as "claim not violated", not as a spurious failure. *)
 
-let theorem1 seed =
+let theorem1_generate seed =
   let rng = Prng.create seed in
   let dag = Generators.gnp_no_internal_cycle rng 30 0.12 in
-  let inst = Path_gen.random_instance rng dag 20 in
-  match Theorem1.color_result inst with
-  | Error _ -> Some "unexpected case C"
-  | Ok a ->
-    if not (Assignment.is_valid inst a) then Some "invalid assignment"
-    else if Assignment.n_wavelengths (Assignment.normalize a) <> Load.pi inst
-    then Some "w <> pi"
-    else None
+  Path_gen.random_instance rng dag 20
 
-let theorem2 seed =
+let theorem1_property inst =
+  if Wl_dag.Internal_cycle.has_internal_cycle (Instance.dag inst) then None
+  else
+    match Theorem1.color_result inst with
+    | Error _ -> Some "unexpected case C"
+    | Ok a ->
+      if not (Assignment.is_valid inst a) then Some "invalid assignment"
+      else if Assignment.n_wavelengths (Assignment.normalize a) <> Load.pi inst
+      then Some "w <> pi"
+      else None
+
+(* Theorem 2 and case C are claims about the DAG alone; their instances
+   carry an empty family and the property rebuilds the gap family. *)
+let dag_only_generate seed =
   let rng = Prng.create seed in
   let dag = Generators.gnp_dag rng 16 0.3 in
+  Instance.make dag []
+
+let theorem2_property inst =
+  let dag = Instance.dag inst in
   match Theorem2.build dag with
   | None ->
     if Wl_dag.Internal_cycle.has_internal_cycle dag then
@@ -81,36 +104,46 @@ let theorem2 seed =
     then Some "conflict graph not a cycle"
     else None
 
-let theorem6 seed =
+let theorem6_generate seed =
   let rng = Prng.create seed in
   let dag = Generators.upp_one_internal_cycle rng () in
-  let inst = Instance.make dag (dedup (Path_gen.random_family rng dag 16)) in
-  match Theorem6.color_with_stats ~check:false inst with
-  | exception e -> Some (Printexc.to_string e)
-  | a, stats ->
-    if not (Assignment.is_valid inst a) then Some "invalid assignment"
-    else if stats.Theorem6.n_colors > Theorem6.upper_bound stats.Theorem6.pi
-    then Some "bound exceeded"
-    else None
+  Instance.make dag (dedup (Path_gen.random_family rng dag 16))
 
-let theorem6_multi seed =
+let theorem6_property inst =
+  let c = Classify.classify (Instance.dag inst) in
+  if not (c.Classify.is_upp && c.Classify.n_internal_cycles = 1) then None
+  else
+    match Theorem6.color_with_stats ~check:false inst with
+    | exception e -> Some (Printexc.to_string e)
+    | a, stats ->
+      if not (Assignment.is_valid inst a) then Some "invalid assignment"
+      else if stats.Theorem6.n_colors > Theorem6.upper_bound stats.Theorem6.pi
+      then Some "bound exceeded"
+      else None
+
+let theorem6_multi_generate seed =
   let rng = Prng.create seed in
   let cycles = 1 + (seed mod 4) in
   let dag = Generators.upp_internal_cycles rng ~cycles () in
-  let inst = Instance.make dag (dedup (Path_gen.random_family rng dag 16)) in
-  match Theorem6_multi.color ~check:false inst with
-  | exception e -> Some (Printexc.to_string e)
-  | a ->
-    if not (Assignment.is_valid inst a) then Some "invalid assignment"
-    else if
-      Assignment.n_wavelengths (Assignment.normalize a)
-      > Theorem6_multi.upper_bound ~n_internal_cycles:cycles (Load.pi inst)
-    then Some "iterated bound exceeded"
-    else None
+  Instance.make dag (dedup (Path_gen.random_family rng dag 16))
 
-let case_c seed =
-  let rng = Prng.create seed in
-  let dag = Generators.gnp_dag rng 16 0.3 in
+let theorem6_multi_property inst =
+  let c = Classify.classify (Instance.dag inst) in
+  let cycles = c.Classify.n_internal_cycles in
+  if not (c.Classify.is_upp && cycles >= 1) then None
+  else
+    match Theorem6_multi.color ~check:false inst with
+    | exception e -> Some (Printexc.to_string e)
+    | a ->
+      if not (Assignment.is_valid inst a) then Some "invalid assignment"
+      else if
+        Assignment.n_wavelengths (Assignment.normalize a)
+        > Theorem6_multi.upper_bound ~n_internal_cycles:cycles (Load.pi inst)
+      then Some "iterated bound exceeded"
+      else None
+
+let case_c_property inst =
+  let dag = Instance.dag inst in
   match Theorem2.build dag with
   | None -> None
   | Some inst -> (
@@ -124,31 +157,54 @@ let case_c seed =
         if Wl_dag.Internal_cycle.verify_canonical dag can then None
         else Some "witness failed verification"))
 
-let grooming seed =
+let grooming_generate seed =
   let rng = Prng.create seed in
   let dag = Generators.gnp_no_internal_cycle rng 14 0.2 in
-  let inst = Path_gen.random_instance rng dag 10 in
-  let w = max 1 (Load.pi inst / 2) in
-  match Grooming.satisfy inst ~w with
-  | None -> Some "no selection"
-  | Some (sel, assignment) ->
-    if sel.Grooming.load > w then Some "selection over load"
-    else if Assignment.n_wavelengths assignment > w then Some "over w colors"
-    else None
+  Path_gen.random_instance rng dag 10
 
-let theorem1 = instrument "thm1" theorem1
-let theorem2 = instrument "thm2" theorem2
-let theorem6 = instrument "thm6" theorem6
-let theorem6_multi = instrument "thm6multi" theorem6_multi
-let case_c = instrument "casec" case_c
-let grooming = instrument "grooming" grooming
+let grooming_property inst =
+  if Wl_dag.Internal_cycle.has_internal_cycle (Instance.dag inst) then None
+  else begin
+    let w = max 1 (Load.pi inst / 2) in
+    match Grooming.satisfy inst ~w with
+    | None -> Some "no selection"
+    | Some (sel, assignment) ->
+      if sel.Grooming.load > w then Some "selection over load"
+      else if Assignment.n_wavelengths assignment > w then Some "over w colors"
+      else None
+  end
 
-let all =
+let sweeps =
   [
-    ("thm1", theorem1); ("thm2", theorem2); ("thm6", theorem6);
-    ("thm6multi", theorem6_multi); ("casec", case_c);
-    ("grooming", grooming);
+    { name = "thm1"; generate = theorem1_generate; property = theorem1_property };
+    { name = "thm2"; generate = dag_only_generate; property = theorem2_property };
+    { name = "thm6"; generate = theorem6_generate; property = theorem6_property };
+    {
+      name = "thm6multi";
+      generate = theorem6_multi_generate;
+      property = theorem6_multi_property;
+    };
+    { name = "casec"; generate = dag_only_generate; property = case_c_property };
+    {
+      name = "grooming";
+      generate = grooming_generate;
+      property = grooming_property;
+    };
   ]
+
+let case_of_sweep { name; generate; property } =
+  instrument name (fun seed -> property (generate seed))
+
+let find_sweep name = List.find_opt (fun s -> s.name = name) sweeps
+
+let all = List.map (fun s -> (s.name, case_of_sweep s)) sweeps
+
+let theorem1 = List.assoc "thm1" all
+let theorem2 = List.assoc "thm2" all
+let theorem6 = List.assoc "thm6" all
+let theorem6_multi = List.assoc "thm6multi" all
+let case_c = List.assoc "casec" all
+let grooming = List.assoc "grooming" all
 
 let run ?domains ~seeds case =
   let results =
@@ -158,5 +214,9 @@ let run ?domains ~seeds case =
         | Some reason -> Some (seed, reason)
         | exception e -> Some (seed, Printexc.to_string e))
   in
-  Array.to_list results |> List.filter_map Fun.id
-
+  (* [Parallel.init] already reassembles by index, but the ascending-seed
+     contract is part of the interface ("first failure" must not depend on
+     ~domains), so enforce it rather than inherit it. *)
+  Array.to_list results
+  |> List.filter_map Fun.id
+  |> List.sort (fun (s1, _) (s2, _) -> compare (s1 : int) s2)

@@ -1,19 +1,54 @@
 (** Randomized end-to-end validation sweeps, one per theorem.
 
-    Each case generates an instance from a seed, runs the corresponding
-    algorithm, and checks the paper's claim on the result; [None] means the
-    claim held.  `bin/stress` runs them at six-figure scale (in parallel
-    over domains), the test suite at CI scale.  Every case is a pure
-    function of its seed, so a reported failure replays exactly.
+    Each sweep is a deterministic {!sweep.generate} (seed to instance)
+    paired with a {!property} that checks the paper's claim on the
+    generated instance; [None] means the claim held.  `bin/stress` runs
+    them at six-figure scale (in parallel over domains), the test suite at
+    CI scale.  Every case is a pure function of its seed, so a reported
+    failure replays exactly — and because the generate/property split is
+    exposed, [Wl_check] can {e shrink} a failing seed's instance by
+    re-running the property on smaller copies ([Wl_check.Oracle.of_sweep]).
 
-    Each named case is instrumented: with {!Wl_obs.Metrics} enabled it
-    records a per-seed latency histogram ([sweep.<name>.ns]) plus seed and
-    failure counters, and with {!Wl_obs.Trace} enabled each seed runs in a
-    [sweep.<name>] span (failures add an instant event carrying the seed
+    Properties guard their own applicability: on an instance outside the
+    sweep's structural class (possible only for shrunken copies, never for
+    generated ones) they return [None] rather than a spurious failure.
+
+    Each named case is instrumented ({!instrument}): with
+    {!Wl_obs.Metrics} enabled it records a per-seed latency histogram
+    ([sweep.<name>.ns]) plus seed and failure counters
+    ([sweep.<name>.seeds], [sweep.<name>.failures]), and with
+    {!Wl_obs.Trace} enabled each seed runs in a [sweep.<name>] span
+    (failures add a [sweep.<name>.failure] instant event carrying the seed
     and reason).  Off by default, at one atomic load per seed. *)
 
 type case = int -> string option
 (** [case seed] is [None] on success, [Some reason] on failure. *)
+
+type property = Wl_core.Instance.t -> string option
+(** A claim checked on an explicit instance; [None] when it holds (or does
+    not apply). *)
+
+type sweep = {
+  name : string;
+  generate : int -> Wl_core.Instance.t;  (** deterministic in the seed *)
+  property : property;
+}
+
+val sweeps : sweep list
+(** The structured sweeps, in presentation order: [thm1], [thm2], [thm6],
+    [thm6multi], [casec], [grooming].  The [thm2]/[casec] sweeps are
+    claims about the DAG alone; their generated instances carry an empty
+    family and the property rebuilds the Theorem 2 gap family itself. *)
+
+val find_sweep : string -> sweep option
+
+val instrument : string -> case -> case
+(** Wrap a case with the [sweep.<name>] metrics and spans described above.
+    The named cases below are already wrapped; exposed so tests and custom
+    sweeps get identical accounting. *)
+
+val case_of_sweep : sweep -> case
+(** [instrument]ed composition of [generate] and [property]. *)
 
 val theorem1 : case
 (** Random internal-cycle-free DAG: valid assignment, exactly [pi] colors. *)
@@ -40,7 +75,8 @@ val grooming : case
 val all : (string * case) list
 (** The named sweeps above, in presentation order. *)
 
-val run :
-  ?domains:int -> seeds:int -> case -> (int * string) list
+val run : ?domains:int -> seeds:int -> case -> (int * string) list
 (** Run one case over seeds [0 .. seeds-1] (chunk-parallel over domains)
-    and return the failures. *)
+    and return the failures in ascending seed order — the order is part of
+    the contract, so "first failure" is deterministic and independent of
+    [~domains]. *)

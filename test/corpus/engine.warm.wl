@@ -1,0 +1,7 @@
+wl 2
+dag 4
+arc 0 1
+arc 1 2
+arc 1 3
+path 0 1 2
+path 1 3

@@ -1,0 +1,9 @@
+wl 2
+dag 5
+arc 0 1
+arc 1 2
+arc 2 3
+arc 2 4
+path 0 1 2 3
+path 1 2 4
+path 2 3

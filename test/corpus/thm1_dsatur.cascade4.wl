@@ -1,0 +1,10 @@
+wl 2
+dag 4
+arc 2 3
+arc 3 0
+arc 3 1
+arc 0 1
+path 0 1
+path 3 1
+path 2 3 0 1
+path 2 3 1

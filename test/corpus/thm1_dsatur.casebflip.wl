@@ -1,0 +1,8 @@
+wl 2
+dag 4
+arc 1 3
+arc 3 0
+arc 3 2
+path 1 3 0
+path 1 3 2
+path 3 2

@@ -1,0 +1,5 @@
+wl 2
+dag 2
+arc 0 1
+path 0 1
+path 0 1

@@ -4,6 +4,8 @@
 
 open Helpers
 module Sweeps = Wl_validate.Sweeps
+module Metrics = Wl_obs.Metrics
+module Trace = Wl_obs.Trace
 
 let sweep_case name case =
   Alcotest.test_case name `Slow (fun () ->
@@ -24,9 +26,77 @@ let test_failure_reporting () =
   let raising _ = failwith "boom" in
   check_int "exceptions counted" 3 (List.length (Sweeps.run ~seeds:3 raising))
 
+let test_failure_ordering () =
+  (* Failures come back in ascending seed order whatever the domain
+     count — "first failure" is part of the contract. *)
+  let broken seed = if seed mod 7 < 3 then Some "fail" else None in
+  let expected =
+    List.filter (fun s -> s mod 7 < 3) (List.init 100 Fun.id)
+  in
+  List.iter
+    (fun domains ->
+      let failures = Sweeps.run ~domains ~seeds:100 broken in
+      check
+        (Printf.sprintf "sorted seeds (%d domains)" domains)
+        true
+        (List.map fst failures = expected))
+    [ 1; 2; 4 ]
+
+let test_instrumentation () =
+  (* [instrument] must account every seed and failure: the counters match
+     the returned failure list exactly, the latency histogram sees every
+     seed, and each failure emits one [sweep.<name>.failure] instant
+     carrying its seed. *)
+  let broken seed = if seed mod 3 = 0 then Some "mod3" else None in
+  let case = Sweeps.instrument "testcase" broken in
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  let sink = Trace.memory () in
+  Trace.set_sink sink;
+  let failures = Sweeps.run ~domains:2 ~seeds:10 case in
+  Trace.clear ();
+  Metrics.set_enabled false;
+  let counter name =
+    Option.value ~default:0 (Metrics.find_counter ("sweep.testcase." ^ name))
+  in
+  check_int "failures returned" 4 (List.length failures);
+  check_int "seeds counter" 10 (counter "seeds");
+  check_int "failures counter" (List.length failures) (counter "failures");
+  (match Metrics.find_histogram "sweep.testcase.ns" with
+  | None -> Alcotest.fail "latency histogram missing"
+  | Some h -> check_int "latency observations" 10 h.Metrics.count);
+  let events = Trace.events sink in
+  let instant_seeds =
+    List.filter_map
+      (fun (e : Trace.event) ->
+        if e.Trace.instant && e.Trace.name = "sweep.testcase.failure" then
+          match List.assoc_opt "seed" e.Trace.args with
+          | Some (Trace.Int s) -> Some s
+          | _ -> None
+        else None)
+      events
+    |> List.sort compare
+  in
+  check "one instant per failure, seeds matching" true
+    (instant_seeds = List.map fst failures);
+  let spans =
+    List.filter
+      (fun (e : Trace.event) ->
+        (not e.Trace.instant) && e.Trace.name = "sweep.testcase")
+      events
+  in
+  check_int "one span per seed" 10 (List.length spans);
+  Metrics.reset ()
+
 let suite =
   [
     ( "sweeps",
-      Alcotest.test_case "failure reporting" `Quick test_failure_reporting
-      :: List.map (fun (name, case) -> sweep_case name case) Sweeps.all );
+      [
+        Alcotest.test_case "failure reporting" `Quick test_failure_reporting;
+        Alcotest.test_case "failure ordering across domains" `Quick
+          test_failure_ordering;
+        Alcotest.test_case "instrumentation accounting" `Quick
+          test_instrumentation;
+      ]
+      @ List.map (fun (name, case) -> sweep_case name case) Sweeps.all );
   ]
