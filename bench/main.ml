@@ -584,37 +584,9 @@ let run_perf () =
    Instance construction fans out over domains via Parallel.map_array; the
    timed sections themselves run sequentially so numbers stay clean. *)
 
-let time_ns f =
-  let now = Unix.gettimeofday in
-  (* Fence off garbage from whatever ran before so it isn't collected on
-     this function's clock. *)
-  Gc.major ();
-  ignore (f ());
-  (* One calibration run sizes the batch to ~60ms. *)
-  let t0 = now () in
-  ignore (f ());
-  let est = max (now () -. t0) 1e-7 in
-  let reps = max 1 (min 2000 (int_of_float (0.06 /. est))) in
-  let best = ref infinity in
-  for _ = 1 to 5 do
-    let t0 = now () in
-    for _ = 1 to reps do
-      ignore (f ())
-    done;
-    best := min !best ((now () -. t0) /. float_of_int reps)
-  done;
-  !best *. 1e9
-
 module Metrics = Wl_obs.Metrics
-
-type json_bench = {
-  jb_name : string;
-  jb_params : (string * int) list;
-  jb_extras : (string * float) list;
-  jb_ns : float;
-  jb_baseline_ns : float option;
-  jb_counters : (string * Metrics.instrument) list;
-}
+module Store = Wl_obs.Store
+module Jsonx = Wl_json.Jsonx
 
 (* Counter snapshot of one un-timed run of [f]: reset, enable, run, read.
    Timed sections always run with metrics off so ns/op stays clean; the
@@ -626,23 +598,7 @@ let counters_of_run f =
   Metrics.set_enabled false;
   let snap = Metrics.snapshot () in
   Metrics.reset ();
-  snap
-
-let add_counters_json buf indent counters =
-  Printf.bprintf buf "\"counters\": {";
-  List.iteri
-    (fun i (name, inst) ->
-      if i > 0 then Buffer.add_char buf ',';
-      Printf.bprintf buf "\n%s  \"%s\": " indent name;
-      match inst with
-      | Metrics.Counter v -> Printf.bprintf buf "%d" v
-      | Metrics.Histogram h ->
-        Printf.bprintf buf
-          "{\"count\": %d, \"sum\": %d, \"min\": %d, \"max\": %d}" h.Metrics.count
-          h.Metrics.sum h.Metrics.min h.Metrics.max)
-    counters;
-  if counters <> [] then Printf.bprintf buf "\n%s" indent;
-  Buffer.add_char buf '}'
+  List.map (fun (name, inst) -> (name, Store.json_of_instrument inst)) snap
 
 let make_nic_instance (n, k) =
   let rng = Prng.create (20260704 + n) in
@@ -672,26 +628,27 @@ let run_perf_json ~domains () =
     let dag = Generators.gnp_dag rng 60 0.12 in
     Path_gen.random_instance rng dag 150
   in
-  let benches = ref [] in
+  let points = ref [] in
   let record ?(extras = []) name params f baseline =
-    let jb_ns = time_ns f in
-    let jb_baseline_ns = Option.map time_ns baseline in
-    let jb_counters = counters_of_run f in
-    Printf.printf "  %-32s %12.0f ns/op" name jb_ns;
-    (match jb_baseline_ns with
-    | Some b -> Printf.printf "   baseline %12.0f ns/op   speedup %6.2fx" b (b /. jb_ns)
+    let sample = Wl_bench.Runner.measure (fun () -> ignore (f ())) in
+    let baseline_ns =
+      Option.map
+        (fun b ->
+          (Wl_bench.Runner.measure (fun () -> ignore (b ()))).Store.median_ns)
+        baseline
+    in
+    let counters = counters_of_run f in
+    Printf.printf "  %-32s %12.0f ns/op (± %.0f MAD)" name
+      sample.Store.median_ns sample.Store.mad_ns;
+    (match baseline_ns with
+    | Some b ->
+      Printf.printf "   baseline %12.0f ns/op   speedup %6.2fx" b
+        (b /. sample.Store.median_ns)
     | None -> ());
     print_newline ();
-    benches :=
-      {
-        jb_name = name;
-        jb_params = params;
-        jb_extras = extras;
-        jb_ns;
-        jb_baseline_ns;
-        jb_counters;
-      }
-      :: !benches
+    points :=
+      { Store.name; params; extras; sample; baseline_ns; counters }
+      :: !points
   in
   Array.iteri
     (fun i (n, k) ->
@@ -814,47 +771,38 @@ let run_perf_json ~domains () =
         (d, dt, failures = [], counters))
       (List.sort_uniq compare [ 1; 2; domains ])
   in
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"wavelength-bench-core/2\",\n";
-  Buffer.add_string buf
-    "  \"command\": \"bench/main.exe -- perf --json\",\n";
-  Printf.bprintf buf "  \"domains\": %d,\n" domains;
-  Buffer.add_string buf "  \"benches\": [\n";
-  let benches = List.rev !benches in
-  List.iteri
-    (fun i jb ->
-      Printf.bprintf buf "    {\"name\": \"%s\"" jb.jb_name;
-      List.iter (fun (k, v) -> Printf.bprintf buf ", \"%s\": %d" k v) jb.jb_params;
-      List.iter (fun (k, v) -> Printf.bprintf buf ", \"%s\": %.4f" k v) jb.jb_extras;
-      Printf.bprintf buf ", \"ns_per_op\": %.1f" jb.jb_ns;
-      (match jb.jb_baseline_ns with
-      | Some b ->
-        Printf.bprintf buf ", \"baseline_ns_per_op\": %.1f, \"speedup\": %.2f" b
-          (b /. jb.jb_ns)
-      | None -> ());
-      Buffer.add_string buf ", ";
-      add_counters_json buf "    " jb.jb_counters;
-      Buffer.add_string buf
-        (if i = List.length benches - 1 then "}\n" else "},\n"))
-    benches;
-  Buffer.add_string buf "  ],\n";
-  Buffer.add_string buf "  \"sweep_trajectory\": [\n";
-  List.iteri
-    (fun i (d, dt, ok, counters) ->
-      Printf.bprintf buf
-        "    {\"sweep\": \"thm1\", \"domains\": %d, \"seeds\": %d, \"seconds\": %.3f, \"ok\": %b, "
-        d sweep_seeds dt ok;
-      add_counters_json buf "    " counters;
-      Printf.bprintf buf "}%s\n"
-        (if i = List.length trajectory - 1 then "" else ","))
-    trajectory;
-  Buffer.add_string buf "  ]\n}\n";
-  let oc = open_out "BENCH_core.json" in
-  output_string oc (Buffer.contents buf);
-  close_out oc;
-  Printf.printf "wrote BENCH_core.json (%d benches, %d trajectory points)\n"
-    (List.length benches) (List.length trajectory)
+  let sweep_json =
+    Jsonx.Arr
+      (List.map
+         (fun (d, dt, ok, counters) ->
+           Jsonx.Obj
+             [
+               ("sweep", Jsonx.Str "thm1");
+               ("domains", Jsonx.Int d);
+               ("seeds", Jsonx.Int sweep_seeds);
+               ("seconds", Jsonx.Float dt);
+               ("ok", Jsonx.Bool ok);
+               ( "counters",
+                 Jsonx.Obj
+                   (List.map
+                      (fun (n, i) -> (n, Store.json_of_instrument i))
+                      counters) );
+             ])
+         trajectory)
+  in
+  let entry =
+    Store.make
+      ~note:"bench/main.exe -- perf --json"
+      ~extra:[ ("sweep_trajectory", sweep_json) ]
+      ~domains (List.rev !points)
+  in
+  Store.write_file "BENCH_core.json" entry;
+  Printf.printf
+    "wrote BENCH_core.json (schema %s, rev %s, %d benches, %d trajectory \
+     points)\n"
+    Store.schema entry.Store.rev
+    (List.length entry.Store.points)
+    (List.length trajectory)
 
 let run_tables () =
   e1 ();

@@ -15,6 +15,10 @@ open Cmdliner
 open Wl_core
 module Metrics = Wl_obs.Metrics
 module Trace = Wl_obs.Trace
+module Prof = Wl_obs.Prof
+module Store = Wl_obs.Store
+module Runner = Wl_bench.Runner
+module Report = Wl_bench.Report
 
 (* Structured errors exit with their sysexits-style code ({!Error.exit_code});
    plain string errors (CLI usage problems) keep the historical exit 1. *)
@@ -45,13 +49,26 @@ let analyze file trace_file stats =
     | Some _ ->
       let s = Trace.memory () in
       Trace.set_sink s;
+      (* With a sink installed, the GC probe decorates every span with
+         allocation/collection deltas and self-time. *)
+      Prof.enable ();
       Some s
   in
-  if stats then Metrics.set_enabled true;
+  if stats then begin
+    Metrics.set_enabled true;
+    (* Profiling needs live spans; without a trace file the discard sink
+       runs the probes while dropping the events themselves. *)
+    if sink = None then Trace.set_sink Trace.discard;
+    Prof.enable ()
+  end;
   let report = Solver.solve inst in
+  Prof.disable ();
   Trace.clear ();
   Metrics.set_enabled false;
   Format.printf "%a@." (Solver.pp_report ~stats) report;
+  if stats && Prof.snapshot () <> [] then
+    Format.printf "%a@." Prof.pp_summary ();
+  Prof.reset ();
   match (trace_file, sink) with
   | Some out, Some sink ->
     let json = Trace.to_chrome (Trace.events sink) in
@@ -515,6 +532,241 @@ let fuzz_cmd =
       const fuzz $ checks $ seeds $ seed0 $ budget $ domains $ corpus $ json
       $ replay $ list_checks $ shrink_attempts)
 
+(* --- bench --- *)
+
+let parse_handicap spec =
+  match String.rindex_opt spec ':' with
+  | None -> Error (Printf.sprintf "--handicap expects NAME:NS, got %S" spec)
+  | Some i -> (
+    let name = String.sub spec 0 i in
+    let ns = String.sub spec (i + 1) (String.length spec - i - 1) in
+    match int_of_string_opt ns with
+    | Some ns when ns >= 0 -> Ok (name, ns)
+    | _ -> Error (Printf.sprintf "--handicap %s: NS must be a non-negative integer" spec))
+
+let load_history trajectory =
+  if Sys.file_exists trajectory then
+    or_die_e ~ctx:trajectory
+      (Result.map_error (fun m -> Error.Io m) (Store.load trajectory))
+  else []
+
+let bench gate record trajectory runs quick threshold window note handicaps
+    domains =
+  let handicaps = List.map (fun h -> or_die (parse_handicap h)) handicaps in
+  Printf.printf "wl bench: %s suite, %d runs/arm%s\n%!"
+    (if quick then "quick" else "full")
+    runs
+    (if handicaps = [] then ""
+     else
+       " (handicapped: "
+       ^ String.concat ", " (List.map fst handicaps)
+       ^ ")");
+  let entry =
+    Runner.run_suite ~quick ~runs ~handicaps ?note ?domains
+      ~on_point:(fun p ->
+        Printf.printf "  %-34s %12s  ± %-10s cv %4.1f%%\n%!" p.Store.name
+          (Report.human_ns p.Store.sample.Store.median_ns)
+          (Report.human_ns p.Store.sample.Store.mad_ns)
+          (100. *. p.Store.sample.Store.cv))
+      ()
+  in
+  let history = load_history trajectory in
+  if record then begin
+    Store.append trajectory entry;
+    Printf.printf "recorded rev %s @ %s -> %s (%d entries)\n" entry.Store.rev
+      entry.Store.timestamp trajectory
+      (List.length history + 1)
+  end;
+  if gate then
+    if history = [] then
+      if record then
+        Printf.printf "gate: no prior baseline; this run starts the trajectory\n"
+      else begin
+        Printf.eprintf
+          "wl: gate: no baseline in %s (record one with wl bench --record)\n"
+          trajectory;
+        exit 2
+      end
+    else begin
+      let cmp = Store.compare ~window ~threshold_pct:threshold ~history entry in
+      Format.printf "%a@." Store.pp_comparison cmp;
+      if cmp.Store.regressions > 0 then begin
+        Printf.eprintf
+          "wl: gate: regression detected (bless intentional changes with wl \
+           bench --record)\n";
+        exit 1
+      end
+      else if cmp.Store.improvements > 0 then exit 3
+    end
+
+let bench_cmd =
+  let gate =
+    Arg.(
+      value & flag
+      & info [ "gate" ]
+          ~doc:
+            "Compare this run against the rolling baseline from the \
+             trajectory.  Exits 0 when stable, 1 on a regression, 2 when \
+             there is no baseline (unless $(b,--record) starts one), 3 on \
+             an unexplained improvement.")
+  in
+  let record =
+    Arg.(
+      value & flag
+      & info [ "record" ]
+          ~doc:
+            "Append this run to the trajectory, keyed by git rev — also how \
+             an intentional perf change is blessed as the new baseline.")
+  in
+  let trajectory =
+    Arg.(
+      value
+      & opt string "BENCH_trajectory.jsonl"
+      & info [ "trajectory" ] ~docv:"FILE"
+          ~doc:"Trajectory file (JSONL, schema wavelength-bench-core/3).")
+  in
+  let runs =
+    Arg.(
+      value & opt int 7
+      & info [ "runs" ] ~docv:"N" ~doc:"Timed batches per arm (median/MAD over these).")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:
+            "Small instances under distinct bench names — for CI smoke runs; \
+             never compared against the full suite.")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 10.
+      & info [ "threshold" ] ~docv:"PCT"
+          ~doc:
+            "Gate tolerance floor: flag when the median moves more than \
+             max($(docv)%% of baseline, 3 x MAD of the baseline window).")
+  in
+  let window =
+    Arg.(
+      value & opt int 5
+      & info [ "window" ] ~docv:"K"
+          ~doc:"Baseline = rolling median of the last $(docv) recorded entries.")
+  in
+  let note =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "note" ] ~docv:"TEXT" ~doc:"Free-form note stored with the entry.")
+  in
+  let handicap =
+    Arg.(
+      value & opt_all string []
+      & info [ "handicap" ] ~docv:"NAME:NS"
+          ~doc:
+            "Inject a busy-wait of NS nanoseconds into the named arm — a \
+             synthetic regression for testing the gate end-to-end.")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"D" ~doc:"Domain count recorded with the entry.")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Measure the benchmark suite (median/MAD/CV over repeated runs, \
+          plus a counter/GC observation pass) and optionally gate against \
+          or record into the commit-keyed trajectory.")
+    Term.(
+      const bench $ gate $ record $ trajectory $ runs $ quick $ threshold
+      $ window $ note $ handicap $ domains)
+
+(* --- report --- *)
+
+let report trajectory html_out check last window threshold =
+  let history = load_history trajectory in
+  if history = [] then begin
+    Printf.eprintf
+      "wl: %s is empty or missing (record with wl bench --record)\n" trajectory;
+    exit 2
+  end;
+  let history =
+    match last with
+    | Some n when n > 0 && List.length history > n ->
+      List.filteri (fun i _ -> i >= List.length history - n) history
+    | _ -> history
+  in
+  Format.printf "%a@." (Report.pp_terminal ~window ~threshold_pct:threshold)
+    history;
+  let html = Report.html ~window ~threshold_pct:threshold history in
+  (match html_out with
+  | Some out ->
+    let oc = open_out out in
+    output_string oc html;
+    close_out oc;
+    Printf.printf "wrote %s (%d bytes, %d entries)\n" out (String.length html)
+      (List.length history)
+  | None -> ());
+  if check then
+    match Report.check_html ~history html with
+    | Ok n -> Printf.printf "report ok: all %d bench names present\n" n
+    | Error msg ->
+      Printf.eprintf "wl: report check failed: %s\n" msg;
+      exit 1
+
+let report_cmd =
+  let trajectory =
+    Arg.(
+      value
+      & opt string "BENCH_trajectory.jsonl"
+      & info [ "trajectory" ] ~docv:"FILE"
+          ~doc:
+            "Trajectory to render (JSONL from wl bench --record, or a \
+             BENCH_core.json-style file).")
+  in
+  let html_out =
+    Arg.(
+      value
+      & opt (some string) None ~vopt:(Some "BENCH_report.html")
+      & info [ "html" ] ~docv:"FILE"
+          ~doc:
+            "Also write the self-contained HTML dashboard (defaults to \
+             BENCH_report.html when $(docv) is omitted).")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Verify the generated HTML is well-formed and mentions every \
+             bench in the trajectory; exits 1 otherwise.")
+  in
+  let last =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "last" ] ~docv:"N" ~doc:"Render only the last $(docv) entries.")
+  in
+  let window =
+    Arg.(
+      value & opt int 5
+      & info [ "window" ] ~docv:"K" ~doc:"Gate window (as in wl bench).")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 10.
+      & info [ "threshold" ] ~docv:"PCT" ~doc:"Gate threshold (as in wl bench).")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render the bench trajectory: a terminal dashboard (trend \
+          sparklines, baseline deltas, counter movements, GC by span) and \
+          optionally the single-file HTML report.")
+    Term.(
+      const report $ trajectory $ html_out $ check $ last $ window $ threshold)
+
 (* --- trace-check --- *)
 
 let trace_check file =
@@ -549,5 +801,6 @@ let () =
        (Cmd.group info
           [
             analyze_cmd; color_cmd; generate_cmd; dot_cmd; svg_cmd; groom_cmd;
-            witness_cmd; verify_cmd; session_cmd; fuzz_cmd; trace_check_cmd;
+            witness_cmd; verify_cmd; session_cmd; fuzz_cmd; bench_cmd;
+            report_cmd; trace_check_cmd;
           ]))

@@ -1,0 +1,163 @@
+(* The benchmark arms `wl bench` runs and gates on.
+
+   Workload shapes mirror bench/main.exe's perf engine (Theorem 1
+   coloring, dense DSATUR, conflict-graph construction, load, a warm
+   engine mutation) but at sizes chosen so a full gated run finishes in
+   seconds: the gate wants many repeated measurements per commit more
+   than it wants big instances.  Sizes are embedded in arm names, so the
+   quick and full suites produce disjoint bench ids and the regression
+   gate never compares a quick run against a full baseline. *)
+
+open Wl_core
+module Generators = Wl_netgen.Generators
+module Path_gen = Wl_netgen.Path_gen
+module Prng = Wl_util.Prng
+
+type arm = {
+  name : string;
+  params : (string * int) list;
+  run : unit -> unit;
+  baseline : (unit -> unit) option;
+  extras : unit -> (string * float) list;
+}
+
+let no_extras () = []
+
+let make_nic_instance n k =
+  let rng = Prng.create (20260704 + n) in
+  let dag = Generators.gnp_no_internal_cycle rng n (8.0 /. float_of_int n) in
+  Path_gen.random_instance rng dag k
+
+let make_dense_ugraph n pct =
+  let rng = Prng.create (77 + n) in
+  let g = Wl_conflict.Ugraph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Prng.int rng 100 < pct then Wl_conflict.Ugraph.add_edge g u v
+    done
+  done;
+  g
+
+let thm1_arm n =
+  let k = 3 * n / 4 in
+  let inst = make_nic_instance n k in
+  {
+    name = Printf.sprintf "thm1/color/n=%d" n;
+    params = [ ("n", n); ("paths", k) ];
+    run = (fun () -> ignore (Theorem1.color inst));
+    baseline = None;
+    extras = no_extras;
+  }
+
+let dsatur_arm n =
+  let pct = 50 in
+  let g = make_dense_ugraph n pct in
+  {
+    name = Printf.sprintf "coloring/dsatur/dense-n=%d" n;
+    params =
+      [ ("n", n); ("edge_pct", pct); ("edges", Wl_conflict.Ugraph.n_edges g) ];
+    run = (fun () -> ignore (Wl_conflict.Coloring.dsatur g));
+    baseline = None;
+    extras = no_extras;
+  }
+
+let conflict_arm k =
+  let n = 60 in
+  let inst =
+    let rng = Prng.create 3 in
+    let dag = Generators.gnp_dag rng n 0.12 in
+    Path_gen.random_instance rng dag k
+  in
+  {
+    name = Printf.sprintf "conflict/build/%d-paths" k;
+    params = [ ("n", n); ("paths", k) ];
+    run = (fun () -> ignore (Conflict_of.build inst));
+    baseline = None;
+    extras = no_extras;
+  }
+
+let load_arm n =
+  let inst = make_nic_instance n (3 * n / 4) in
+  {
+    name = Printf.sprintf "load/pi/n=%d" n;
+    params = [ ("n", n); ("paths", 3 * n / 4) ];
+    run = (fun () -> ignore (Load.pi inst));
+    baseline = None;
+    extras = no_extras;
+  }
+
+(* One warm incremental mutation on a live session: add a path, query the
+   report, remove it again.  The add/remove pair keeps the session
+   periodic, so every timed iteration does identical work; the warm-hit
+   rate of the whole session rides along as an extra. *)
+let engine_arm n =
+  let module Engine = Wl_engine.Engine in
+  let k = 3 * n / 4 in
+  let inst = make_nic_instance n k in
+  let verts =
+    Wl_digraph.Dipath.vertices (List.hd (Instance.paths_list inst))
+  in
+  let session = Engine.create inst in
+  ignore (Engine.report session);
+  let step () =
+    match Engine.add_path session verts with
+    | Error e -> failwith (Error.to_string e)
+    | Ok pid -> (
+      ignore (Engine.report session);
+      match Engine.remove_path session pid with
+      | Ok () -> ()
+      | Error e -> failwith (Error.to_string e))
+  in
+  {
+    name = Printf.sprintf "engine/add_path/n=%d" n;
+    params = [ ("n", n); ("paths", k) ];
+    run = step;
+    baseline = None;
+    extras =
+      (fun () ->
+        [ ("warm_hit_rate", Engine.hit_rate (Engine.stats session)) ]);
+  }
+
+let suite ?(quick = false) () =
+  if quick then
+    [
+      thm1_arm 120;
+      dsatur_arm 120;
+      conflict_arm 60;
+      load_arm 120;
+      engine_arm 120;
+    ]
+  else
+    [
+      thm1_arm 400;
+      dsatur_arm 300;
+      conflict_arm 150;
+      load_arm 400;
+      engine_arm 400;
+    ]
+
+let busy_wait ns =
+  let t0 = Wl_obs.Clock.now_ns () in
+  while Wl_obs.Clock.now_ns () - t0 < ns do
+    ()
+  done
+
+let with_handicap ~ns name arms =
+  match List.find_opt (fun a -> a.name = name) arms with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Arms.with_handicap: no arm named %S (have: %s)" name
+         (String.concat ", " (List.map (fun a -> a.name) arms)))
+  | Some _ ->
+    List.map
+      (fun a ->
+        if a.name = name then
+          {
+            a with
+            run =
+              (fun () ->
+                a.run ();
+                busy_wait ns);
+          }
+        else a)
+      arms

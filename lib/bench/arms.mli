@@ -1,0 +1,27 @@
+(** The benchmark arms [wl bench] runs and gates on.
+
+    Workloads mirror [bench/main.exe]'s perf engine at sizes tuned so a
+    full gated run takes seconds.  The size is embedded in each arm's
+    name, so the [--quick] suite produces disjoint bench ids from the
+    full one and the regression gate never compares across sizes. *)
+
+type arm = {
+  name : string;  (** bench id, e.g. ["thm1/color/n=400"] *)
+  params : (string * int) list;  (** recorded in the trajectory point *)
+  run : unit -> unit;  (** one operation — the timed unit *)
+  baseline : (unit -> unit) option;  (** optional reference arm *)
+  extras : unit -> (string * float) list;
+      (** derived figures read after the runs (e.g. the engine session's
+          warm-hit rate) *)
+}
+
+val suite : ?quick:bool -> unit -> arm list
+(** The standard arms: Theorem 1 coloring, dense DSATUR, conflict-graph
+    construction, load computation, and a warm engine add/query/remove
+    cycle.  [quick] (default false) switches to smaller instances under
+    different bench names — for smoke tests and CI. *)
+
+val with_handicap : ns:int -> string -> arm list -> arm list
+(** Inject a busy-wait of [ns] nanoseconds after every run of the named
+    arm — a synthetic regression for exercising the gate end-to-end.
+    @raise Invalid_argument when no arm has that name. *)

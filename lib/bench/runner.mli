@@ -1,0 +1,36 @@
+(** Measurement engine for [wl bench].
+
+    Each arm is measured in two separate passes: a timed pass with every
+    instrument off (clean ns/op, summarized to median/MAD/CV over
+    repeated batches), then one observation pass with {!Wl_obs.Metrics}
+    and {!Wl_obs.Prof} enabled under the discard trace sink, which
+    captures the counter embedding — including the [prof.<span>.*]
+    GC/allocation mirrors — and the arm's extras. *)
+
+val measure : ?runs:int -> ?target_s:float -> (unit -> unit) -> Wl_obs.Store.sample
+(** Time [f]: one warm-up, one calibration run to size batches so the
+    whole measurement takes [target_s] (default 0.35 s), then [runs]
+    (default 7) timed batches; each batch yields one ns/op sample. *)
+
+val observe : Arms.arm -> (string * Wl_json.Jsonx.t) list * (string * float) list
+(** One instrumented run: the Metrics snapshot as a counter embedding,
+    plus the arm's extras.  Resets Metrics/Prof around itself. *)
+
+val measure_arm : ?runs:int -> Arms.arm -> Wl_obs.Store.point
+(** {!measure} + {!observe} + the optional baseline, as a trajectory
+    point. *)
+
+val run_suite :
+  ?quick:bool ->
+  ?runs:int ->
+  ?handicaps:(string * int) list ->
+  ?note:string ->
+  ?domains:int ->
+  ?on_point:(Wl_obs.Store.point -> unit) ->
+  unit ->
+  Wl_obs.Store.entry
+(** Measure the whole {!Arms.suite} into one trajectory entry for the
+    current environment.  [handicaps] injects busy-wait regressions (see
+    {!Arms.with_handicap}); [on_point] fires after each arm for progress
+    reporting; [domains] defaults to
+    [Wl_util.Parallel.default_domains ()]. *)

@@ -1,6 +1,8 @@
+external monotonic_ns : unit -> int = "wl_clock_monotonic_ns" [@@noalloc]
+
 (* Origin at module init so the ns values stay far from overflow and the
    chrome-trace timestamps start near zero. *)
-let origin = Unix.gettimeofday ()
+let origin = monotonic_ns ()
 
-let now_ns () = int_of_float ((Unix.gettimeofday () -. origin) *. 1e9)
-let now_us () = (Unix.gettimeofday () -. origin) *. 1e6
+let now_ns () = monotonic_ns () - origin
+let now_us () = float_of_int (monotonic_ns () - origin) *. 1e-3

@@ -1,14 +1,18 @@
-(** Wall-clock time for spans and latency metrics.
+(** Monotonic time for spans and latency metrics.
 
-    A single time source keeps trace timestamps and metric latencies
-    comparable.  Resolution is whatever [Unix.gettimeofday] gives (µs on
-    every platform we run on); that is plenty for spans, which wrap whole
-    algorithm phases, not individual loop iterations. *)
+    A single time source keeps trace timestamps, metric latencies and
+    bench measurements comparable.  The source is
+    [clock_gettime(CLOCK_MONOTONIC)] via a local C stub (the [unix]
+    library has no binding for it), so wall-clock steps — NTP slews,
+    manual resets — cannot corrupt span durations or [ns_per_op]
+    figures, which the previous [Unix.gettimeofday]-based implementation
+    allowed.  Resolution is whatever the kernel provides (ns granularity
+    on Linux); readings are allocation-free. *)
 
 val now_ns : unit -> int
-(** Nanoseconds since an arbitrary process-local origin.  Monotone in
-    practice (we never set the system clock mid-run); subtraction of two
-    readings is the only supported use. *)
+(** Nanoseconds since a process-local origin taken at module init (so
+    chrome-trace timestamps start near zero).  Monotone by construction;
+    subtraction of two readings is the only supported use. *)
 
 val now_us : unit -> float
 (** Same instant as {!now_ns}, in microseconds. *)

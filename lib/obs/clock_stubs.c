@@ -1,0 +1,18 @@
+/* Monotonic time for spans and latency metrics.
+ *
+ * clock_gettime(CLOCK_MONOTONIC) is immune to wall-clock steps (NTP
+ * slews, manual resets), which used to corrupt span durations and
+ * ns_per_op figures when the harness ran across a clock adjustment.
+ * The reading is returned as an unboxed OCaml int of nanoseconds:
+ * 63 bits of ns covers ~146 years of uptime, and Val_long keeps the
+ * call allocation-free so it can sit inside timing hot loops. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value wl_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

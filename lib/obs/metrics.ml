@@ -156,6 +156,23 @@ let find_histogram name =
       | Some (H h) -> Some (snapshot_hist h)
       | _ -> None)
 
+(* One scalar per instrument for before/after comparison: counters by
+   value, histograms by observation count. *)
+let scalar_of = function Counter v -> v | Histogram s -> s.count
+
+let diff before after =
+  let tbl = Hashtbl.create 32 in
+  List.iter (fun (name, inst) -> Hashtbl.replace tbl name (scalar_of inst, 0)) before;
+  List.iter
+    (fun (name, inst) ->
+      let b = match Hashtbl.find_opt tbl name with Some (b, _) -> b | None -> 0 in
+      Hashtbl.replace tbl name (b, scalar_of inst))
+    after;
+  Hashtbl.fold
+    (fun name (b, a) acc -> if b = a then acc else (name, b, a) :: acc)
+    tbl []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
 let reset () =
   Mutex.protect registry_lock (fun () ->
       Hashtbl.iter

@@ -50,7 +50,21 @@ type instrument = Counter of int | Histogram of hist_snapshot
 
 val snapshot : unit -> (string * instrument) list
 (** Every registered instrument with a non-zero value/count, sorted by
-    name.  Instruments that were never touched are omitted. *)
+    name.  Instruments that were never touched are omitted.  The sort
+    makes snapshots (and everything rendered from them — {!pp_summary},
+    bench counter embeddings, {!diff}) deterministic across runs and
+    domain counts. *)
+
+val diff :
+  (string * instrument) list ->
+  (string * instrument) list ->
+  (string * int * int) list
+(** [diff before after] — per-instrument [(name, before, after)] deltas
+    between two snapshots: counters compare by value, histograms by
+    observation count.  Names whose scalar did not change are dropped;
+    a name missing on one side counts as 0 there.  Sorted by name (the
+    caller ranks by magnitude if it wants "top movements", as
+    [wl report] does). *)
 
 val find_counter : string -> int option
 (** Current value of a registered counter, [None] if absent. *)

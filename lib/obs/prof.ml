@@ -1,0 +1,249 @@
+(* Per-span GC/allocation telemetry, implemented as a Trace probe.
+
+   On span entry we push a [Gc.quick_stat] reading onto a per-domain
+   stack; on exit we pop it, delta against a fresh reading, and
+
+   - attach the deltas (plus the span's self-time) to the Trace event,
+   - fold them into a per-span-name aggregation table, and
+   - mirror them into [prof.<span>.*] Metrics counters so they ride
+     along in every Metrics snapshot (and hence in bench counter
+     embeddings).
+
+   Deltas are inclusive of children: a parent span's minor_words counts
+   what its callees allocated too, exactly like its duration.  Self-time
+   is the one exclusive figure (computed by Trace).  [Gc.quick_stat]
+   reads per-domain accumulators without forcing a collection, so the
+   probe itself is cheap — but it does allocate the stat record, which
+   is why profiling is opt-in and bench loops keep it off while timing. *)
+
+module Metrics = Metrics
+
+type gc_delta = {
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+let zero_gc =
+  {
+    minor_words = 0.;
+    major_words = 0.;
+    promoted_words = 0.;
+    minor_collections = 0;
+    major_collections = 0;
+  }
+
+type row = {
+  span : string;
+  calls : int;
+  total_us : float;
+  self_us : float;
+  gc : gc_delta;
+}
+
+(* Aggregation cell per span name.  Mutated under [lock]; spans wrap
+   whole algorithm phases, so the rate is far too low for the mutex to
+   matter.  The Metrics counters are resolved once per name and cached
+   here so the hot path never touches the registry lock. *)
+type cell = {
+  mutable c_calls : int;
+  mutable c_total_us : float;
+  mutable c_self_us : float;
+  mutable c_minor_w : float;
+  mutable c_major_w : float;
+  mutable c_promoted_w : float;
+  mutable c_minor_gcs : int;
+  mutable c_major_gcs : int;
+  m_minor_w : Metrics.counter;
+  m_major_w : Metrics.counter;
+  m_promoted_w : Metrics.counter;
+  m_minor_gcs : Metrics.counter;
+  m_major_gcs : Metrics.counter;
+  m_self_ns : Metrics.counter;
+  m_calls : Metrics.counter;
+}
+
+let lock = Mutex.create ()
+let table : (string, cell) Hashtbl.t = Hashtbl.create 32
+
+let cell_of name =
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some c -> c
+      | None ->
+        let counter field = Metrics.counter ("prof." ^ name ^ "." ^ field) in
+        let c =
+          {
+            c_calls = 0;
+            c_total_us = 0.;
+            c_self_us = 0.;
+            c_minor_w = 0.;
+            c_major_w = 0.;
+            c_promoted_w = 0.;
+            c_minor_gcs = 0;
+            c_major_gcs = 0;
+            m_minor_w = counter "minor_words";
+            m_major_w = counter "major_words";
+            m_promoted_w = counter "promoted_words";
+            m_minor_gcs = counter "minor_gcs";
+            m_major_gcs = counter "major_gcs";
+            m_self_ns = counter "self_ns";
+            m_calls = counter "calls";
+          }
+        in
+        Hashtbl.add table name c;
+        c)
+
+(* Per-domain stack of span-entry readings, parallel to Trace's span
+   nesting on that domain.  Minor words come from [Gc.minor_words]
+   rather than the quick_stat record: on OCaml 5.1 the record's
+   [minor_words] field only advances at minor collections, so a span
+   that allocates without triggering one would read as zero, while
+   [Gc.minor_words ()] includes the current allocation pointer. *)
+type reading = { r_minor : float; r_stat : Gc.stat }
+
+let stack_key = Domain.DLS.new_key (fun () -> ref ([] : reading list))
+
+let on = Atomic.make false
+let enabled () = Atomic.get on
+
+let on_start () =
+  let stack = Domain.DLS.get stack_key in
+  stack := { r_minor = Gc.minor_words (); r_stat = Gc.quick_stat () } :: !stack
+
+let on_stop ~name ~dur_us ~self_us =
+  let stack = Domain.DLS.get stack_key in
+  match !stack with
+  | [] -> [] (* probe installed mid-span; nothing to delta against *)
+  | at_start :: rest ->
+    stack := rest;
+    let minor_now = Gc.minor_words () in
+    let now = Gc.quick_stat () in
+    let before = at_start.r_stat in
+    let d =
+      {
+        minor_words = minor_now -. at_start.r_minor;
+        major_words = now.Gc.major_words -. before.Gc.major_words;
+        promoted_words = now.Gc.promoted_words -. before.Gc.promoted_words;
+        minor_collections = now.Gc.minor_collections - before.Gc.minor_collections;
+        major_collections = now.Gc.major_collections - before.Gc.major_collections;
+      }
+    in
+    let c = cell_of name in
+    Mutex.protect lock (fun () ->
+        c.c_calls <- c.c_calls + 1;
+        c.c_total_us <- c.c_total_us +. dur_us;
+        c.c_self_us <- c.c_self_us +. self_us;
+        c.c_minor_w <- c.c_minor_w +. d.minor_words;
+        c.c_major_w <- c.c_major_w +. d.major_words;
+        c.c_promoted_w <- c.c_promoted_w +. d.promoted_words;
+        c.c_minor_gcs <- c.c_minor_gcs + d.minor_collections;
+        c.c_major_gcs <- c.c_major_gcs + d.major_collections);
+    Metrics.add c.m_minor_w (int_of_float d.minor_words);
+    Metrics.add c.m_major_w (int_of_float d.major_words);
+    Metrics.add c.m_promoted_w (int_of_float d.promoted_words);
+    Metrics.add c.m_minor_gcs d.minor_collections;
+    Metrics.add c.m_major_gcs d.major_collections;
+    Metrics.add c.m_self_ns (int_of_float (self_us *. 1e3));
+    Metrics.incr c.m_calls;
+    [
+      ("self_us", Trace.Float self_us);
+      ("gc.minor_w", Trace.Float d.minor_words);
+      ("gc.major_w", Trace.Float d.major_words);
+      ("gc.promoted_w", Trace.Float d.promoted_words);
+      ("gc.minor_gcs", Trace.Int d.minor_collections);
+      ("gc.major_gcs", Trace.Int d.major_collections);
+    ]
+
+let enable () =
+  if not (Atomic.get on) then begin
+    Atomic.set on true;
+    Trace.set_probe (Some { Trace.on_start; on_stop })
+  end
+
+let disable () =
+  Atomic.set on false;
+  Trace.set_probe None
+
+let reset () =
+  Mutex.protect lock (fun () -> Hashtbl.reset table)
+
+let snapshot () =
+  Mutex.protect lock (fun () ->
+      Hashtbl.fold
+        (fun span c acc ->
+          if c.c_calls = 0 then acc
+          else
+            {
+              span;
+              calls = c.c_calls;
+              total_us = c.c_total_us;
+              self_us = c.c_self_us;
+              gc =
+                {
+                  minor_words = c.c_minor_w;
+                  major_words = c.c_major_w;
+                  promoted_words = c.c_promoted_w;
+                  minor_collections = c.c_minor_gcs;
+                  major_collections = c.c_major_gcs;
+                };
+            }
+            :: acc)
+        table [])
+  |> List.sort (fun a b -> String.compare a.span b.span)
+
+let pp_summary ppf () =
+  let rows = snapshot () in
+  if rows = [] then Format.fprintf ppf "(no profiled spans)"
+  else begin
+    Format.fprintf ppf "@[<v>%-28s %8s %12s %12s %14s %8s %8s" "span" "calls"
+      "total ms" "self ms" "minor words" "min.gcs" "maj.gcs";
+    List.iter
+      (fun r ->
+        Format.fprintf ppf "@,%-28s %8d %12.2f %12.2f %14.0f %8d %8d" r.span
+          r.calls (r.total_us /. 1e3) (r.self_us /. 1e3) r.gc.minor_words
+          r.gc.minor_collections r.gc.major_collections)
+      rows;
+    Format.fprintf ppf "@]"
+  end
+
+(* --- Parallel.map_array utilization ----------------------------------- *)
+
+type parallel_rollup = {
+  maps : int;
+  workers_spawned : int;
+  wall_ns : int;
+  busy_ns : int;
+  utilization : float;
+}
+
+let parallel_rollup () =
+  match
+    ( Metrics.find_histogram "parallel.map_wall_ns",
+      Metrics.find_histogram "parallel.domain_busy_ns" )
+  with
+  | Some wall, Some busy when wall.Metrics.count > 0 ->
+    let maps = wall.Metrics.count in
+    let workers =
+      Option.value ~default:0 (Metrics.find_counter "parallel.workers_spawned")
+    in
+    (* The calling domain works alongside the spawned ones, so each map
+       has (workers/maps + 1) domains live on average. *)
+    let avg_domains = float_of_int (workers + maps) /. float_of_int maps in
+    let utilization =
+      if wall.Metrics.sum = 0 then 0.
+      else
+        float_of_int busy.Metrics.sum
+        /. (float_of_int wall.Metrics.sum *. avg_domains)
+    in
+    Some
+      {
+        maps;
+        workers_spawned = workers;
+        wall_ns = wall.Metrics.sum;
+        busy_ns = busy.Metrics.sum;
+        utilization;
+      }
+  | _ -> None

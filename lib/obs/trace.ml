@@ -11,10 +11,15 @@ type event = {
 }
 
 type collector = { lock : Mutex.t; mutable events : event list }
-type sink = Null | Memory of collector
+type sink = Null | Memory of collector | Discard
 
 let null = Null
 let memory () = Memory { lock = Mutex.create (); events = [] }
+
+(* Spans run (probes fire, self-time is tracked) but events are dropped:
+   the sink for instrumented-but-unrecorded runs, e.g. the bench pass
+   that only wants Prof's GC aggregates without a growing event list. *)
+let discard = Discard
 
 (* The installed sink and the trace origin.  [on] mirrors "sink <> Null"
    so the disabled fast path is a single atomic load; [current]/[origin]
@@ -34,36 +39,69 @@ let enabled () = Atomic.get on
 (* Per-domain nesting depth. *)
 let depth_key = Domain.DLS.new_key (fun () -> ref 0)
 
+(* Per-domain stack of child-duration accumulators: when a span closes,
+   its duration is added to the enclosing span's accumulator, so the
+   parent can report self-time (duration minus direct children).  One
+   cell per open span. *)
+let children_key = Domain.DLS.new_key (fun () -> ref ([] : float ref list))
+
+(* Extension point for span-scoped measurement (Prof's GC telemetry):
+   [on_start] runs as the span opens, [on_stop] as it closes and may
+   return extra args appended to the event.  Install before spawning
+   workers, like the sink. *)
+type probe = {
+  on_start : unit -> unit;
+  on_stop : name:string -> dur_us:float -> self_us:float -> (string * value) list;
+}
+
+let probe : probe option ref = ref None
+let set_probe p = probe := p
+
 let emit ev =
   match !current with
-  | Null -> ()
+  | Null | Discard -> ()
   | Memory c ->
     Mutex.protect c.lock (fun () -> c.events <- ev :: c.events)
-
-let emit_span name args t0 =
-  let t1 = Clock.now_us () in
-  let depth = Domain.DLS.get depth_key in
-  emit
-    {
-      name;
-      tid = (Domain.self () :> int);
-      ts_us = t0 -. !origin;
-      dur_us = t1 -. t0;
-      depth = !depth;
-      instant = false;
-      args;
-    }
 
 let with_span ?(args = []) name f =
   if not (Atomic.get on) then f ()
   else begin
     let t0 = Clock.now_us () in
     let depth = Domain.DLS.get depth_key in
+    let stack = Domain.DLS.get children_key in
+    stack := ref 0. :: !stack;
     incr depth;
+    (match !probe with Some p -> p.on_start () | None -> ());
     Fun.protect
       ~finally:(fun () ->
+        let dur_us = Clock.now_us () -. t0 in
+        let child_us =
+          match !stack with
+          | top :: rest ->
+            stack := rest;
+            !top
+          | [] -> 0. (* unbalanced set_probe/clear mid-span; be lenient *)
+        in
+        (match !stack with
+        | parent :: _ -> parent := !parent +. dur_us
+        | [] -> ());
         decr depth;
-        emit_span name args t0)
+        let self_us = Float.max 0. (dur_us -. child_us) in
+        let extra =
+          match !probe with
+          | Some p -> p.on_stop ~name ~dur_us ~self_us
+          | None -> []
+        in
+        emit
+          {
+            name;
+            tid = (Domain.self () :> int);
+            ts_us = t0 -. !origin;
+            dur_us;
+            depth = !depth;
+            instant = false;
+            args = args @ extra;
+          })
       f
   end
 
@@ -83,7 +121,7 @@ let instant ?(args = []) name =
   end
 
 let events = function
-  | Null -> []
+  | Null | Discard -> []
   | Memory c ->
     let evs = Mutex.protect c.lock (fun () -> c.events) in
     List.sort (fun a b -> compare a.ts_us b.ts_us) evs

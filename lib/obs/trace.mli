@@ -36,6 +36,12 @@ val null : sink
 val memory : unit -> sink
 (** An in-process collector; safe to write from any domain. *)
 
+val discard : sink
+(** Spans run — probes fire, self-time is tracked — but every event is
+    dropped.  Use when only the side effects of instrumentation are
+    wanted (e.g. {!Prof} GC aggregates during a bench pass) without an
+    unboundedly growing event list. *)
+
 val set_sink : sink -> unit
 (** Install a sink; tracing is enabled iff the sink is not {!null}.
     Resets the trace clock origin.  Install before spawning workers. *)
@@ -52,6 +58,24 @@ val with_span : ?args:(string * value) list -> string -> (unit -> 'a) -> 'a
 
 val instant : ?args:(string * value) list -> string -> unit
 (** A zero-duration marker event. *)
+
+(** {1 Span probes}
+
+    The extension point {!Prof} uses to attach GC/allocation deltas to
+    every span without this module knowing about [Gc]. *)
+
+type probe = {
+  on_start : unit -> unit;  (** runs as an enabled span opens *)
+  on_stop : name:string -> dur_us:float -> self_us:float -> (string * value) list;
+      (** runs as the span closes; [self_us] is the span's duration minus
+          the duration of its direct children on the same domain.  The
+          returned args are appended to the emitted event. *)
+}
+
+val set_probe : probe option -> unit
+(** Install (or remove) the global probe.  Like {!set_sink}, install
+    before spawning worker domains.  Probes only fire while a non-null
+    sink is installed. *)
 
 val events : sink -> event list
 (** Events collected by a {!memory} sink so far, in start-time order.

@@ -1,13 +1,12 @@
-(** Minimal JSON values, parser and printer (no external dependencies).
+(** Re-export of {!Wl_json.Jsonx}.
 
-    Backs the machine-readable mirrors of the text formats: instance files
-    ({!Wl_core.Serial}) and engine op scripts ({!Wl_engine.Script}).  The
-    parser is strict RFC-8259 apart from two deliberate simplifications:
-    numbers without [.], [e] or [E] parse as [Int] (everything else as
-    [Float]), and [\uXXXX] escapes are encoded to UTF-8 code-point by
-    code-point (surrogate pairs are not merged). *)
+    The JSON machinery moved into its own base library ([wavelength.json])
+    so that {!Wl_obs.Store} — which sits {e below} [wl_util] in the
+    dependency order — can read and write trajectory files.  This alias
+    keeps every existing [Wl_util.Jsonx] caller compiling unchanged; the
+    types are equal, not merely isomorphic. *)
 
-type t =
+type t = Wl_json.Jsonx.t =
   | Null
   | Bool of bool
   | Int of int
@@ -17,17 +16,8 @@ type t =
   | Obj of (string * t) list
 
 val parse : string -> (t, string) result
-(** Error messages carry the (1-based) line of the offending byte. *)
-
 val to_string : ?pretty:bool -> t -> string
-(** Compact by default; [~pretty:true] indents objects and arrays by two
-    spaces. *)
-
-(** {1 Accessors} — all total, [None] on shape mismatch. *)
-
 val member : string -> t -> t option
-(** First binding of the key in an [Obj]. *)
-
 val to_int : t -> int option
 val to_str : t -> string option
 val to_bool : t -> bool option

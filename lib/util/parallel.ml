@@ -16,6 +16,7 @@ let m_domains_clamped = Metrics.counter "parallel.domains_clamped"
 let m_workers = Metrics.counter "parallel.workers_spawned"
 let h_domain_busy = Metrics.histogram "parallel.domain_busy_ns"
 let h_probe_est = Metrics.histogram "parallel.probe_estimate_ns"
+let h_map_wall = Metrics.histogram "parallel.map_wall_ns"
 
 (* Below this projected total runtime, spawning extra domains costs more
    than it buys: each spawn is ~100µs+ of setup, and every minor GC then
@@ -68,6 +69,7 @@ let map_array ?domains f input =
       Array.init n (fun i -> if i < probe_len then probe.(i) else f input.(i))
     end
     else begin
+      let wall0 = Clock.now_ns () in
       let next = Atomic.make probe_len in
       let worker () =
         let busy0 = Clock.now_ns () in
@@ -107,6 +109,7 @@ let map_array ?domains f input =
       List.iter
         (fun (lo, buf) -> Array.blit buf 0 out lo (Array.length buf))
         chunks;
+      Metrics.observe h_map_wall (Clock.now_ns () - wall0);
       out
     end
   end

@@ -26,9 +26,12 @@
     When {!Wl_obs.Metrics} is enabled, every map records
     [parallel.maps]/[parallel.items]/[parallel.chunks], the fallback and
     clamp counters ([parallel.seq_fallbacks], [parallel.domains_clamped],
-    [parallel.workers_spawned]) and a per-domain busy-time histogram
-    ([parallel.domain_busy_ns]); with {!Wl_obs.Trace} enabled each worker
-    domain emits a [parallel.worker] span on its own track. *)
+    [parallel.workers_spawned]), a per-domain busy-time histogram
+    ([parallel.domain_busy_ns]) and the wall-clock of each section that
+    actually went parallel ([parallel.map_wall_ns] — the pair feeds the
+    {!Wl_obs.Prof.parallel_rollup} busy/idle utilization figure); with
+    {!Wl_obs.Trace} enabled each worker domain emits a [parallel.worker]
+    span on its own track. *)
 
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count], capped at 8. *)

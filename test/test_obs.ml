@@ -7,6 +7,8 @@
 open Helpers
 module Metrics = Wl_obs.Metrics
 module Trace = Wl_obs.Trace
+module Clock = Wl_obs.Clock
+module Prof = Wl_obs.Prof
 module Parallel = Wl_util.Parallel
 module Theorem1 = Wl_core.Theorem1
 module Solver = Wl_core.Solver
@@ -151,6 +153,124 @@ let test_chrome_rejects_malformed () =
   check "minimal valid trace accepted" true
     (Trace.validate_chrome {|{"traceEvents": []}|} = Ok 0)
 
+(* --- clock ----------------------------------------------------------------- *)
+
+let test_clock_monotonic () =
+  (* The previous gettimeofday clock could go backwards under NTP slew;
+     the monotonic stub never may, and keeps a near-zero origin. *)
+  let prev = ref (Clock.now_ns ()) in
+  check "origin near zero" true (!prev >= 0);
+  for _ = 1 to 10_000 do
+    let t = Clock.now_ns () in
+    if t < !prev then Alcotest.failf "clock went backwards: %d -> %d" !prev t;
+    prev := t
+  done;
+  let us = Clock.now_us () in
+  check "now_us consistent with now_ns" true
+    (Float.abs ((float_of_int (Clock.now_ns ()) /. 1e3) -. us) < 1e6)
+
+(* --- Metrics.diff ---------------------------------------------------------- *)
+
+let test_metrics_diff () =
+  let before = [ ("a", Metrics.Counter 1); ("c", Metrics.Counter 5) ] in
+  let after = [ ("a", Metrics.Counter 3); ("b", Metrics.Counter 2); ("c", Metrics.Counter 5) ] in
+  (match Metrics.diff before after with
+  | [ ("a", 1, 3); ("b", 0, 2) ] -> ()
+  | d ->
+    Alcotest.failf "unexpected diff (%d entries): %s" (List.length d)
+      (String.concat "; "
+         (List.map (fun (n, b, a) -> Printf.sprintf "%s %d->%d" n b a) d)));
+  check "empty diff on identical snapshots" true (Metrics.diff before before = [])
+
+(* --- Prof: GC/alloc probe --------------------------------------------------- *)
+
+let with_prof f =
+  Metrics.reset ();
+  Prof.reset ();
+  Metrics.set_enabled true;
+  Prof.enable ();
+  let sink = Trace.memory () in
+  Trace.set_sink sink;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.clear ();
+      Prof.disable ();
+      Metrics.set_enabled false;
+      Metrics.reset ();
+      Prof.reset ())
+    (fun () -> f sink)
+
+let float_arg name e =
+  List.find_map
+    (fun (k, v) ->
+      if k = name then match v with Trace.Float f -> Some f | _ -> None
+      else None)
+    e.Trace.args
+
+let test_prof_gc_args_on_algorithm_spans () =
+  (* The acceptance spans: Theorem 1's "thm1.color" and the conflict
+     coloring's "dsatur" must both carry allocation deltas and
+     self-time once the probe is on. *)
+  let inst = random_nic_instance ~n:60 ~k:80 7 in
+  let cg = Wl_core.Conflict_of.build inst in
+  let events =
+    with_prof (fun sink ->
+        ignore (Theorem1.color inst);
+        ignore (Wl_conflict.Coloring.dsatur cg);
+        Trace.events sink)
+  in
+  List.iter
+    (fun span ->
+      match List.find_opt (fun e -> e.Trace.name = span) events with
+      | None -> Alcotest.failf "no %s span emitted" span
+      | Some e ->
+        (match float_arg "gc.minor_w" e with
+        | None -> Alcotest.failf "%s span without gc.minor_w" span
+        | Some w ->
+          if not (w > 0.) then
+            Alcotest.failf "%s allocated %.0f minor words" span w);
+        (match float_arg "self_us" e with
+        | None -> Alcotest.failf "%s span without self_us" span
+        | Some s ->
+          check (span ^ " self time within duration") true
+            (s >= 0. && s <= e.Trace.dur_us +. 1e-3)))
+    [ "thm1.color"; "dsatur" ];
+  (* The aggregation table and the Metrics mirror saw the same spans. *)
+  ()
+
+let test_prof_aggregates_and_mirror () =
+  let inst = random_nic_instance ~n:40 ~k:50 11 in
+  let rows, mirror =
+    with_prof (fun _sink ->
+        ignore (Theorem1.color inst);
+        ignore (Theorem1.color inst);
+        (Prof.snapshot (), Metrics.find_counter "prof.thm1.color.calls"))
+  in
+  (match List.find_opt (fun r -> r.Prof.span = "thm1.color") rows with
+  | None -> Alcotest.fail "thm1.color not aggregated"
+  | Some r ->
+    check_int "two calls aggregated" 2 r.Prof.calls;
+    check "aggregate minor words positive" true (r.Prof.gc.Prof.minor_words > 0.);
+    check "self <= total" true (r.Prof.self_us <= r.Prof.total_us +. 1e-3));
+  check "metrics mirror counted the calls" true (mirror = Some 2)
+
+let test_prof_self_time_excludes_children () =
+  let alloc_some () = ignore (Sys.opaque_identity (Array.make 2048 0.)) in
+  let events =
+    with_prof (fun sink ->
+        Trace.with_span "parent" (fun () ->
+            Trace.with_span "child" alloc_some);
+        Trace.events sink)
+  in
+  let parent = List.find (fun e -> e.Trace.name = "parent") events in
+  let child = List.find (fun e -> e.Trace.name = "child") events in
+  let p_self = Option.get (float_arg "self_us" parent) in
+  let c_self = Option.get (float_arg "self_us" child) in
+  check "child self ~= child dur" true
+    (Float.abs (c_self -. child.Trace.dur_us) < 1e-3);
+  check "parent self excludes child" true
+    (p_self <= parent.Trace.dur_us -. child.Trace.dur_us +. 1e-3)
+
 (* --- zero-overhead disabled path ------------------------------------------ *)
 
 let minor_words_of f =
@@ -248,5 +368,13 @@ let suite =
           test_sweep_latency_histogram;
         Alcotest.test_case "solver counters and provenance" `Quick
           test_solver_counters_and_provenance;
+        Alcotest.test_case "clock is monotonic" `Quick test_clock_monotonic;
+        Alcotest.test_case "metrics diff" `Quick test_metrics_diff;
+        Alcotest.test_case "prof: GC args on algorithm spans" `Quick
+          test_prof_gc_args_on_algorithm_spans;
+        Alcotest.test_case "prof: aggregates and metrics mirror" `Quick
+          test_prof_aggregates_and_mirror;
+        Alcotest.test_case "prof: self time excludes children" `Quick
+          test_prof_self_time_excludes_children;
       ] );
   ]
