@@ -534,15 +534,19 @@ let fuzz_cmd =
 
 (* --- bench --- *)
 
-let parse_handicap spec =
+let parse_handicap ~flag ~unit spec =
   match String.rindex_opt spec ':' with
-  | None -> Error (Printf.sprintf "--handicap expects NAME:NS, got %S" spec)
+  | None ->
+    Error (Printf.sprintf "--%s expects NAME:%s, got %S" flag unit spec)
   | Some i -> (
     let name = String.sub spec 0 i in
-    let ns = String.sub spec (i + 1) (String.length spec - i - 1) in
-    match int_of_string_opt ns with
-    | Some ns when ns >= 0 -> Ok (name, ns)
-    | _ -> Error (Printf.sprintf "--handicap %s: NS must be a non-negative integer" spec))
+    let v = String.sub spec (i + 1) (String.length spec - i - 1) in
+    match int_of_string_opt v with
+    | Some v when v >= 0 -> Ok (name, v)
+    | _ ->
+      Error
+        (Printf.sprintf "--%s %s: %s must be a non-negative integer" flag spec
+           unit))
 
 let load_history trajectory =
   if Sys.file_exists trajectory then
@@ -551,18 +555,29 @@ let load_history trajectory =
   else []
 
 let bench gate record trajectory runs quick threshold window note handicaps
-    domains =
-  let handicaps = List.map (fun h -> or_die (parse_handicap h)) handicaps in
+    alloc_handicaps domains =
+  let handicaps =
+    List.map
+      (fun h -> or_die (parse_handicap ~flag:"handicap" ~unit:"NS" h))
+      handicaps
+  in
+  let alloc_handicaps =
+    List.map
+      (fun h ->
+        or_die (parse_handicap ~flag:"alloc-handicap" ~unit:"WORDS" h))
+      alloc_handicaps
+  in
   Printf.printf "wl bench: %s suite, %d runs/arm%s\n%!"
     (if quick then "quick" else "full")
     runs
-    (if handicaps = [] then ""
+    (if handicaps = [] && alloc_handicaps = [] then ""
      else
        " (handicapped: "
-       ^ String.concat ", " (List.map fst handicaps)
+       ^ String.concat ", "
+           (List.map fst handicaps @ List.map fst alloc_handicaps)
        ^ ")");
   let entry =
-    Runner.run_suite ~quick ~runs ~handicaps ?note ?domains
+    Runner.run_suite ~quick ~runs ~handicaps ~alloc_handicaps ?note ?domains
       ~on_point:(fun p ->
         Printf.printf "  %-34s %12s  ± %-10s cv %4.1f%%\n%!" p.Store.name
           (Report.human_ns p.Store.sample.Store.median_ns)
@@ -590,10 +605,12 @@ let bench gate record trajectory runs quick threshold window note handicaps
     else begin
       let cmp = Store.compare ~window ~threshold_pct:threshold ~history entry in
       Format.printf "%a@." Store.pp_comparison cmp;
-      if cmp.Store.regressions > 0 then begin
+      if cmp.Store.regressions > 0 || cmp.Store.alloc_regressions > 0 then begin
         Printf.eprintf
-          "wl: gate: regression detected (bless intentional changes with wl \
-           bench --record)\n";
+          "wl: gate: %s detected (bless intentional changes with wl bench \
+           --record)\n"
+          (if cmp.Store.regressions > 0 then "regression"
+           else "allocation regression");
         exit 1
       end
       else if cmp.Store.improvements > 0 then exit 3
@@ -666,6 +683,15 @@ let bench_cmd =
             "Inject a busy-wait of NS nanoseconds into the named arm — a \
              synthetic regression for testing the gate end-to-end.")
   in
+  let alloc_handicap =
+    Arg.(
+      value & opt_all string []
+      & info [ "alloc-handicap" ] ~docv:"NAME:WORDS"
+          ~doc:
+            "Inject a synthetic allocation of WORDS minor words into the \
+             named arm — an allocation regression for testing the \
+             gc.minor_w gate end-to-end.")
+  in
   let domains =
     Arg.(
       value
@@ -675,12 +701,14 @@ let bench_cmd =
   Cmd.v
     (Cmd.info "bench"
        ~doc:
-         "Measure the benchmark suite (median/MAD/CV over repeated runs, \
-          plus a counter/GC observation pass) and optionally gate against \
-          or record into the commit-keyed trajectory.")
+         "Measure the benchmark suite (median/MAD/CV over repeated runs, a \
+          steady-state minor-words pass, plus a counter/GC observation \
+          pass) and optionally gate against or record into the commit-keyed \
+          trajectory.  The gate judges time and allocation independently: \
+          either kind of regression exits 1.")
     Term.(
       const bench $ gate $ record $ trajectory $ runs $ quick $ threshold
-      $ window $ note $ handicap $ domains)
+      $ window $ note $ handicap $ alloc_handicap $ domains)
 
 (* --- report --- *)
 

@@ -61,6 +61,39 @@ let dsatur_arm n =
     extras = no_extras;
   }
 
+(* [comps] disjoint dense blocks of [block] vertices each: enough
+   per-component work that the parallel mapper's probe goes wide, with
+   sequential DSATUR on the same graph as the reference arm.  The two
+   produce identical per-vertex colorings (see Coloring.dsatur_par), so
+   the speedup is pure scheduling. *)
+let dsatur_par_arm comps block =
+  let pct = 50 in
+  let n = comps * block in
+  let rng = Prng.create (1200 + n) in
+  let g = Wl_conflict.Ugraph.create n in
+  for c = 0 to comps - 1 do
+    let base = c * block in
+    for u = 0 to block - 1 do
+      for v = u + 1 to block - 1 do
+        if Prng.int rng 100 < pct then
+          Wl_conflict.Ugraph.add_edge g (base + u) (base + v)
+      done
+    done
+  done;
+  {
+    name = Printf.sprintf "coloring/dsatur-par/dense-n=%d" n;
+    params =
+      [
+        ("n", n);
+        ("components", comps);
+        ("edge_pct", pct);
+        ("edges", Wl_conflict.Ugraph.n_edges g);
+      ];
+    run = (fun () -> ignore (Wl_conflict.Coloring.dsatur_par g));
+    baseline = Some (fun () -> ignore (Wl_conflict.Coloring.dsatur g));
+    extras = no_extras;
+  }
+
 let conflict_arm k =
   let n = 60 in
   let inst =
@@ -89,24 +122,21 @@ let load_arm n =
 (* One warm incremental mutation on a live session: add a path, query the
    report, remove it again.  The add/remove pair keeps the session
    periodic, so every timed iteration does identical work; the warm-hit
-   rate of the whole session rides along as an extra. *)
+   rate of the whole session rides along as an extra.  The mutations go
+   through the prebuilt-dipath hot entries (arc ids survive the
+   session's graph copy), so the per-op cost is the warm coloring work
+   plus the report, not vertex-list validation. *)
 let engine_arm n =
   let module Engine = Wl_engine.Engine in
   let k = 3 * n / 4 in
   let inst = make_nic_instance n k in
-  let verts =
-    Wl_digraph.Dipath.vertices (List.hd (Instance.paths_list inst))
-  in
+  let p = List.hd (Instance.paths_list inst) in
   let session = Engine.create inst in
   ignore (Engine.report session);
   let step () =
-    match Engine.add_path session verts with
-    | Error e -> failwith (Error.to_string e)
-    | Ok pid -> (
-      ignore (Engine.report session);
-      match Engine.remove_path session pid with
-      | Ok () -> ()
-      | Error e -> failwith (Error.to_string e))
+    let pid = Engine.add_dipath_exn session p in
+    ignore (Engine.report session);
+    Engine.remove_path_exn session pid
   in
   {
     name = Printf.sprintf "engine/add_path/n=%d" n;
@@ -123,6 +153,7 @@ let suite ?(quick = false) () =
     [
       thm1_arm 120;
       dsatur_arm 120;
+      dsatur_par_arm 4 60;
       conflict_arm 60;
       load_arm 120;
       engine_arm 120;
@@ -131,6 +162,7 @@ let suite ?(quick = false) () =
     [
       thm1_arm 400;
       dsatur_arm 300;
+      dsatur_par_arm 4 200;
       conflict_arm 150;
       load_arm 400;
       engine_arm 400;
@@ -158,6 +190,36 @@ let with_handicap ~ns name arms =
               (fun () ->
                 a.run ();
                 busy_wait ns);
+          }
+        else a)
+      arms
+
+let with_alloc_handicap ~words name arms =
+  match List.find_opt (fun a -> a.name = name) arms with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Arms.with_alloc_handicap: no arm named %S (have: %s)"
+         name
+         (String.concat ", " (List.map (fun a -> a.name) arms)))
+  | Some _ ->
+    List.map
+      (fun a ->
+        if a.name = name then
+          {
+            a with
+            run =
+              (fun () ->
+                a.run ();
+                (* Chunks of 63 floats (64 words with the header) stay
+                   below Max_young_wosize, so the injection lands in the
+                   minor heap where Gc.minor_words sees it — one big
+                   array would go straight to the major heap and evade
+                   the gate.  opaque_identity keeps the chunks from
+                   being optimized away. *)
+                let chunks = (max 1 words + 63) / 64 in
+                for _ = 1 to chunks do
+                  ignore (Sys.opaque_identity (Array.make 63 0.))
+                done);
           }
         else a)
       arms

@@ -16,12 +16,21 @@ type arm = {
 }
 
 val suite : ?quick:bool -> unit -> arm list
-(** The standard arms: Theorem 1 coloring, dense DSATUR, conflict-graph
-    construction, load computation, and a warm engine add/query/remove
-    cycle.  [quick] (default false) switches to smaller instances under
+(** The standard arms: Theorem 1 coloring, dense DSATUR (sequential and
+    component-parallel with the sequential run as the baseline arm),
+    conflict-graph construction, load computation, and a warm engine
+    add/query/remove cycle through the prebuilt-dipath hot entries.
+    [quick] (default false) switches to smaller instances under
     different bench names — for smoke tests and CI. *)
 
 val with_handicap : ns:int -> string -> arm list -> arm list
 (** Inject a busy-wait of [ns] nanoseconds after every run of the named
     arm — a synthetic regression for exercising the gate end-to-end.
+    @raise Invalid_argument when no arm has that name. *)
+
+val with_alloc_handicap : words:int -> string -> arm list -> arm list
+(** Inject a synthetic allocation of [words] minor words after every run
+    of the named arm — an allocation regression for exercising the
+    [gc.minor_w] gate end-to-end without touching the arm's timing
+    meaningfully.
     @raise Invalid_argument when no arm has that name. *)

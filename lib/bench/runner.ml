@@ -38,6 +38,24 @@ let measure ?(runs = 7) ?(target_s = 0.35) f =
   in
   Store.summarize samples
 
+(* Minor words per op, instruments off.  Warm runs first so retained
+   scratch (solver state, engine buffers, DSATUR working sets) reaches
+   its steady-state capacity; then the minimum over [reps] single-op
+   deltas, so an amortized growth event (a buffer doubling) that lands
+   in one rep does not misreport the steady state. *)
+let measure_alloc ?(reps = 4) f =
+  f ();
+  f ();
+  f ();
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let w0 = Gc.minor_words () in
+    f ();
+    let dw = Gc.minor_words () -. w0 in
+    if dw < !best then best := dw
+  done;
+  !best
+
 let observe (arm : Arms.arm) =
   Metrics.reset ();
   Prof.reset ();
@@ -62,6 +80,7 @@ let observe (arm : Arms.arm) =
 
 let measure_arm ?runs (arm : Arms.arm) =
   let sample = measure ?runs arm.Arms.run in
+  let alloc_w = measure_alloc arm.Arms.run in
   let baseline_ns =
     Option.map (fun b -> (measure ?runs b).Store.median_ns) arm.Arms.baseline
   in
@@ -69,19 +88,24 @@ let measure_arm ?runs (arm : Arms.arm) =
   {
     Store.name = arm.Arms.name;
     params = arm.Arms.params;
-    extras;
+    extras = extras @ [ (Store.alloc_key, alloc_w) ];
     sample;
     baseline_ns;
     counters;
   }
 
-let run_suite ?(quick = false) ?runs ?(handicaps = []) ?note ?(domains = 0)
-    ?(on_point = fun (_ : Store.point) -> ()) () =
+let run_suite ?(quick = false) ?runs ?(handicaps = []) ?(alloc_handicaps = [])
+    ?note ?(domains = 0) ?(on_point = fun (_ : Store.point) -> ()) () =
   let arms = Arms.suite ~quick () in
   let arms =
     List.fold_left
       (fun arms (name, ns) -> Arms.with_handicap ~ns name arms)
       arms handicaps
+  in
+  let arms =
+    List.fold_left
+      (fun arms (name, words) -> Arms.with_alloc_handicap ~words name arms)
+      arms alloc_handicaps
   in
   let domains =
     if domains > 0 then domains else Wl_util.Parallel.default_domains ()

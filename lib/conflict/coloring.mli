@@ -27,9 +27,24 @@ val greedy_desc_degree : Ugraph.t -> t
 
 val dsatur : Ugraph.t -> t
 (** DSATUR (Brélaz): repeatedly color the vertex with the most distinctly
-    colored neighbors. *)
+    colored neighbors.  Runs on a reusable domain-local working set
+    (saturation bitsets, buckets, arena scratch), so repeated colorings
+    of same-sized graphs allocate little beyond the returned array; the
+    buffers are retained, sized by the largest graph the domain has
+    colored. *)
 
-val best_heuristic : Ugraph.t -> t
-(** The better of {!greedy_desc_degree} and {!dsatur}. *)
+val dsatur_par : ?domains:int -> Ugraph.t -> t
+(** Component-parallel DSATUR: splits the graph into connected
+    components (union-find), colors them across domains with
+    {!Wl_util.Parallel.map_array}, and merges — producing the {e same
+    per-vertex coloring} as {!dsatur} (saturation never crosses a
+    component boundary, and the component-local numbering preserves
+    every tie-break).  Falls back to plain sequential DSATUR for
+    single-component graphs and, via the mapper's probe, whenever the
+    projected total work is under its ~2 ms threshold.  [domains]
+    defaults to {!Wl_util.Parallel.default_domains}. *)
+
+val best_heuristic : ?domains:int -> Ugraph.t -> t
+(** The better of {!greedy_desc_degree} and {!dsatur_par}. *)
 
 val pp : Format.formatter -> t -> unit

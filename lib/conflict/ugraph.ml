@@ -26,6 +26,11 @@ let add_edge t u v =
     t.m <- t.m + 1
   end
 
+let unsafe_add_edge t u v =
+  Bitset.add t.adj.(u) v;
+  Bitset.add t.adj.(v) u;
+  t.m <- t.m + 1
+
 let neighbors t v =
   check t v;
   Bitset.elements t.adj.(v)
@@ -47,9 +52,10 @@ let max_degree t =
 
 let iter_edges f t =
   (* Each edge once as (u, v) with u < v, in lexicographic order — walking
-     the adjacency bitsets directly, no list is materialized. *)
+     the upper triangle of the adjacency bitsets directly ([iter_ge]
+     skips the lower half at word granularity), no list materialized. *)
   for u = 0 to t.n - 1 do
-    Bitset.iter (fun v -> if u < v then f u v) t.adj.(u)
+    Bitset.iter_ge (fun v -> f u v) t.adj.(u) (u + 1)
   done
 
 let fold_edges f t init =

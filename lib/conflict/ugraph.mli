@@ -17,6 +17,13 @@ val add_edge : t -> int -> int -> unit
 (** Ignores duplicate insertions; raises [Invalid_argument] on self-loops or
     out-of-range vertices. *)
 
+val unsafe_add_edge : t -> int -> int -> unit
+(** [add_edge] with no bounds, self-loop, or duplicate check — the edge
+    count is incremented unconditionally, so inserting a duplicate
+    corrupts [n_edges].  Only for trusted bulk loads whose source
+    already guarantees validity and uniqueness (e.g. re-emitting the
+    edges of an existing graph into component subgraphs). *)
+
 val mem_edge : t -> int -> int -> bool
 val neighbors : t -> int -> int list
 val neighbor_set : t -> int -> Wl_util.Bitset.t

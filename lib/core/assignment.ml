@@ -13,13 +13,14 @@ let first_conflict inst assignment =
   let owner = Array.make (max_c + 2) 0 in
   let stamp = Array.make (max_c + 2) (-1) in
   let off, ids = Instance.csr_index inst in
+  let module Flat = Wl_util.Flat in
   let result = ref None in
   let a = ref 0 in
   while !result = None && !a < m do
-    let lo = off.(!a) and hi = off.(!a + 1) in
+    let lo = Flat.get off !a and hi = Flat.get off (!a + 1) in
     let i = ref lo in
     while !result = None && !i < hi do
-      let p = ids.(!i) in
+      let p = Flat.unsafe_get ids !i in
       let c = assignment.(p) in
       if stamp.(c) = !a then result := Some (owner.(c), p, !a)
       else begin

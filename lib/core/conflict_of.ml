@@ -12,11 +12,15 @@ let build_impl inst =
   (* Emit conflict pairs straight from the CSR slices: no per-arc user list
      is materialized. *)
   let off, ids = Instance.csr_index inst in
+  let module Flat = Wl_util.Flat in
   for a = 0 to Digraph.n_arcs g - 1 do
-    let lo = off.(a) and hi = off.(a + 1) in
+    let lo = Flat.get off a and hi = Flat.get off (a + 1) in
     for i = lo to hi - 1 do
+      (* Hoisted: the Bigarray read costs two loads and ocamlopt does
+         no loop-invariant motion of its own. *)
+      let u = Flat.unsafe_get ids i in
       for j = i + 1 to hi - 1 do
-        Ugraph.add_edge cg ids.(i) ids.(j)
+        Ugraph.add_edge cg u (Flat.unsafe_get ids j)
       done
     done
   done;

@@ -1,16 +1,18 @@
 open Wl_digraph
 module Dag = Wl_dag.Dag
+module Flat = Wl_util.Flat
 
 (* The arc index is CSR-shaped: [ids.(off.(a) .. off.(a+1) - 1)] are the
-   family indices whose dipath uses arc [a], ascending.  Two flat int arrays
-   instead of an [int list array] keep every hot loop (load profiles,
-   conflict-pair emission, Theorem 1 insertion) allocation-free and cache
-   friendly. *)
+   family indices whose dipath uses arc [a], ascending.  Two flat
+   Bigarray-backed int arrays instead of an [int list array] keep every
+   hot loop (load profiles, conflict-pair emission, Theorem 1 insertion)
+   allocation-free and cache friendly — and keep the index itself off
+   the OCaml heap, so big instances do not inflate GC scan times. *)
 type t = {
   dag : Dag.t;
   paths : Dipath.t array;
-  off : int array; (* length n_arcs + 1 *)
-  ids : int array; (* length = total arc count over the family *)
+  off : Flat.t; (* length n_arcs + 1 *)
+  ids : Flat.t; (* length = total arc count over the family *)
 }
 
 let build_index g paths =
@@ -32,7 +34,7 @@ let build_index g paths =
           cursor.(a) <- cursor.(a) + 1)
         p_arcs)
     arcs;
-  (off, ids)
+  (Flat.of_array off, Flat.of_array ids)
 
 let of_array dag paths =
   let paths = Array.copy paths in
@@ -81,30 +83,49 @@ let check_arc t a =
   if a < 0 || a >= Digraph.n_arcs (graph t) then
     invalid_arg "Instance.paths_through: bad arc"
 
+(* After [check_arc], [a] and [a + 1] are structurally valid indices
+   into [off] (length n_arcs + 1), so the reads below go unchecked. *)
+
 let n_paths_through t a =
   check_arc t a;
-  t.off.(a + 1) - t.off.(a)
+  Flat.unsafe_get t.off (a + 1) - Flat.unsafe_get t.off a
 
 let paths_through_iter t a f =
   check_arc t a;
-  for i = t.off.(a) to t.off.(a + 1) - 1 do
-    f t.ids.(i)
+  for i = Flat.unsafe_get t.off a to Flat.unsafe_get t.off (a + 1) - 1 do
+    f (Flat.unsafe_get t.ids i)
   done
 
 let paths_through_fold t a f init =
   check_arc t a;
-  let acc = ref init in
-  for i = t.off.(a) to t.off.(a + 1) - 1 do
-    acc := f !acc t.ids.(i)
-  done;
-  !acc
+  let hi = Flat.unsafe_get t.off (a + 1) in
+  let rec go i acc =
+    if i >= hi then acc else go (i + 1) (f acc (Flat.unsafe_get t.ids i))
+  in
+  go (Flat.unsafe_get t.off a) init
 
 let paths_through t a =
   check_arc t a;
-  let rec go i acc = if i < t.off.(a) then acc else go (i - 1) (t.ids.(i) :: acc) in
-  go (t.off.(a + 1) - 1) []
+  let lo = Flat.unsafe_get t.off a in
+  let rec go i acc =
+    if i < lo then acc else go (i - 1) (Flat.unsafe_get t.ids i :: acc)
+  in
+  go (Flat.unsafe_get t.off (a + 1) - 1) []
 
 let csr_index t = (t.off, t.ids)
+
+(* Hoisted single pass for the load maximum: every [off] cell is read
+   exactly once (the two-reads-per-arc [n_paths_through] loop pays the
+   Bigarray indirection twice), top-level and accumulator-threaded so
+   the scan allocates nothing. *)
+let rec max_load_scan off m a prev best =
+  if a > m then best
+  else
+    let cur = Flat.unsafe_get off a in
+    max_load_scan off m (a + 1) cur
+      (if cur - prev > best then cur - prev else best)
+
+let max_arc_load t = max_load_scan t.off (Flat.length t.off - 1) 1 0 0
 
 let pp ppf t =
   let g = graph t in

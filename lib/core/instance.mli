@@ -56,16 +56,22 @@ val paths_through : t -> Digraph.arc -> int list
 val n_paths_through : t -> Digraph.arc -> int
 (** Number of family members through the arc (the arc's load), O(1). *)
 
+val max_arc_load : t -> int
+(** [max over arcs of n_paths_through] — the load [pi] — in one
+    allocation-free pass that reads each CSR offset exactly once.
+    [Load.pi] is this. *)
+
 val paths_through_iter : t -> Digraph.arc -> (int -> unit) -> unit
 (** Iterate the family indices through the arc, ascending, without
     allocating. *)
 
 val paths_through_fold : t -> Digraph.arc -> ('a -> int -> 'a) -> 'a -> 'a
 
-val csr_index : t -> int array * int array
+val csr_index : t -> Wl_util.Flat.t * Wl_util.Flat.t
 (** The underlying CSR index [(off, ids)]: the members through arc [a] are
-    [ids.(off.(a)) .. ids.(off.(a+1) - 1)], ascending.  Exposed for flat-core
-    consumers (conflict-graph construction, Theorem 1 occupancy); callers
-    must not mutate either array. *)
+    [ids.(off.(a)) .. ids.(off.(a+1) - 1)], ascending.  Both tables are
+    Bigarray-backed ({!Wl_util.Flat.t}) so they live off the OCaml heap.
+    Exposed for flat-core consumers (conflict-graph construction,
+    Theorem 1 occupancy); callers must not mutate either array. *)
 
 val pp : Format.formatter -> t -> unit

@@ -6,13 +6,7 @@ let load_profile inst =
   let g = Instance.graph inst in
   Array.init (Digraph.n_arcs g) (Instance.n_paths_through inst)
 
-let pi inst =
-  let g = Instance.graph inst in
-  let best = ref 0 in
-  for a = 0 to Digraph.n_arcs g - 1 do
-    best := max !best (Instance.n_paths_through inst a)
-  done;
-  !best
+let pi inst = Instance.max_arc_load inst
 
 let max_load_arcs inst =
   let g = Instance.graph inst in

@@ -35,7 +35,34 @@ val color : Instance.t -> Assignment.t
 (** Optimal wavelength assignment ([n_wavelengths <= Load.pi], hence equal
     to [w]).  Raises {!Internal_cycle_encountered} only if the DAG has an
     internal cycle (Theorem 1 guarantees success otherwise; the converse
-    direction is exercised by Theorem 2 instances). *)
+    direction is exercised by Theorem 2 instances).
+
+    The returned array is fresh (callers own it).  Internally the solve
+    runs on a domain-local {!scratch}, so repeat calls on the same
+    instance allocate nothing beyond this copy. *)
+
+(** {1 Reusable solver state}
+
+    The solver's flat state is a {e scratch} backed by a
+    {!Wl_util.Arena}: binding an instance sizes the buffers once, and
+    every further solve of the same instance is allocation-free
+    (generation-stamped marks, no per-call [Array.make]).  Sessions that
+    solve repeatedly — the engine, benchmarks — own a scratch and call
+    {!color_with}. *)
+
+type scratch
+
+val scratch : unit -> scratch
+(** A fresh unbound scratch.  One domain at a time; binding happens on
+    first use and is keyed by physical instance identity. *)
+
+val color_with : scratch -> Instance.t -> Assignment.t
+(** Like {!color}, but the returned array is {e borrowed} from the
+    scratch: valid until the next [color_with] call on it, never to be
+    mutated.  Rebinds (and allocates) only when [inst] differs
+    physically from the previous call's; a warm repeat solve performs
+    zero minor allocation, which is what the [thm1.color] span's
+    [gc.minor_w = 0] steady state in {!Wl_obs.Prof} reports. *)
 
 val color_result :
   Instance.t ->

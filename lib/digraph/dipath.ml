@@ -73,6 +73,7 @@ let vertices p = Array.to_list p.verts
 let vertex_array p = Array.copy p.verts
 let arcs p = Array.to_list p.arc_ids
 let arc_array p = Array.copy p.arc_ids
+let unsafe_arc_array p = p.arc_ids
 let src p = p.verts.(0)
 let dst p = p.verts.(Array.length p.verts - 1)
 let n_arcs p = Array.length p.arc_ids

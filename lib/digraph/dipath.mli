@@ -30,6 +30,13 @@ val arcs : t -> Digraph.arc list
 (** The arc ids, in order. *)
 
 val arc_array : t -> Digraph.arc array
+(** Fresh array of the arc ids, in order. *)
+
+val unsafe_arc_array : t -> Digraph.arc array
+(** The arc ids {e borrowed}, in order — the dipath's own backing array,
+    shared to keep hot consumers (solver state binding, engine
+    occupancy) allocation-free.  Callers must never mutate it; validity
+    is tied to the dipath's lifetime. *)
 
 val src : t -> Digraph.vertex
 val dst : t -> Digraph.vertex

@@ -49,23 +49,110 @@ let hit_rate st =
     float_of_int (st.warm_hits + st.fresh_colors + st.repairs + st.warm_removes)
     /. float_of_int st.ops
 
+(* Occupancy entries pack the occupant slot and its back-pointer (which
+   position of the slot's own arc sequence this entry is) into one word:
+   [(back lsl 31) lor slot].  One row per arc instead of two halves the row
+   storage and keeps the inner scan a single load per occupant. *)
+let occ_shift = 31
+let occ_mask = (1 lsl occ_shift) - 1
+
+(* Warm-path working set.  None of it is rollback-able state: every buffer
+   is recomputed or re-stamped before use, so snapshot/clone drop it and
+   start the copy with a fresh empty scratch.  Buffers grow geometrically
+   and are retained, which is what makes a steady stream of warm
+   add/remove ops allocation-free once capacities have settled. *)
+type scr = {
+  mutable z_used : int array; (* 0/1 per color, filled per use *)
+  mutable z_cnt : int array; (* per-color wearer counts (repair alpha pick) *)
+  mutable z_visited : int array; (* per-slot generation stamps (Kempe BFS) *)
+  mutable z_queue : int array; (* BFS queue; after the BFS, the component *)
+  mutable z_members : int array; (* shrink: slots of the emptied class *)
+  mutable z_applied : int array; (* shrink undo log, packed (slot, color) *)
+  mutable z_vstamp : int array; (* per-vertex stamps (dipath validation) *)
+  mutable z_gen : int; (* stamp generation; bumped per use, never reset *)
+  mutable z_head : int; (* BFS cursor *)
+  mutable z_tail : int;
+  mutable z_pool : int array array; (* recycled slot_pos rows (LIFO) *)
+  mutable z_pool_len : int;
+}
+
+let new_scr () =
+  {
+    z_used = Array.make 8 0; (* alloc-ok *)
+    z_cnt = Array.make 8 0; (* alloc-ok *)
+    z_visited = Array.make 8 0; (* alloc-ok *)
+    z_queue = Array.make 8 0; (* alloc-ok *)
+    z_members = Array.make 8 0; (* alloc-ok *)
+    z_applied = Array.make 8 0; (* alloc-ok *)
+    z_vstamp = Array.make 8 0; (* alloc-ok *)
+    z_gen = 0;
+    z_head = 0;
+    z_tail = 0;
+    z_pool = Array.make 8 [||]; (* alloc-ok *)
+    z_pool_len = 0;
+  }
+
+let ensure_color_cap z n =
+  if Array.length z.z_used < n then begin
+    let cap = max n (2 * Array.length z.z_used + 8) in
+    z.z_used <- Array.make cap 0; (* alloc-ok *)
+    z.z_cnt <- Array.make cap 0 (* alloc-ok *)
+  end
+
+(* Growing drops old stamps without a blit: generations are strictly
+   positive and bumped before every traversal, so fresh zeros can never
+   masquerade as the current generation. *)
+let ensure_slot_scratch z n =
+  if Array.length z.z_visited < n then begin
+    let cap = max n (2 * Array.length z.z_visited + 8) in
+    z.z_visited <- Array.make cap 0; (* alloc-ok *)
+    z.z_queue <- Array.make cap 0; (* alloc-ok *)
+    z.z_members <- Array.make cap 0; (* alloc-ok *)
+    z.z_applied <- Array.make cap 0 (* alloc-ok *)
+  end
+
+let ensure_vertex_scratch z n =
+  if Array.length z.z_vstamp < n then
+    z.z_vstamp <- Array.make (max n (2 * Array.length z.z_vstamp + 8)) 0 (* alloc-ok *)
+
+let pool_push z row =
+  if z.z_pool_len >= Array.length z.z_pool then begin
+    let b = Array.make (2 * Array.length z.z_pool + 8) [||] in (* alloc-ok *)
+    Array.blit z.z_pool 0 b 0 z.z_pool_len;
+    z.z_pool <- b
+  end;
+  z.z_pool.(z.z_pool_len) <- row;
+  z.z_pool_len <- z.z_pool_len + 1
+
+(* A recycled row of at least [n] entries, or a fresh one.  Only the pool
+   top is considered: the steady state this serves is add/remove cycles over
+   same-shaped paths, where the row freed by the last removal fits the next
+   insertion exactly. *)
+let pool_pop z n =
+  if z.z_pool_len > 0 && Array.length z.z_pool.(z.z_pool_len - 1) >= n then begin
+    z.z_pool_len <- z.z_pool_len - 1;
+    let r = z.z_pool.(z.z_pool_len) in
+    z.z_pool.(z.z_pool_len) <- [||];
+    r
+  end
+  else Array.make n 0 (* alloc-ok *)
+
 (* All rollback-able state lives in one record so snapshot/rollback are a
    single deep copy.  The occupancy index is the mutable cousin of the
-   instance CSR index: per arc, the live slots through it ([occ_slot]) with,
-   for each entry, which position of the slot's own arc sequence it is
-   ([occ_back]); [slot_pos] is the inverse.  Swap-removal keeps every update
-   O(1) per arc of the touched dipath, and [occ_len] doubles as the live
-   per-arc load. *)
+   instance CSR index: per arc, the live slots through it, each entry packed
+   with its back-pointer; [slot_pos] is the inverse.  Swap-removal keeps
+   every update O(1) per arc of the touched dipath, and [occ_len] doubles as
+   the live per-arc load. *)
 type core = {
   mutable g : Digraph.t;
-  mutable slots : Dipath.t option array; (* None = removed; ids never reused *)
+  mutable slot_path : Dipath.t array; (* meaningful where [slot_live] *)
+  mutable slot_live : bool array; (* false = removed; ids never reused *)
   mutable n_slots : int;
   mutable n_live : int;
   mutable colors : int array; (* per slot; meaningful when [warm] *)
-  mutable slot_arcs : int array array; (* cached Dipath.arc_array per slot *)
+  mutable slot_arcs : int array array; (* borrowed Dipath.unsafe_arc_array rows *)
   mutable slot_pos : int array array; (* slot_pos.(s).(k): index in occ of s's k-th arc *)
-  mutable occ_slot : int array array; (* per arc, capacity >= occ_len *)
-  mutable occ_back : int array array;
+  mutable occ : int array array; (* per arc, packed entries, capacity >= occ_len *)
   mutable occ_len : int array; (* live load per arc *)
   mutable n_arcs : int;
   mutable load_hist : int array; (* # arcs with load l, l >= 1 *)
@@ -77,6 +164,7 @@ type core = {
   mutable warm : bool; (* colors valid, contiguous, palette = maxload = pi *)
   mutable dirty : bool; (* state diverged; next query runs a full solve *)
   mutable cached_report : Solver.report option;
+  scr : scr; (* not part of the logical state; clones get a fresh one *)
 }
 
 type session = {
@@ -102,14 +190,14 @@ let next_sid = Atomic.make 0
 let clone_core c =
   {
     g = Digraph.copy c.g;
-    slots = Array.copy c.slots;
+    slot_path = Array.copy c.slot_path;
+    slot_live = Array.copy c.slot_live;
     n_slots = c.n_slots;
     n_live = c.n_live;
     colors = Array.copy c.colors;
     slot_arcs = Array.copy c.slot_arcs; (* rows are immutable once built *)
     slot_pos = Array.map Array.copy c.slot_pos;
-    occ_slot = Array.map Array.copy c.occ_slot;
-    occ_back = Array.map Array.copy c.occ_back;
+    occ = Array.map Array.copy c.occ;
     occ_len = Array.copy c.occ_len;
     n_arcs = c.n_arcs;
     load_hist = Array.copy c.load_hist;
@@ -123,6 +211,7 @@ let clone_core c =
     cached_report =
       Option.map (fun r -> { r with Solver.assignment = Array.copy r.Solver.assignment })
         c.cached_report;
+    scr = new_scr ();
   }
 
 (* --- growth helpers -------------------------------------------------------- *)
@@ -130,7 +219,7 @@ let clone_core c =
 let grow_int_array a len fill =
   if Array.length a >= len then a
   else begin
-    let b = Array.make (max len (2 * Array.length a + 4)) fill in
+    let b = Array.make (max len (2 * Array.length a + 4)) fill in (* alloc-ok *)
     Array.blit a 0 b 0 (Array.length a);
     b
   end
@@ -138,18 +227,20 @@ let grow_int_array a len fill =
 let grow_row_array a len fill =
   if Array.length a >= len then a
   else begin
-    let b = Array.make (max len (2 * Array.length a + 4)) fill in
+    let b = Array.make (max len (2 * Array.length a + 4)) fill in (* alloc-ok *)
     Array.blit a 0 b 0 (Array.length a);
     b
   end
 
 let ensure_arc_capacity c m =
-  c.occ_slot <- grow_row_array c.occ_slot m [||];
-  c.occ_back <- grow_row_array c.occ_back m [||];
+  c.occ <- grow_row_array c.occ m [||];
   c.occ_len <- grow_int_array c.occ_len m 0
 
-let ensure_slot_capacity c n =
-  c.slots <- grow_row_array c.slots n None;
+(* [p] doubles as the fill for fresh [slot_path] cells (there is no dummy
+   dipath); those cells are only ever read where [slot_live] holds. *)
+let ensure_slot_capacity c n p =
+  c.slot_path <- grow_row_array c.slot_path n p;
+  c.slot_live <- grow_row_array c.slot_live n false;
   c.colors <- grow_int_array c.colors n (-1);
   c.slot_arcs <- grow_row_array c.slot_arcs n [||];
   c.slot_pos <- grow_row_array c.slot_pos n [||]
@@ -174,40 +265,42 @@ let drop_load c a =
 (* Insert slot [s] into the occupancy of every arc it traverses. *)
 let occ_insert c s =
   let arcs = c.slot_arcs.(s) in
-  let pos = Array.make (Array.length arcs) 0 in
-  Array.iteri
-    (fun k a ->
-      let i = c.occ_len.(a) in
-      let row = c.occ_slot.(a) in
-      if i >= Array.length row then begin
-        let cap = max 4 (2 * Array.length row) in
-        let ns = Array.make cap 0 and nb = Array.make cap 0 in
-        Array.blit row 0 ns 0 i;
-        Array.blit c.occ_back.(a) 0 nb 0 i;
-        c.occ_slot.(a) <- ns;
-        c.occ_back.(a) <- nb
-      end;
-      bump_load c a;
-      c.occ_slot.(a).(i) <- s;
-      c.occ_back.(a).(i) <- k;
-      pos.(k) <- i;
-      c.occ_len.(a) <- i + 1)
-    arcs;
+  let n = Array.length arcs in
+  let pos = pool_pop c.scr n in
+  for k = 0 to n - 1 do
+    let a = Array.unsafe_get arcs k in
+    let i = c.occ_len.(a) in
+    let row = c.occ.(a) in
+    let row =
+      if i < Array.length row then row
+      else begin
+        let nr = Array.make (max 4 (2 * Array.length row)) 0 in (* alloc-ok *)
+        Array.blit row 0 nr 0 i;
+        c.occ.(a) <- nr;
+        nr
+      end
+    in
+    bump_load c a;
+    row.(i) <- (k lsl occ_shift) lor s;
+    pos.(k) <- i;
+    c.occ_len.(a) <- i + 1
+  done;
   c.slot_pos.(s) <- pos
 
 let occ_remove c s =
   let arcs = c.slot_arcs.(s) and pos = c.slot_pos.(s) in
-  Array.iteri
-    (fun k a ->
-      let i = pos.(k) in
-      let last = c.occ_len.(a) - 1 in
-      let t = c.occ_slot.(a).(last) and kt = c.occ_back.(a).(last) in
-      c.occ_slot.(a).(i) <- t;
-      c.occ_back.(a).(i) <- kt;
-      c.slot_pos.(t).(kt) <- i;
-      drop_load c a;
-      c.occ_len.(a) <- last)
-    arcs
+  for k = 0 to Array.length arcs - 1 do
+    let a = Array.unsafe_get arcs k in
+    let i = pos.(k) in
+    let last = c.occ_len.(a) - 1 in
+    let w = c.occ.(a).(last) in
+    c.occ.(a).(i) <- w;
+    c.slot_pos.(w land occ_mask).(w lsr occ_shift) <- i;
+    drop_load c a;
+    c.occ_len.(a) <- last
+  done;
+  c.slot_pos.(s) <- [||];
+  pool_push c.scr pos
 
 (* --- construction ---------------------------------------------------------- *)
 
@@ -217,25 +310,26 @@ let make_core g classification =
   let m = Digraph.n_arcs g in
   {
     g;
-    slots = Array.make 8 None;
+    slot_path = [||];
+    slot_live = Array.make 8 false; (* alloc-ok *)
     n_slots = 0;
     n_live = 0;
-    colors = Array.make 8 (-1);
-    slot_arcs = Array.make 8 [||];
-    slot_pos = Array.make 8 [||];
-    occ_slot = Array.make (max 1 m) [||];
-    occ_back = Array.make (max 1 m) [||];
-    occ_len = Array.make (max 1 m) 0;
+    colors = Array.make 8 (-1); (* alloc-ok *)
+    slot_arcs = Array.make 8 [||]; (* alloc-ok *)
+    slot_pos = Array.make 8 [||]; (* alloc-ok *)
+    occ = Array.make (max 1 m) [||]; (* alloc-ok *)
+    occ_len = Array.make (max 1 m) 0; (* alloc-ok *)
     n_arcs = m;
-    load_hist = Array.make 8 0;
+    load_hist = Array.make 8 0; (* alloc-ok *)
     maxload = 0;
     palette = 0;
-    color_count = Array.make 8 0;
+    color_count = Array.make 8 0; (* alloc-ok *)
     classification;
     has_cycle = classification.Classify.n_internal_cycles > 0;
     warm = false;
     dirty = true;
     cached_report = None;
+    scr = new_scr ();
   }
 
 let fresh_session ?(repair_budget = default_repair_budget) core =
@@ -256,12 +350,13 @@ let fresh_session ?(repair_budget = default_repair_budget) core =
   }
 
 let new_slot c p =
-  ensure_slot_capacity c (c.n_slots + 1);
+  ensure_slot_capacity c (c.n_slots + 1) p;
   let s = c.n_slots in
   c.n_slots <- s + 1;
-  c.slots.(s) <- Some p;
+  c.slot_path.(s) <- p;
+  c.slot_live.(s) <- true;
   c.colors.(s) <- -1;
-  c.slot_arcs.(s) <- Dipath.arc_array p;
+  c.slot_arcs.(s) <- Dipath.unsafe_arc_array p;
   c.n_live <- c.n_live + 1;
   occ_insert c s;
   s
@@ -290,7 +385,7 @@ let live_paths s =
   let c = !(s.core) in
   let acc = ref [] in
   for i = c.n_slots - 1 downto 0 do
-    match c.slots.(i) with Some p -> acc := (i, p) :: !acc | None -> ()
+    if c.slot_live.(i) then acc := (i, c.slot_path.(i)) :: !acc
   done;
   !acc
 
@@ -316,9 +411,9 @@ let materialize_core c =
   let dag = Dag.of_digraph_exn g in
   let live = ref [] in
   for i = c.n_slots - 1 downto 0 do
-    match c.slots.(i) with Some p -> live := p :: !live | None -> ()
+    if c.slot_live.(i) then live := c.slot_path.(i) :: !live
   done;
-  Instance.of_array dag (Array.of_list !live)
+  Instance.of_array dag (Array.of_list !live) (* alloc-ok *)
 
 let instance s = materialize_core !(s.core)
 
@@ -329,20 +424,19 @@ let install_assignment c (report : Solver.report) =
   let j = ref 0 in
   let max_c = ref (-1) in
   for i = 0 to c.n_slots - 1 do
-    match c.slots.(i) with
-    | Some _ ->
+    if c.slot_live.(i) then begin
       let col = report.Solver.assignment.(!j) in
       c.colors.(i) <- col;
       if col > !max_c then max_c := col;
       incr j
-    | None -> ()
+    end
   done;
   let palette = !max_c + 1 in
   c.palette <- palette;
   c.color_count <- grow_int_array c.color_count (max 1 palette) 0;
   Array.fill c.color_count 0 (Array.length c.color_count) 0;
   for i = 0 to c.n_slots - 1 do
-    if c.slots.(i) <> None then
+    if c.slot_live.(i) then
       c.color_count.(c.colors.(i)) <- c.color_count.(c.colors.(i)) + 1
   done;
   let contiguous = ref true in
@@ -372,10 +466,10 @@ let ensure_clean s =
 
 let build_warm_report c =
   assert (c.warm && not c.dirty);
-  let assignment = Array.make c.n_live 0 in
+  let assignment = Array.make c.n_live 0 in (* alloc-ok *)
   let j = ref 0 in
   for i = 0 to c.n_slots - 1 do
-    if c.slots.(i) <> None then begin
+    if c.slot_live.(i) then begin
       assignment.(!j) <- c.colors.(i);
       incr j
     end
@@ -405,32 +499,58 @@ let color_of s pid =
   let c = !(s.core) in
   if pid < 0 || pid >= c.n_slots then
     Error (Error.Bad_index { what = "path"; index = pid })
-  else if c.slots.(pid) = None then
+  else if not c.slot_live.(pid) then
     Error (Error.Invalid_op (Printf.sprintf "path %d was removed" pid))
   else begin
     ensure_clean s;
     Ok c.colors.(pid)
   end
 
-(* --- warm-path machinery --------------------------------------------------- *)
+(* --- warm-path machinery ---------------------------------------------------
+
+   Everything below runs on the core's scratch: generation stamps instead of
+   fresh mark arrays, an int-array queue instead of [Queue], packed ints
+   instead of option/tuple returns, and top-level tail-recursive helpers
+   instead of environment-capturing closures (which allocate without
+   flambda).  A warm add or remove in steady state performs no minor
+   allocation at all, which is what the [engine.add_path] span's
+   [gc.minor_w = 0] reading in {!Wl_obs.Prof} reports. *)
+
+(* First color in [col .. n-1] with [used.(col) = 0], or -1. *)
+let rec first_free used n col =
+  if col >= n then -1
+  else if Array.unsafe_get used col = 0 then col
+  else first_free used n (col + 1)
+
+let rec argmin_color cc n best col =
+  if col >= n then best
+  else if cc.(col) < cc.(best) then argmin_color cc n col (col + 1)
+  else argmin_color cc n best (col + 1)
+
+(* Mark in [z_used] every palette color worn by a live occupant of [q]'s
+   arcs other than [q] itself.  Caller fills [z_used] first. *)
+let mark_neighbor_colors c q =
+  let used = c.scr.z_used in
+  let arcs = c.slot_arcs.(q) in
+  for k = 0 to Array.length arcs - 1 do
+    let a = Array.unsafe_get arcs k in
+    let row = c.occ.(a) in
+    for j = 0 to c.occ_len.(a) - 1 do
+      let x = Array.unsafe_get row j land occ_mask in
+      if x <> q then Array.unsafe_set used c.colors.(x) 1
+    done
+  done
 
 (* Smallest color of [0 .. palette - 1] worn by no live occupant of the
-   slot's arcs (other than the slot itself), if any. *)
+   slot's arcs (other than the slot itself); -1 if none. *)
 let free_color c s =
-  if c.palette = 0 then None
+  if c.palette = 0 then -1
   else begin
-    let used = Array.make c.palette false in
-    Array.iter
-      (fun a ->
-        for j = 0 to c.occ_len.(a) - 1 do
-          let q = c.occ_slot.(a).(j) in
-          if q <> s then used.(c.colors.(q)) <- true
-        done)
-      c.slot_arcs.(s);
-    let rec first col =
-      if col >= c.palette then None else if used.(col) then first (col + 1) else Some col
-    in
-    first 0
+    let z = c.scr in
+    ensure_color_cap z c.palette;
+    Array.fill z.z_used 0 c.palette 0;
+    mark_neighbor_colors c s;
+    first_free z.z_used c.palette 0
   end
 
 let push_color_count c col =
@@ -439,164 +559,186 @@ let push_color_count c col =
 
 (* Kempe component of [start] in the {alpha, beta} conflict subgraph over
    live colored slots; collect-then-flip so a partial traversal never leaves
-   an invalid coloring behind. *)
+   an invalid coloring behind.  The BFS queue is the collection: every
+   component member is enqueued exactly once, so after the traversal
+   [z_queue.(0 .. z_tail - 1)] is the component. *)
 let kempe_flip c ~alpha ~beta start =
-  let visited = Array.make c.n_slots false in
-  let queue = Queue.create () in
-  let component = ref [] in
-  visited.(start) <- true;
-  Queue.push start queue;
-  while not (Queue.is_empty queue) do
-    let x = Queue.pop queue in
-    component := x :: !component;
+  let z = c.scr in
+  ensure_slot_scratch z c.n_slots;
+  z.z_gen <- z.z_gen + 1;
+  let g = z.z_gen in
+  let vis = z.z_visited and queue = z.z_queue in
+  vis.(start) <- g;
+  queue.(0) <- start;
+  z.z_head <- 0;
+  z.z_tail <- 1;
+  while z.z_head < z.z_tail do
+    let x = queue.(z.z_head) in
+    z.z_head <- z.z_head + 1;
     let other = if c.colors.(x) = alpha then beta else alpha in
-    Array.iter
-      (fun a ->
-        for j = 0 to c.occ_len.(a) - 1 do
-          let q = c.occ_slot.(a).(j) in
-          if (not visited.(q)) && c.colors.(q) = other then begin
-            visited.(q) <- true;
-            Queue.push q queue
-          end
-        done)
-      c.slot_arcs.(x)
+    let arcs = c.slot_arcs.(x) in
+    for k = 0 to Array.length arcs - 1 do
+      let a = Array.unsafe_get arcs k in
+      let row = c.occ.(a) in
+      for j = 0 to c.occ_len.(a) - 1 do
+        let q = Array.unsafe_get row j land occ_mask in
+        if vis.(q) <> g && c.colors.(q) = other then begin
+          vis.(q) <- g;
+          queue.(z.z_tail) <- q;
+          z.z_tail <- z.z_tail + 1
+        end
+      done
+    done
   done;
-  List.iter
-    (fun x ->
-      let old = c.colors.(x) in
-      let nw = if old = alpha then beta else alpha in
-      c.colors.(x) <- nw;
-      c.color_count.(old) <- c.color_count.(old) - 1;
-      c.color_count.(nw) <- c.color_count.(nw) + 1)
-    !component;
-  List.length !component
+  let size = z.z_tail in
+  for i = 0 to size - 1 do
+    let x = queue.(i) in
+    let old = c.colors.(x) in
+    let nw = if old = alpha then beta else alpha in
+    c.colors.(x) <- nw;
+    c.color_count.(old) <- c.color_count.(old) - 1;
+    c.color_count.(nw) <- c.color_count.(nw) + 1
+  done;
+  size
+
+(* First alpha-wearer on a row other than [s], or -1. *)
+let rec conflict_in_row c s row j len alpha =
+  if j >= len then -1
+  else begin
+    let q = Array.unsafe_get row j land occ_mask in
+    if q <> s && c.colors.(q) = alpha then q
+    else conflict_in_row c s row (j + 1) len alpha
+  end
+
+(* First arc of slot [s] still carrying an alpha-wearer, packed with the
+   wearer as [(arc lsl 31) lor wearer]; -1 when alpha is free everywhere. *)
+let rec find_conflict c s arcs k n alpha =
+  if k >= n then -1
+  else begin
+    let a = Array.unsafe_get arcs k in
+    let q = conflict_in_row c s (c.occ.(a)) 0 c.occ_len.(a) alpha in
+    if q >= 0 then (a lsl occ_shift) lor q
+    else find_conflict c s arcs (k + 1) n alpha
+  end
+
+let rec repair_fix c s alpha budget flips =
+  let arcs = c.slot_arcs.(s) in
+  let w = find_conflict c s arcs 0 (Array.length arcs) alpha in
+  if w < 0 then begin
+    c.colors.(s) <- alpha;
+    push_color_count c alpha;
+    flips
+  end
+  else if flips >= budget then -1
+  else begin
+    let a = w lsr occ_shift and q = w land occ_mask in
+    (* beta: a palette color absent on arc [a].  One exists: the arc's load
+       counts the uncolored slot, so at most [palette - 1] of its occupants
+       are colored. *)
+    let used = c.scr.z_used in
+    Array.fill used 0 c.palette 0;
+    let row = c.occ.(a) in
+    for j = 0 to c.occ_len.(a) - 1 do
+      let x = Array.unsafe_get row j land occ_mask in
+      if x <> s then used.(c.colors.(x)) <- 1
+    done;
+    let beta = first_free used c.palette 0 in
+    if beta < 0 then -1 (* load accounting broken; bail out *)
+    else begin
+      let size = kempe_flip c ~alpha ~beta q in
+      if flips + size > budget then -1 else repair_fix c s alpha budget (flips + size)
+    end
+  end
 
 (* The slot is inserted in the occupancy but uncolored; make some color free
    on all its arcs by bounded Theorem-1-style Kempe flips and wear it.
-   Returns the number of recolored dipaths, or [None] when the flip budget
-   ran out (caller falls back to a full solve). *)
+   Returns the number of recolored dipaths, or -1 when the flip budget ran
+   out (caller falls back to a full solve). *)
 let try_repair c ~budget s =
-  (* alpha: the color with the fewest wearers along the slot's arcs. *)
-  let cnt = Array.make c.palette 0 in
-  Array.iter
-    (fun a ->
-      for j = 0 to c.occ_len.(a) - 1 do
-        let q = c.occ_slot.(a).(j) in
-        if q <> s then cnt.(c.colors.(q)) <- cnt.(c.colors.(q)) + 1
-      done)
-    c.slot_arcs.(s);
-  let alpha = ref 0 in
-  for col = 1 to c.palette - 1 do
-    if cnt.(col) < cnt.(!alpha) then alpha := col
-  done;
-  let alpha = !alpha in
-  (* First arc of the slot still carrying an alpha-wearer. *)
-  let find_conflict () =
-    let found = ref None in
+  if c.palette = 0 then -1
+  else begin
+    let z = c.scr in
+    ensure_color_cap z c.palette;
+    (* alpha: the color with the fewest wearers along the slot's arcs. *)
+    let cnt = z.z_cnt in
+    Array.fill cnt 0 c.palette 0;
     let arcs = c.slot_arcs.(s) in
-    let i = ref 0 in
-    while !found = None && !i < Array.length arcs do
-      let a = arcs.(!i) in
-      let j = ref 0 in
-      while !found = None && !j < c.occ_len.(a) do
-        let q = c.occ_slot.(a).(!j) in
-        if q <> s && c.colors.(q) = alpha then found := Some (a, q);
-        incr j
-      done;
-      incr i
+    for k = 0 to Array.length arcs - 1 do
+      let a = Array.unsafe_get arcs k in
+      let row = c.occ.(a) in
+      for j = 0 to c.occ_len.(a) - 1 do
+        let q = Array.unsafe_get row j land occ_mask in
+        if q <> s then cnt.(c.colors.(q)) <- cnt.(c.colors.(q)) + 1
+      done
     done;
-    !found
-  in
-  let rec fix flips =
-    match find_conflict () with
-    | None ->
-      c.colors.(s) <- alpha;
-      push_color_count c alpha;
-      Some flips
-    | Some (a, q) ->
-      if flips >= budget then None
-      else begin
-        (* beta: a palette color absent on arc [a].  One exists: the arc's
-           load counts the uncolored slot, so at most [palette - 1] of its
-           occupants are colored. *)
-        let present = Array.make c.palette false in
-        for j = 0 to c.occ_len.(a) - 1 do
-          let x = c.occ_slot.(a).(j) in
-          if x <> s then present.(c.colors.(x)) <- true
-        done;
-        let beta = ref 0 in
-        while !beta < c.palette && present.(!beta) do
-          incr beta
-        done;
-        if !beta >= c.palette then None (* load accounting broken; bail out *)
-        else begin
-          let size = kempe_flip c ~alpha ~beta:!beta q in
-          if flips + size > budget then None else fix (flips + size)
-        end
-      end
-  in
-  fix 0
+    let alpha = argmin_color cnt c.palette 0 1 in
+    repair_fix c s alpha budget 0
+  end
+
+let rec collect_class c d members i cnt =
+  if i >= c.n_slots then cnt
+  else if c.slot_live.(i) && c.colors.(i) = d then begin
+    members.(cnt) <- i;
+    collect_class c d members (i + 1) (cnt + 1)
+  end
+  else collect_class c d members (i + 1) cnt
+
+let shrink_revert c d applied napp =
+  for i = 0 to napp - 1 do
+    let w = applied.(i) in
+    let q = w lsr occ_shift and e = w land occ_mask in
+    c.colors.(q) <- d;
+    c.color_count.(d) <- c.color_count.(d) + 1;
+    c.color_count.(e) <- c.color_count.(e) - 1
+  done
+
+(* Greedily recolor every member of class [d]; the undo log is packed
+   [(slot lsl 31) lor new_color].  Returns the applied count, or -1 (after a
+   full revert) when some member has no free color. *)
+let rec shrink_go c d members nm applied i napp =
+  if i >= nm then napp
+  else begin
+    let q = members.(i) in
+    let z = c.scr in
+    Array.fill z.z_used 0 c.palette 0;
+    z.z_used.(d) <- 1;
+    mark_neighbor_colors c q;
+    let e = first_free z.z_used c.palette 0 in
+    if e < 0 then begin
+      shrink_revert c d applied napp;
+      -1
+    end
+    else begin
+      c.colors.(q) <- e;
+      c.color_count.(d) <- c.color_count.(d) - 1;
+      c.color_count.(e) <- c.color_count.(e) + 1;
+      applied.(napp) <- (q lsl occ_shift) lor e;
+      shrink_go c d members nm applied (i + 1) (napp + 1)
+    end
+  end
 
 (* After a warm removal [palette] can exceed the (possibly lowered) load by
    one; empty the smallest color class by greedy recoloring to restore
    [palette = pi].  Fully reverted on failure. *)
 let try_shrink c =
-  let d = ref 0 in
-  for col = 1 to c.palette - 1 do
-    if c.color_count.(col) < c.color_count.(!d) then d := col
-  done;
-  let d = !d in
-  let members = ref [] in
-  for i = 0 to c.n_slots - 1 do
-    if c.slots.(i) <> None && c.colors.(i) = d then members := i :: !members
-  done;
-  let applied = ref [] in
-  let revert () =
-    List.iter
-      (fun (q, e) ->
-        c.colors.(q) <- d;
-        c.color_count.(d) <- c.color_count.(d) + 1;
-        c.color_count.(e) <- c.color_count.(e) - 1)
-      !applied
-  in
-  let recolor q =
-    let used = Array.make c.palette false in
-    used.(d) <- true;
-    Array.iter
-      (fun a ->
-        for j = 0 to c.occ_len.(a) - 1 do
-          let x = c.occ_slot.(a).(j) in
-          if x <> q then used.(c.colors.(x)) <- true
-        done)
-      c.slot_arcs.(q);
-    let rec first e =
-      if e >= c.palette then None else if used.(e) then first (e + 1) else Some e
-    in
-    match first 0 with
-    | None -> false
-    | Some e ->
-      c.colors.(q) <- e;
-      c.color_count.(d) <- c.color_count.(d) - 1;
-      c.color_count.(e) <- c.color_count.(e) + 1;
-      applied := (q, e) :: !applied;
-      true
-  in
-  if List.for_all recolor !members then begin
+  let z = c.scr in
+  ensure_color_cap z c.palette;
+  ensure_slot_scratch z c.n_slots;
+  let d = argmin_color c.color_count c.palette 0 1 in
+  let nm = collect_class c d z.z_members 0 0 in
+  if shrink_go c d z.z_members nm z.z_applied 0 0 < 0 then false
+  else begin
     (* Class [d] is empty; keep colors contiguous by renaming the last one. *)
     let last = c.palette - 1 in
     if d <> last then begin
       for i = 0 to c.n_slots - 1 do
-        if c.slots.(i) <> None && c.colors.(i) = last then c.colors.(i) <- d
+        if c.slot_live.(i) && c.colors.(i) = last then c.colors.(i) <- d
       done;
       c.color_count.(d) <- c.color_count.(last)
     end;
     c.color_count.(last) <- 0;
     c.palette <- last;
     true
-  end
-  else begin
-    revert ();
-    false
   end
 
 let go_dirty s =
@@ -613,96 +755,172 @@ let count_op s =
   Metrics.incr c_ops;
   !(s.core).cached_report <- None
 
+(* Insert an already-validated dipath; the shared tail of [add_path] and
+   [add_dipath_exn]. *)
+let add_body s p =
+  let c = !(s.core) in
+  count_op s;
+  let warm = c.warm && not c.dirty in
+  let slot = new_slot c p in
+  if not warm then c.dirty <- true
+  else begin
+    let col = free_color c slot in
+    if col >= 0 then begin
+      (* A free color implies the insertion did not push any arc past the
+         palette, so palette = pi still holds. *)
+      c.colors.(slot) <- col;
+      push_color_count c col;
+      s.s_warm_hits <- s.s_warm_hits + 1;
+      Metrics.incr c_warm_hits
+    end
+    else if c.maxload = c.palette + 1 then begin
+      (* The new path completed a full rainbow arc: the optimum itself grew,
+         so a fresh color keeps palette = pi. *)
+      c.colors.(slot) <- c.palette;
+      push_color_count c c.palette;
+      c.palette <- c.palette + 1;
+      s.s_fresh <- s.s_fresh + 1;
+      Metrics.incr c_fresh
+    end
+    else begin
+      let flips = try_repair c ~budget:s.repair_budget slot in
+      if flips >= 0 then begin
+        s.s_repairs <- s.s_repairs + 1;
+        s.s_repair_flips <- s.s_repair_flips + flips;
+        Metrics.incr c_repairs;
+        Metrics.observe h_cascade flips
+      end
+      else go_dirty s
+    end
+  end;
+  slot
+
+let add_traced s p =
+  if Trace.enabled () then
+    Trace.with_span "engine.add_path" (fun () -> add_body s p)
+  else add_body s p
+
 let add_path s verts =
   let c = !(s.core) in
   match Dipath.of_vertices c.g verts with
   | Error msg ->
     s.s_rejected <- s.s_rejected + 1;
     Error (Error.Invalid_path msg)
-  | Ok p ->
-    count_op s;
-    let warm = c.warm && not c.dirty in
-    let slot = new_slot c p in
-    if not warm then c.dirty <- true
-    else begin
-      match free_color c slot with
-      | Some col ->
-        (* A free color implies the insertion did not push any arc past the
-           palette, so palette = pi still holds. *)
-        c.colors.(slot) <- col;
-        push_color_count c col;
-        s.s_warm_hits <- s.s_warm_hits + 1;
-        Metrics.incr c_warm_hits
-      | None ->
-        if c.maxload = c.palette + 1 then begin
-          (* The new path completed a full rainbow arc: the optimum itself
-             grew, so a fresh color keeps palette = pi. *)
-          c.colors.(slot) <- c.palette;
-          push_color_count c c.palette;
-          c.palette <- c.palette + 1;
-          s.s_fresh <- s.s_fresh + 1;
-          Metrics.incr c_fresh
-        end
-        else
-          match try_repair c ~budget:s.repair_budget slot with
-          | Some flips ->
-            s.s_repairs <- s.s_repairs + 1;
-            s.s_repair_flips <- s.s_repair_flips + flips;
-            Metrics.incr c_repairs;
-            Metrics.observe h_cascade flips
-          | None -> go_dirty s
-    end;
-    Ok slot
+  | Ok p -> Ok (add_traced s p)
 
-let remove_path s pid =
+(* Validate a caller-built dipath against the session's private graph: every
+   arc id in range, consecutive arcs chained head-to-tail, no vertex visited
+   twice (stamp check).  O(length) and allocation-free on success; arc ids
+   survive [create]'s graph copy, so dipaths built against the source
+   instance's graph validate unchanged. *)
+let rec check_chain c arcs k n m =
+  if k >= n then ()
+  else begin
+    let a = arcs.(k) in
+    if a < 0 || a >= m then
+      Error.raise_error
+        (Error.Invalid_path (Printf.sprintf "add_dipath: arc %d out of range" a));
+    if k > 0 && Digraph.arc_src c.g a <> Digraph.arc_dst c.g arcs.(k - 1) then
+      Error.raise_error
+        (Error.Invalid_path
+           (Printf.sprintf "add_dipath: arcs %d and %d do not chain" arcs.(k - 1) a));
+    check_chain c arcs (k + 1) n m
+  end
+
+let stamp_vertex z g v =
+  if z.z_vstamp.(v) = g then
+    Error.raise_error
+      (Error.Invalid_path (Printf.sprintf "add_dipath: repeated vertex %d" v));
+  z.z_vstamp.(v) <- g
+
+let rec check_distinct c z g arcs k n =
+  if k >= n then ()
+  else begin
+    stamp_vertex z g (Digraph.arc_src c.g arcs.(k));
+    check_distinct c z g arcs (k + 1) n
+  end
+
+let validate_dipath c p =
+  let arcs = Dipath.unsafe_arc_array p in
+  let n = Array.length arcs in
+  check_chain c arcs 0 n (Digraph.n_arcs c.g);
+  let z = c.scr in
+  ensure_vertex_scratch z (Digraph.n_vertices c.g);
+  z.z_gen <- z.z_gen + 1;
+  check_distinct c z z.z_gen arcs 0 n;
+  stamp_vertex z z.z_gen (Digraph.arc_dst c.g arcs.(n - 1))
+
+let add_dipath_exn s p =
+  let c = !(s.core) in
+  (try validate_dipath c p
+   with Error.Error _ as e ->
+     s.s_rejected <- s.s_rejected + 1;
+     raise e);
+  add_traced s p
+
+let add_dipath s p =
+  match add_dipath_exn s p with
+  | pid -> Ok pid
+  | exception Error.Error e -> Error e
+
+let remove_body s pid =
+  let c = !(s.core) in
+  count_op s;
+  let warm = c.warm && not c.dirty in
+  occ_remove c pid;
+  c.slot_live.(pid) <- false;
+  c.n_live <- c.n_live - 1;
+  if not warm then c.dirty <- true
+  else begin
+    let col = c.colors.(pid) in
+    c.colors.(pid) <- -1;
+    c.color_count.(col) <- c.color_count.(col) - 1;
+    if c.color_count.(col) = 0 then begin
+      let last = c.palette - 1 in
+      if col <> last then begin
+        for i = 0 to c.n_slots - 1 do
+          if c.slot_live.(i) && c.colors.(i) = last then c.colors.(i) <- col
+        done;
+        c.color_count.(col) <- c.color_count.(last)
+      end;
+      c.color_count.(last) <- 0;
+      c.palette <- last
+    end;
+    if c.palette > c.maxload then begin
+      if try_shrink c then begin
+        s.s_shrinks <- s.s_shrinks + 1;
+        s.s_warm_removes <- s.s_warm_removes + 1;
+        Metrics.incr c_shrinks
+      end
+      else go_dirty s
+    end
+    else s.s_warm_removes <- s.s_warm_removes + 1
+  end
+
+let remove_path_exn s pid =
   let c = !(s.core) in
   if pid < 0 || pid >= c.n_slots then begin
     s.s_rejected <- s.s_rejected + 1;
-    Error (Error.Bad_index { what = "path"; index = pid })
+    Error.raise_error (Error.Bad_index { what = "path"; index = pid })
   end
-  else
-    match c.slots.(pid) with
-    | None ->
-      s.s_rejected <- s.s_rejected + 1;
-      Error (Error.Invalid_op (Printf.sprintf "path %d was already removed" pid))
-    | Some _ ->
-      count_op s;
-      let warm = c.warm && not c.dirty in
-      occ_remove c pid;
-      c.slots.(pid) <- None;
-      c.n_live <- c.n_live - 1;
-      if not warm then c.dirty <- true
-      else begin
-        let col = c.colors.(pid) in
-        c.colors.(pid) <- -1;
-        c.color_count.(col) <- c.color_count.(col) - 1;
-        if c.color_count.(col) = 0 then begin
-          let last = c.palette - 1 in
-          if col <> last then begin
-            for i = 0 to c.n_slots - 1 do
-              if c.slots.(i) <> None && c.colors.(i) = last then c.colors.(i) <- col
-            done;
-            c.color_count.(col) <- c.color_count.(last)
-          end;
-          c.color_count.(last) <- 0;
-          c.palette <- last
-        end;
-        if c.palette > c.maxload then begin
-          if try_shrink c then begin
-            s.s_shrinks <- s.s_shrinks + 1;
-            s.s_warm_removes <- s.s_warm_removes + 1;
-            Metrics.incr c_shrinks
-          end
-          else go_dirty s
-        end
-        else s.s_warm_removes <- s.s_warm_removes + 1
-      end;
-      Ok ()
+  else if not c.slot_live.(pid) then begin
+    s.s_rejected <- s.s_rejected + 1;
+    Error.raise_error
+      (Error.Invalid_op (Printf.sprintf "path %d was already removed" pid))
+  end
+  else if Trace.enabled () then
+    Trace.with_span "engine.remove_path" (fun () -> remove_body s pid)
+  else remove_body s pid
+
+let remove_path s pid =
+  match remove_path_exn s pid with
+  | () -> Ok ()
+  | exception Error.Error e -> Error e
 
 (* DFS reachability used to reject directed cycles on arc insertion. *)
 let reaches g src dst =
   let n = Digraph.n_vertices g in
-  let visited = Array.make n false in
+  let visited = Array.make n false in (* alloc-ok *)
   let stack = ref [ src ] in
   let found = ref false in
   while (not !found) && !stack <> [] do
@@ -749,8 +967,7 @@ let add_arc s u v =
     count_op s;
     let a = Digraph.add_arc c.g u v in
     ensure_arc_capacity c (a + 1);
-    c.occ_slot.(a) <- [||];
-    c.occ_back.(a) <- [||];
+    c.occ.(a) <- [||];
     c.occ_len.(a) <- 0;
     c.n_arcs <- a + 1;
     (* Arc ids are append-only, so cached dipath arc ids stay valid; only the
@@ -797,9 +1014,26 @@ let apply_op s = function
   | Remove_path pid -> Result.map (fun () -> Path_removed pid) (remove_path s pid)
   | Add_arc (u, v) -> Result.map (fun a -> Arc_added a) (add_arc s u v)
 
+(* Left-to-right by construction: ops mutate the session, so evaluation
+   order is semantics here, and the array init/map combinators leave it
+   unspecified. *)
+let apply_ops s ops =
+  match ops with
+  | [] -> [||]
+  | first :: rest ->
+    let out = Array.make (1 + List.length rest) (apply_op s first) in (* alloc-ok *)
+    let rec go i = function
+      | [] -> ()
+      | op :: tl ->
+        out.(i) <- apply_op s op;
+        go (i + 1) tl
+    in
+    go 1 rest;
+    out
+
 let submit s ops =
   let run () =
-    let outcomes = Array.of_list (List.map (apply_op s) ops) in
+    let outcomes = apply_ops s ops in
     let batch_report = report s in
     { outcomes; batch_report; batch_stats = stats s }
   in
@@ -812,7 +1046,7 @@ let submit s ops =
 let submit_many ?domains ?max_in_flight jobs =
   let n = Array.length jobs in
   let distinct =
-    let seen = Hashtbl.create n in
+    let seen = Hashtbl.create n in (* alloc-ok *)
     Array.for_all
       (fun (s, _) ->
         if Hashtbl.mem seen s.sid then false
@@ -832,7 +1066,7 @@ let submit_many ?domains ?max_in_flight jobs =
       | Some w when w > 0 -> w
       | _ -> 4 * Parallel.default_domains ()
     in
-    let out = Array.make n None in
+    let out = Array.make n None in (* alloc-ok *)
     let i = ref 0 in
     while !i < n do
       let hi = min n (!i + wave) in
@@ -855,8 +1089,9 @@ let audit s =
       else begin
         let ok = ref (Ok ()) in
         for j = 0 to c.occ_len.(a) - 1 do
-          let q = c.occ_slot.(a).(j) and k = c.occ_back.(a).(j) in
-          if q < 0 || q >= c.n_slots || c.slots.(q) = None then
+          let w = c.occ.(a).(j) in
+          let q = w land occ_mask and k = w lsr occ_shift in
+          if q < 0 || q >= c.n_slots || not c.slot_live.(q) then
             ok := fail "arc %d: dead occupant %d" a q
           else if c.slot_arcs.(q).(k) <> a then
             ok := fail "arc %d: back-pointer of slot %d is wrong" a q
@@ -869,9 +1104,9 @@ let audit s =
     go 0
   in
   let check_loads () =
-    let loads = Array.make (max 1 c.n_arcs) 0 in
+    let loads = Array.make (max 1 c.n_arcs) 0 in (* alloc-ok *)
     for i = 0 to c.n_slots - 1 do
-      if c.slots.(i) <> None then
+      if c.slot_live.(i) then
         Array.iter (fun a -> loads.(a) <- loads.(a) + 1) c.slot_arcs.(i)
     done;
     let rec go a =
@@ -892,10 +1127,10 @@ let audit s =
       let rec arcs_ok a =
         if a >= c.n_arcs then Ok ()
         else begin
-          let seen = Array.make (max 1 c.palette) false in
+          let seen = Array.make (max 1 c.palette) false in (* alloc-ok *)
           let clash = ref None in
           for j = 0 to c.occ_len.(a) - 1 do
-            let col = c.colors.(c.occ_slot.(a).(j)) in
+            let col = c.colors.(c.occ.(a).(j) land occ_mask) in
             if col < 0 || col >= c.palette then clash := Some col
             else if seen.(col) then clash := Some col
             else seen.(col) <- true

@@ -21,7 +21,15 @@
     {!Wl_core.Solver.solve}, so results are always exactly what a fresh
     solve of the current instance would report.  Cumulative per-session
     {!stats} record how often each path was taken; the [engine.*]
-    {!Wl_obs.Metrics} counters aggregate the same events globally. *)
+    {!Wl_obs.Metrics} counters aggregate the same events globally.
+
+    The warm machinery runs on a retained per-session scratch (generation
+    stamps, an int-array Kempe queue, recycled position rows), so a steady
+    stream of warm {!add_dipath_exn}/{!remove_path_exn} ops performs no
+    minor allocation once buffer capacities have settled — the
+    [engine.add_path] and [engine.remove_path] trace spans report
+    [gc.minor_w = 0] under {!Wl_obs.Prof}.  The scratch is not part of the
+    logical state: snapshots and rollbacks never share it. *)
 
 open Wl_digraph
 open Wl_core
@@ -53,9 +61,26 @@ val add_path : session -> Digraph.vertex list -> (path_id, Error.t) result
 (** Validates the vertex sequence against the current graph
     ([Invalid_path]) and inserts it. *)
 
+val add_dipath : session -> Dipath.t -> (path_id, Error.t) result
+(** Insert a caller-built dipath.  The hot-path variant of {!add_path}:
+    no vertex-list traversal and no dipath construction per call.  The
+    dipath is validated against the session's graph by arc ids — in
+    range, chained head-to-tail, no repeated vertex ([Invalid_path]
+    otherwise).  Arc ids survive the graph copy made by {!create}, so
+    dipaths built against the source instance's graph are valid here. *)
+
+val add_dipath_exn : session -> Dipath.t -> path_id
+(** {!add_dipath}, raising {!Wl_core.Error.Error} instead of returning
+    [Error] — the warm steady state performs zero minor allocation, which
+    a result cell would break. *)
+
 val remove_path : session -> path_id -> (unit, Error.t) result
 (** [Bad_index] for an out-of-range handle, [Invalid_op] for an
     already-removed one. *)
+
+val remove_path_exn : session -> path_id -> unit
+(** {!remove_path}, raising {!Wl_core.Error.Error}; allocation-free on
+    the warm path, like {!add_dipath_exn}. *)
 
 val add_arc :
   session -> Digraph.vertex -> Digraph.vertex -> (Digraph.arc, Error.t) result

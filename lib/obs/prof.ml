@@ -101,34 +101,108 @@ let cell_of name =
    rather than the quick_stat record: on OCaml 5.1 the record's
    [minor_words] field only advances at minor collections, so a span
    that allocates without triggering one would read as zero, while
-   [Gc.minor_words ()] includes the current allocation pointer. *)
-type reading = { r_minor : float; r_stat : Gc.stat }
+   [Gc.minor_words ()] includes the current allocation pointer.
 
-let stack_key = Domain.DLS.new_key (fun () -> ref ([] : reading list))
+   The stack is a set of preallocated parallel arrays, not a list of
+   reading records: pushing and popping must not allocate, or every
+   span would report the probe's own minor words.  Float payloads live
+   in float arrays (unboxed storage — [Gc.minor_words] is an unboxed
+   [@@noalloc] external, so the store never materializes a box), int
+   counts in int arrays.  Start readings order the captures so the
+   [Gc.quick_stat] record itself is excluded: quick_stat first, minor
+   words LAST in [on_start]; minor words FIRST in [on_stop], quick_stat
+   after (its record is then charged to the enclosing span — probe cost
+   is always attributed to the parent, never the measured span).
+   Growth only happens the first time a new nesting depth is reached,
+   inside the parent's window; steady state never grows. *)
+type dstack = {
+  mutable len : int;
+  mutable minor0 : float array;  (* start readings, indexed by depth *)
+  mutable major0 : float array;
+  mutable prom0 : float array;
+  mutable mgc0 : int array;
+  mutable jgc0 : int array;
+  mutable minor1 : float array;  (* end readings: on_stop -> on_emit *)
+  mutable major1 : float array;
+  mutable prom1 : float array;
+  mutable mgc1 : int array;
+  mutable jgc1 : int array;
+}
+
+let new_dstack () =
+  let fa () = Array.make 16 0. and ia () = Array.make 16 0 in
+  {
+    len = 0;
+    minor0 = fa ();
+    major0 = fa ();
+    prom0 = fa ();
+    mgc0 = ia ();
+    jgc0 = ia ();
+    minor1 = fa ();
+    major1 = fa ();
+    prom1 = fa ();
+    mgc1 = ia ();
+    jgc1 = ia ();
+  }
+
+let grow_dstack s =
+  let gf a = let b = Array.make (2 * Array.length a) 0. in Array.blit a 0 b 0 (Array.length a); b
+  and gi a = let b = Array.make (2 * Array.length a) 0 in Array.blit a 0 b 0 (Array.length a); b in
+  s.minor0 <- gf s.minor0;
+  s.major0 <- gf s.major0;
+  s.prom0 <- gf s.prom0;
+  s.mgc0 <- gi s.mgc0;
+  s.jgc0 <- gi s.jgc0;
+  s.minor1 <- gf s.minor1;
+  s.major1 <- gf s.major1;
+  s.prom1 <- gf s.prom1;
+  s.mgc1 <- gi s.mgc1;
+  s.jgc1 <- gi s.jgc1
+
+let stack_key = Domain.DLS.new_key new_dstack
 
 let on = Atomic.make false
 let enabled () = Atomic.get on
 
 let on_start () =
-  let stack = Domain.DLS.get stack_key in
-  stack := { r_minor = Gc.minor_words (); r_stat = Gc.quick_stat () } :: !stack
+  let s = Domain.DLS.get stack_key in
+  let i = s.len in
+  if i = Array.length s.minor0 then grow_dstack s;
+  s.len <- i + 1;
+  let st = Gc.quick_stat () in
+  s.major0.(i) <- st.Gc.major_words;
+  s.prom0.(i) <- st.Gc.promoted_words;
+  s.mgc0.(i) <- st.Gc.minor_collections;
+  s.jgc0.(i) <- st.Gc.major_collections;
+  (* Last, so the quick_stat record above is outside the window. *)
+  s.minor0.(i) <- Gc.minor_words ()
 
-let on_stop ~name ~dur_us ~self_us =
-  let stack = Domain.DLS.get stack_key in
-  match !stack with
-  | [] -> [] (* probe installed mid-span; nothing to delta against *)
-  | at_start :: rest ->
-    stack := rest;
-    let minor_now = Gc.minor_words () in
-    let now = Gc.quick_stat () in
-    let before = at_start.r_stat in
+let on_stop () =
+  let s = Domain.DLS.get stack_key in
+  if s.len > 0 then begin
+    let i = s.len - 1 in
+    (* First, before anything here can allocate. *)
+    s.minor1.(i) <- Gc.minor_words ();
+    let st = Gc.quick_stat () in
+    s.major1.(i) <- st.Gc.major_words;
+    s.prom1.(i) <- st.Gc.promoted_words;
+    s.mgc1.(i) <- st.Gc.minor_collections;
+    s.jgc1.(i) <- st.Gc.major_collections
+  end
+
+let on_emit ~name ~dur_us ~self_us =
+  let s = Domain.DLS.get stack_key in
+  if s.len = 0 then [] (* probe installed mid-span; nothing to delta *)
+  else begin
+    let i = s.len - 1 in
+    s.len <- i;
     let d =
       {
-        minor_words = minor_now -. at_start.r_minor;
-        major_words = now.Gc.major_words -. before.Gc.major_words;
-        promoted_words = now.Gc.promoted_words -. before.Gc.promoted_words;
-        minor_collections = now.Gc.minor_collections - before.Gc.minor_collections;
-        major_collections = now.Gc.major_collections - before.Gc.major_collections;
+        minor_words = s.minor1.(i) -. s.minor0.(i);
+        major_words = s.major1.(i) -. s.major0.(i);
+        promoted_words = s.prom1.(i) -. s.prom0.(i);
+        minor_collections = s.mgc1.(i) - s.mgc0.(i);
+        major_collections = s.jgc1.(i) - s.jgc0.(i);
       }
     in
     let c = cell_of name in
@@ -156,11 +230,12 @@ let on_stop ~name ~dur_us ~self_us =
       ("gc.minor_gcs", Trace.Int d.minor_collections);
       ("gc.major_gcs", Trace.Int d.major_collections);
     ]
+  end
 
 let enable () =
   if not (Atomic.get on) then begin
     Atomic.set on true;
-    Trace.set_probe (Some { Trace.on_start; on_stop })
+    Trace.set_probe (Some { Trace.on_start; on_stop; on_emit })
   end
 
 let disable () =

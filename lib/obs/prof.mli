@@ -22,8 +22,15 @@
     (probes only fire inside enabled spans) — use {!Trace.discard} when
     only the aggregates are wanted — and the Metrics mirror additionally
     requires {!Metrics.set_enabled}.  Enable before spawning worker
-    domains.  The probe allocates (one [Gc.stat] record per span
-    boundary), so keep it off while timing hot paths. *)
+    domains.
+
+    Attribution is alloc-exact for the measured span: readings are
+    pushed/popped through preallocated per-domain arrays and capture
+    order excludes the probe's own [Gc.quick_stat] record, so a span
+    whose body allocates nothing reports [gc.minor_w = 0] even under
+    profiling.  The probe's own small cost (and the span harness's) is
+    charged to the {e enclosing} span instead.  Still keep profiling
+    off while timing hot paths — the readings cost time, not words. *)
 
 type gc_delta = {
   minor_words : float;

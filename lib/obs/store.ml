@@ -312,6 +312,13 @@ let load path =
 
 type verdict = Stable | Regression | Improvement | New_bench
 
+type alloc_check = {
+  current_w : float;
+  baseline_w : float;
+  tolerance_w : float;
+  alloc_verdict : verdict;
+}
+
 type bench_verdict = {
   bench : string;
   current_ns : float;
@@ -320,6 +327,7 @@ type bench_verdict = {
   tolerance_ns : float;
   delta_pct : float;
   verdict : verdict;
+  alloc : alloc_check option;
 }
 
 type comparison = {
@@ -328,11 +336,52 @@ type comparison = {
   improvements : int;
   stable : int;
   new_benches : int;
+  alloc_regressions : int;
 }
 
 let last_n n xs =
   let len = List.length xs in
   if len <= n then xs else List.filteri (fun i _ -> i >= len - n) xs
+
+(* The per-op minor-allocation figure recorded by the runner. *)
+let alloc_key = "gc.minor_w"
+
+(* Words of slack always granted on top of the percentage/MAD band: a
+   zero-allocation baseline must not flag on a single boxed temporary,
+   and tiny footprints jitter by a word or two of GC bookkeeping. *)
+let alloc_floor_w = 64.
+
+let alloc_check_of ~window ~threshold_pct ~history p =
+  match List.assoc_opt alloc_key p.extras with
+  | None -> None
+  | Some current_w -> (
+    let history_words =
+      List.filter_map
+        (fun e ->
+          List.find_map
+            (fun q ->
+              if q.name = p.name then List.assoc_opt alloc_key q.extras
+              else None)
+            e.points)
+        history
+      |> last_n window
+    in
+    match history_words with
+    | [] -> None
+    | ws ->
+      let base = median ws in
+      let base_mad = mad ~center:base ws in
+      let tolerance_w =
+        Float.max alloc_floor_w
+          (Float.max (threshold_pct /. 100. *. base) (3. *. base_mad))
+      in
+      let delta = current_w -. base in
+      let alloc_verdict =
+        if delta > tolerance_w then Regression
+        else if delta < -.tolerance_w then Improvement
+        else Stable
+      in
+      Some { current_w; baseline_w = base; tolerance_w; alloc_verdict })
 
 let compare ?(window = 5) ?(threshold_pct = 10.) ~history entry =
   let verdicts =
@@ -348,6 +397,7 @@ let compare ?(window = 5) ?(threshold_pct = 10.) ~history entry =
             history
           |> last_n window
         in
+        let alloc = alloc_check_of ~window ~threshold_pct ~history p in
         match history_medians with
         | [] ->
           {
@@ -358,6 +408,7 @@ let compare ?(window = 5) ?(threshold_pct = 10.) ~history entry =
             tolerance_ns = 0.;
             delta_pct = 0.;
             verdict = New_bench;
+            alloc;
           }
         | meds ->
           let base = median meds in
@@ -379,16 +430,27 @@ let compare ?(window = 5) ?(threshold_pct = 10.) ~history entry =
             tolerance_ns = tolerance;
             delta_pct = (if base = 0. then 0. else delta /. base *. 100.);
             verdict;
+            alloc;
           })
       entry.points
   in
   let count v = List.length (List.filter (fun b -> b.verdict = v) verdicts) in
+  let alloc_regressions =
+    List.length
+      (List.filter
+         (fun b ->
+           match b.alloc with
+           | Some a -> a.alloc_verdict = Regression
+           | None -> false)
+         verdicts)
+  in
   {
     verdicts;
     regressions = count Regression;
     improvements = count Improvement;
     stable = count Stable;
     new_benches = count New_bench;
+    alloc_regressions;
   }
 
 let pp_verdict ppf = function
@@ -397,6 +459,16 @@ let pp_verdict ppf = function
   | Improvement -> Format.pp_print_string ppf "improvement"
   | New_bench -> Format.pp_print_string ppf "new"
 
+let pp_alloc ppf = function
+  | None -> ()
+  | Some a -> (
+    match a.alloc_verdict with
+    | Stable | New_bench -> ()
+    | Regression ->
+      Format.fprintf ppf "  ALLOC %.0fw (was %.0fw)" a.current_w a.baseline_w
+    | Improvement ->
+      Format.fprintf ppf "  alloc %.0fw (was %.0fw)" a.current_w a.baseline_w)
+
 let pp_comparison ppf c =
   Format.fprintf ppf "@[<v>%-34s %12s %12s %8s %10s  %s" "bench" "current"
     "baseline" "delta" "tolerance" "verdict";
@@ -404,12 +476,14 @@ let pp_comparison ppf c =
     (fun v ->
       match v.verdict with
       | New_bench ->
-        Format.fprintf ppf "@,%-34s %10.0fns %12s %8s %10s  %a" v.bench
-          v.current_ns "-" "-" "-" pp_verdict v.verdict
+        Format.fprintf ppf "@,%-34s %10.0fns %12s %8s %10s  %a%a" v.bench
+          v.current_ns "-" "-" "-" pp_verdict v.verdict pp_alloc v.alloc
       | _ ->
-        Format.fprintf ppf "@,%-34s %10.0fns %10.0fns %+7.1f%% %8.0fns  %a"
+        Format.fprintf ppf "@,%-34s %10.0fns %10.0fns %+7.1f%% %8.0fns  %a%a"
           v.bench v.current_ns v.baseline_med_ns v.delta_pct v.tolerance_ns
-          pp_verdict v.verdict)
+          pp_verdict v.verdict pp_alloc v.alloc)
     c.verdicts;
-  Format.fprintf ppf "@,%d regression(s), %d improvement(s), %d stable, %d new@]"
-    c.regressions c.improvements c.stable c.new_benches
+  Format.fprintf ppf
+    "@,%d regression(s), %d improvement(s), %d stable, %d new, %d alloc \
+     regression(s)@]"
+    c.regressions c.improvements c.stable c.new_benches c.alloc_regressions

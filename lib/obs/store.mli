@@ -95,7 +95,19 @@ val load : string -> (entry list, string) result
 
 (** {1 Regression gate} *)
 
+val alloc_key : string
+(** ["gc.minor_w"] — the point-extra key under which the runner records
+    minor words per op, and which the gate judges for allocation
+    regressions. *)
+
 type verdict = Stable | Regression | Improvement | New_bench
+
+type alloc_check = {
+  current_w : float;  (** minor words/op of the judged entry *)
+  baseline_w : float;  (** median of the window's recorded figures *)
+  tolerance_w : float;
+  alloc_verdict : verdict;  (** never [New_bench] *)
+}
 
 type bench_verdict = {
   bench : string;
@@ -105,6 +117,10 @@ type bench_verdict = {
   tolerance_ns : float;
   delta_pct : float;  (** current vs baseline, percent; [0.] for new *)
   verdict : verdict;
+  alloc : alloc_check option;
+      (** allocation judgement over the ["gc.minor_w"] point extra;
+          [None] when the entry or its whole history window lacks the
+          figure (pre-gate points never fail the alloc check) *)
 }
 
 type comparison = {
@@ -113,6 +129,10 @@ type comparison = {
   improvements : int;
   stable : int;
   new_benches : int;
+  alloc_regressions : int;
+      (** benches whose minor words/op grew beyond tolerance — gated
+          independently of time, so an allocation leak that does not yet
+          cost wall-clock still fails the gate *)
 }
 
 val compare :
@@ -127,7 +147,15 @@ val compare :
     direction is flagged: slower is {!Regression}, faster is
     {!Improvement} (an unexplained speedup usually means the bench
     broke); inside the band is {!Stable}; absent from history is
-    {!New_bench}. *)
+    {!New_bench}.
+
+    Benches that record the ["gc.minor_w"] extra (minor words per op)
+    are additionally judged on allocation, with the same
+    percentage/MAD band plus a fixed floor of 64 words so a
+    zero-allocation baseline tolerates a stray boxed temporary.  The
+    allocation verdict is independent of the time verdict: a bench can
+    be time-stable yet an allocation regression, and
+    [alloc_regressions] counts those separately for the gate. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit
 val pp_comparison : Format.formatter -> comparison -> unit

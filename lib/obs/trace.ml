@@ -45,13 +45,18 @@ let depth_key = Domain.DLS.new_key (fun () -> ref 0)
    cell per open span. *)
 let children_key = Domain.DLS.new_key (fun () -> ref ([] : float ref list))
 
-(* Extension point for span-scoped measurement (Prof's GC telemetry):
-   [on_start] runs as the span opens, [on_stop] as it closes and may
-   return extra args appended to the event.  Install before spawning
-   workers, like the sink. *)
+(* Extension point for span-scoped measurement (Prof's GC telemetry).
+   The three hooks are sequenced so the probe can take alloc-exact
+   readings: [on_start] fires after every piece of span-open
+   bookkeeping (child accumulator cell, closures) has been allocated,
+   [on_stop] fires before any span-close bookkeeping allocates, and
+   [on_emit] — free to allocate — receives the computed figures and
+   contributes event args.  Install before spawning workers, like the
+   sink. *)
 type probe = {
   on_start : unit -> unit;
-  on_stop : name:string -> dur_us:float -> self_us:float -> (string * value) list;
+  on_stop : unit -> unit;
+  on_emit : name:string -> dur_us:float -> self_us:float -> (string * value) list;
 }
 
 let probe : probe option ref = ref None
@@ -71,38 +76,48 @@ let with_span ?(args = []) name f =
     let stack = Domain.DLS.get children_key in
     stack := ref 0. :: !stack;
     incr depth;
-    (match !probe with Some p -> p.on_start () | None -> ());
-    Fun.protect
-      ~finally:(fun () ->
-        let dur_us = Clock.now_us () -. t0 in
-        let child_us =
-          match !stack with
-          | top :: rest ->
-            stack := rest;
-            !top
-          | [] -> 0. (* unbalanced set_probe/clear mid-span; be lenient *)
-        in
-        (match !stack with
-        | parent :: _ -> parent := !parent +. dur_us
-        | [] -> ());
-        decr depth;
-        let self_us = Float.max 0. (dur_us -. child_us) in
-        let extra =
-          match !probe with
-          | Some p -> p.on_stop ~name ~dur_us ~self_us
-          | None -> []
-        in
-        emit
-          {
-            name;
-            tid = (Domain.self () :> int);
-            ts_us = t0 -. !origin;
-            dur_us;
-            depth = !depth;
-            instant = false;
-            args = args @ extra;
-          })
-      f
+    (* Snapshot the probe once so start/stop/emit always pair, even if
+       it is (un)installed mid-span.  Both closures below are allocated
+       BEFORE [body] runs [on_start], and [on_stop] is the first thing
+       [finally] does — so nothing the span harness allocates is ever
+       charged to the measured window. *)
+    let p = !probe in
+    let finally () =
+      (match p with Some pr -> pr.on_stop () | None -> ());
+      let dur_us = Clock.now_us () -. t0 in
+      let child_us =
+        match !stack with
+        | top :: rest ->
+          stack := rest;
+          !top
+        | [] -> 0. (* unbalanced push/pop mid-span; be lenient *)
+      in
+      (match !stack with
+      | parent :: _ -> parent := !parent +. dur_us
+      | [] -> ());
+      decr depth;
+      let self_us = Float.max 0. (dur_us -. child_us) in
+      let extra =
+        match p with
+        | Some pr -> pr.on_emit ~name ~dur_us ~self_us
+        | None -> []
+      in
+      emit
+        {
+          name;
+          tid = (Domain.self () :> int);
+          ts_us = t0 -. !origin;
+          dur_us;
+          depth = !depth;
+          instant = false;
+          args = args @ extra;
+        }
+    in
+    let body () =
+      (match p with Some pr -> pr.on_start () | None -> ());
+      f ()
+    in
+    Fun.protect ~finally body
   end
 
 let instant ?(args = []) name =

@@ -65,11 +65,18 @@ val instant : ?args:(string * value) list -> string -> unit
     every span without this module knowing about [Gc]. *)
 
 type probe = {
-  on_start : unit -> unit;  (** runs as an enabled span opens *)
-  on_stop : name:string -> dur_us:float -> self_us:float -> (string * value) list;
-      (** runs as the span closes; [self_us] is the span's duration minus
-          the duration of its direct children on the same domain.  The
-          returned args are appended to the emitted event. *)
+  on_start : unit -> unit;
+      (** runs immediately before the span body, after the span's own
+          bookkeeping has allocated — a GC reading taken here sees none
+          of the harness *)
+  on_stop : unit -> unit;
+      (** runs first as the span closes, before any closing bookkeeping
+          allocates: capture end readings here and nothing else *)
+  on_emit : name:string -> dur_us:float -> self_us:float -> (string * value) list;
+      (** runs after {!on_stop} with the span's figures; [self_us] is
+          the duration minus direct children on the same domain.  May
+          allocate freely (attributed to the enclosing span); returned
+          args are appended to the emitted event. *)
 }
 
 val set_probe : probe option -> unit

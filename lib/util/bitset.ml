@@ -90,17 +90,44 @@ let subset a b =
   in
   go 0
 
+(* Count-trailing-zeros by byte-table steps: the old one-shift-per-bit
+   loop cost ~31 iterations on average for dense sets and dominated
+   [iter] on 50%-full adjacency rows.  Table built once at module init. *)
+let ctz8 =
+  Array.init 256 (fun b -> (* alloc-ok *)
+      if b = 0 then 8
+      else begin
+        let rec go b i = if b land 1 <> 0 then i else go (b lsr 1) (i + 1) in
+        go b 0
+      end)
+
+let rec ctz_from b i =
+  if b land 0xFF = 0 then ctz_from (b lsr 8) (i + 8)
+  else i + Array.unsafe_get ctz8 (b land 0xFF)
+
+let rec iter_word f base word =
+  if word <> 0 then begin
+    f (base + ctz_from word 0);
+    iter_word f base (word land (word - 1))
+  end
+
 let iter f t =
   for w = 0 to Array.length t.words - 1 do
-    let word = ref t.words.(w) in
-    while !word <> 0 do
-      let low = !word land - !word in
-      (* Index of the lowest set bit. *)
-      let rec bit_index b i = if b = 1 then i else bit_index (b lsr 1) (i + 1) in
-      f ((w * bits_per_word) + bit_index low 0);
-      word := !word land (!word - 1)
-    done
+    iter_word f (w * bits_per_word) t.words.(w)
   done
+
+(* Members >= [lo] only: whole words below [lo]'s are skipped and the
+   boundary word is masked once, so callers that want an upper triangle
+   (e.g. each undirected edge once) pay nothing for the lower half. *)
+let iter_ge f t lo =
+  if lo < t.n then begin
+    let w0 = lo / bits_per_word and b0 = lo mod bits_per_word in
+    iter_word f (w0 * bits_per_word)
+      (t.words.(w0) land (-1 lsl b0));
+    for w = w0 + 1 to Array.length t.words - 1 do
+      iter_word f (w * bits_per_word) t.words.(w)
+    done
+  end
 
 let fold f t init =
   let acc = ref init in

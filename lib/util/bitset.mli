@@ -46,6 +46,11 @@ val subset : t -> t -> bool
 val iter : (int -> unit) -> t -> unit
 (** Iterate elements in increasing order. *)
 
+val iter_ge : (int -> unit) -> t -> int -> unit
+(** [iter_ge f t lo]: like {!iter} but only over elements [>= lo]
+    ([lo >= 0]); whole words below [lo] are skipped, so iterating an
+    upper triangle costs half of filtering inside [f]. *)
+
 val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
 val elements : t -> int list
 
