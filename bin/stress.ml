@@ -6,10 +6,15 @@
    OCaml 5 domains.
 
    Run with: dune exec bin/stress.exe -- [--seeds N] [--domains D]
-               [--metrics] [--replay SEED] [--shrink] [SWEEP..]
+               [--metrics] [--metrics-out PATH] [--replay SEED] [--shrink]
+               [SWEEP..]
    Sweeps: thm1 thm2 thm6 thm6multi casec grooming all (default: all)
 
    --metrics      collect and print solver-internals counters at the end
+   --metrics-out PATH
+                  also collect counters and write them as an OpenMetrics
+                  text exposition to PATH ("-" for stdout) — the file that
+                  `wl metrics-check` validates in CI
    --replay SEED  rerun one sweep on a single seed with tracing enabled
                   and print the span tree — for diagnosing a reported
                   failure, not just reproducing it (requires exactly one
@@ -86,6 +91,7 @@ let replay ~seed name case =
 let () =
   let seeds = ref 2000 and domains = ref (Parallel.default_domains ()) in
   let metrics = ref false and replay_seed = ref None in
+  let metrics_out = ref None in
   let shrink = ref false in
   let chosen = ref [] in
   let rec parse = function
@@ -98,6 +104,9 @@ let () =
       parse rest
     | "--metrics" :: rest ->
       metrics := true;
+      parse rest
+    | "--metrics-out" :: v :: rest ->
+      metrics_out := Some v;
       parse rest
     | "--replay" :: v :: rest ->
       replay_seed := Some (int_of_string v);
@@ -128,15 +137,35 @@ let () =
     exit (if replay ~seed name case then 0 else 1)
   | None ->
     Printf.printf "stress: %d seeds per sweep, %d domains\n%!" !seeds !domains;
-    if !metrics then Metrics.set_enabled true;
+    if !metrics || !metrics_out <> None then Metrics.set_enabled true;
     let ok =
       List.for_all
         (fun (name, case) ->
           run_sweep ~seeds:!seeds ~domains:!domains ~shrink:!shrink name case)
         to_run
     in
-    if !metrics then begin
+    if !metrics || !metrics_out <> None then begin
       Metrics.set_enabled false;
-      Format.printf "@.metrics:@.%a@." Metrics.pp_summary ()
+      if !metrics then Format.printf "@.metrics:@.%a@." Metrics.pp_summary ();
+      match !metrics_out with
+      | None -> ()
+      | Some path ->
+        let doc =
+          Wl_obs.Openmetrics.render
+            ~gauges:
+              [
+                ("stress.seeds_per_sweep", float_of_int !seeds);
+                ("stress.domains", float_of_int !domains);
+              ]
+            (Metrics.snapshot ())
+        in
+        if path = "-" then print_string doc
+        else begin
+          let oc = open_out path in
+          output_string oc doc;
+          close_out oc;
+          Printf.printf "stress: wrote OpenMetrics exposition to %s (%d bytes)\n"
+            path (String.length doc)
+        end
     end;
     exit (if ok then 0 else 1)

@@ -7,7 +7,9 @@
      color FILE       print one "path <index> wavelength <w>" line per dipath
      generate KIND    emit a generated instance in the text format
      dot FILE         emit Graphviz DOT (wavelength-colored when --solve)
+     top FILE         churn an engine session and watch health/latency live
      trace-check FILE validate a trace file against the trace-event schema
+     metrics-check F  validate an OpenMetrics exposition (from --metrics-out)
 
    The instance file format is documented in lib/core/serial.mli. *)
 
@@ -315,10 +317,30 @@ let witness_cmd =
 
 (* --- session --- *)
 
-let session file ops_file budget quiet =
+(* Install a process-wide flight-dump handler writing PREFIX.jsonl (the
+   replayable op tail) and PREFIX.trace.json (chrome trace-event, accepted
+   by [wl trace-check]).  Shared by `wl session --flight-dump` and the CI
+   audit-failure smoke. *)
+let install_flight_dump prefix =
+  let write path text =
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc
+  in
+  Wl_obs.Flight.set_dump_handler
+    (Some
+       (fun ~reason fl ->
+         write (prefix ^ ".jsonl") (Wl_obs.Flight.to_jsonl fl);
+         write (prefix ^ ".trace.json") (Wl_obs.Flight.to_chrome fl);
+         Printf.eprintf
+           "wl: flight dump (%s): wrote %s.jsonl and %s.trace.json (%d ops)\n%!"
+           reason prefix prefix (Wl_obs.Flight.total fl)))
+
+let session file ops_file budget quiet flight_dump inject_audit_failure =
   let module Engine = Wl_engine.Engine in
   let module Script = Wl_engine.Script in
   let inst = read_instance file in
+  Option.iter install_flight_dump flight_dump;
   let s = Engine.create ?repair_budget:budget inst in
   let r0 = Engine.report s in
   if not quiet then
@@ -350,7 +372,22 @@ let session file ops_file budget quiet =
     st.Engine.ops st.Engine.rejected st.Engine.warm_hits
     st.Engine.fresh_colors st.Engine.repairs st.Engine.repair_flips
     st.Engine.shrink_recolors st.Engine.fallbacks st.Engine.full_solves
-    (Engine.hit_rate st)
+    (Engine.hit_rate st);
+  if not quiet then Format.printf "%a@." Engine.pp_health (Engine.health s);
+  if inject_audit_failure then begin
+    (* Break the internal load accounting on purpose, then audit: the
+       failing audit must latch the flight recorder's auto-dump (proving
+       the observability wiring end-to-end in CI). *)
+    Engine.corrupt_for_testing s;
+    match Engine.audit s with
+    | Ok () ->
+      prerr_endline "wl: --inject-audit-failure: audit unexpectedly passed";
+      exit 1
+    | Error msg ->
+      Printf.eprintf "wl: injected audit failure detected: %s\n" msg;
+      (* sysexits-style Precondition code, same as Error.Precondition *)
+      exit 70
+  end
 
 let session_cmd =
   let ops_file =
@@ -376,12 +413,35 @@ let session_cmd =
       value & flag
       & info [ "quiet" ] ~doc:"Only print the final report and engine stats.")
   in
+  let flight_dump =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-dump" ] ~docv:"PREFIX"
+          ~doc:
+            "Install a flight-recorder dump handler: when the session's \
+             auto-dump latch fires (failed audit, rejected op) write the op \
+             tail as $(docv).jsonl and $(docv).trace.json (the latter passes \
+             $(b,wl trace-check)).")
+  in
+  let inject_audit_failure =
+    Arg.(
+      value & flag
+      & info [ "inject-audit-failure" ]
+          ~doc:
+            "After the script, deliberately corrupt the session's internal \
+             accounting and run the audit; exits 70 once the failure is \
+             detected (and dumped, with $(b,--flight-dump)).  CI hook.")
+  in
   Cmd.v
     (Cmd.info "session"
        ~doc:
          "Replay an op script against an incremental solving session and \
-          report the final assignment plus engine counters.")
-    Term.(const session $ file_arg $ ops_file $ budget $ quiet)
+          report the final assignment, engine counters and session health \
+          (op-latency SLO, warm-hit trend).")
+    Term.(
+      const session $ file_arg $ ops_file $ budget $ quiet $ flight_dump
+      $ inject_audit_failure)
 
 (* --- fuzz --- *)
 
@@ -815,9 +875,177 @@ let trace_check_cmd =
   Cmd.v
     (Cmd.info "trace-check"
        ~doc:
-         "Validate a trace file (from analyze --trace) against the chrome \
-          trace-event schema.")
+         "Validate a trace file (from analyze --trace, or a flight-recorder \
+          .trace.json dump) against the chrome trace-event schema.")
     Term.(const trace_check $ file_arg)
+
+(* --- metrics-check --- *)
+
+let metrics_check file =
+  let contents =
+    match In_channel.with_open_text file In_channel.input_all with
+    | s -> s
+    | exception Sys_error msg ->
+      prerr_endline ("wl: " ^ msg);
+      exit 1
+  in
+  match Wl_obs.Openmetrics.validate contents with
+  | Ok st ->
+    Printf.printf "metrics ok: %d families, %d samples\n"
+      st.Wl_obs.Openmetrics.families st.Wl_obs.Openmetrics.samples
+  | Error msg ->
+    Printf.eprintf "wl: %s: %s\n" file msg;
+    exit 1
+
+let metrics_check_cmd =
+  Cmd.v
+    (Cmd.info "metrics-check"
+       ~doc:
+         "Validate an OpenMetrics text exposition (from wl-stress \
+          --metrics-out or wl top --metrics-out) against the format rules.")
+    Term.(const metrics_check $ file_arg)
+
+(* --- top --- *)
+
+(* An in-process churn loop: random add/remove ops against one engine
+   session, drawn from the instance's own dipath pool, with a periodic
+   terminal readout of latency/health trends.  The point is to watch the
+   observability surfaces move — not to benchmark (wl bench does that). *)
+let top file frames interval ops_per_frame seed budget metrics_out =
+  let module Engine = Wl_engine.Engine in
+  let inst = read_instance file in
+  let pool = Instance.paths inst in
+  if Array.length pool = 0 then begin
+    prerr_endline "wl: top: the instance has no dipaths to churn";
+    exit 1
+  end;
+  Metrics.set_enabled true;
+  let s = Engine.create ?repair_budget:budget inst in
+  (* Solve once up front so the churn exercises the warm paths from the
+     first frame instead of deferring everything to a dirty re-solve. *)
+  ignore (Engine.report s);
+  let rng = Wl_util.Prng.create seed in
+  let live = ref (List.map fst (Engine.live_paths s)) in
+  let n_live = ref (List.length !live) in
+  let tr_p99 = ref [] and tr_hit = ref [] and tr_pal = ref [] in
+  for frame = 1 to frames do
+    for _ = 1 to ops_per_frame do
+      if !n_live = 0 || Wl_util.Prng.bernoulli rng 0.55 then (
+        match Engine.add_dipath s (Wl_util.Prng.choose rng pool) with
+        | Ok pid ->
+          live := pid :: !live;
+          incr n_live
+        | Error _ -> ())
+      else
+        let pid = List.nth !live (Wl_util.Prng.int rng !n_live) in
+        match Engine.remove_path s pid with
+        | Ok () ->
+          live := List.filter (fun x -> x <> pid) !live;
+          decr n_live
+        | Error _ -> ()
+    done;
+    let h = Engine.health s in
+    let r = Engine.report s in
+    tr_p99 := float_of_int h.Engine.add_latency.Wl_obs.Hdr.p99 :: !tr_p99;
+    tr_hit := h.Engine.warm_hit_recent :: !tr_hit;
+    tr_pal := float_of_int r.Solver.n_wavelengths :: !tr_pal;
+    Printf.printf "frame %d/%d: %d paths, %d wavelengths (load %d)%s\n" frame
+      frames (Engine.n_live_paths s) r.Solver.n_wavelengths r.Solver.pi
+      (if h.Engine.healthy then "" else "  [UNHEALTHY]");
+    Printf.printf "  add p99   %10s  %s\n"
+      (Report.human_ns (float_of_int h.Engine.add_latency.Wl_obs.Hdr.p99))
+      (Report.sparkline (List.rev !tr_p99));
+    Printf.printf "  warm hit  %9.0f%%  %s\n"
+      (100. *. h.Engine.warm_hit_recent)
+      (Report.sparkline (List.rev !tr_hit));
+    Printf.printf "  palette   %10d  %s\n%!" r.Solver.n_wavelengths
+      (Report.sparkline (List.rev !tr_pal));
+    if interval > 0. && frame < frames then Unix.sleepf interval
+  done;
+  Format.printf "%a@." Engine.pp_health (Engine.health s);
+  Metrics.set_enabled false;
+  match metrics_out with
+  | None -> ()
+  | Some path ->
+    let h = Engine.health s in
+    let r = Engine.report s in
+    let doc =
+      Wl_obs.Openmetrics.render
+        ~gauges:
+          [
+            ("engine.session.paths", float_of_int (Engine.n_live_paths s));
+            ("engine.session.palette", float_of_int r.Solver.n_wavelengths);
+            ("engine.session.pi", float_of_int (Engine.pi s));
+            ("engine.session.warm_hit_recent", h.Engine.warm_hit_recent);
+            ( "engine.session.warm_hit_lifetime",
+              h.Engine.warm_hit_lifetime );
+            ( "engine.session.fallback_streak",
+              float_of_int h.Engine.fallback_streak );
+          ]
+        ~latencies:
+          [
+            ("engine.session.add.ns", h.Engine.add_latency);
+            ("engine.session.remove.ns", h.Engine.remove_latency);
+          ]
+        (Metrics.snapshot ())
+    in
+    if path = "-" then print_string doc
+    else begin
+      let oc = open_out path in
+      output_string oc doc;
+      close_out oc;
+      Printf.printf "wrote OpenMetrics exposition to %s (%d bytes)\n" path
+        (String.length doc)
+    end
+
+let top_cmd =
+  let frames =
+    Arg.(
+      value & opt int 10
+      & info [ "frames" ] ~docv:"N" ~doc:"Readout frames to render.")
+  in
+  let interval =
+    Arg.(
+      value & opt float 0.5
+      & info [ "interval" ] ~docv:"SECS"
+          ~doc:"Seconds between frames (0 renders back-to-back; CI uses 0).")
+  in
+  let ops =
+    Arg.(
+      value & opt int 256
+      & info [ "ops" ] ~docv:"K" ~doc:"Engine ops applied per frame.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed for the op mix.")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "repair-budget" ] ~docv:"N"
+          ~doc:"Warm-repair recolor budget (as in wl session).")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"PATH"
+          ~doc:
+            "After the last frame, write the OpenMetrics exposition \
+             (global counters plus this session's gauges and latency \
+             summaries) to $(docv) ($(b,-) for stdout).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Drive a random op churn against one engine session and watch its \
+          health live: per-frame latency/warm-hit/palette sparklines plus \
+          the SLO readout.")
+    Term.(
+      const top $ file_arg $ frames $ interval $ ops $ seed $ budget
+      $ metrics_out)
 
 let () =
   let info =
@@ -829,6 +1057,6 @@ let () =
        (Cmd.group info
           [
             analyze_cmd; color_cmd; generate_cmd; dot_cmd; svg_cmd; groom_cmd;
-            witness_cmd; verify_cmd; session_cmd; fuzz_cmd; bench_cmd;
-            report_cmd; trace_check_cmd;
+            witness_cmd; verify_cmd; session_cmd; top_cmd; fuzz_cmd;
+            bench_cmd; report_cmd; trace_check_cmd; metrics_check_cmd;
           ]))

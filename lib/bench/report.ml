@@ -298,7 +298,7 @@ button.toggle {
 .banner { margin: 16px 0; font-size: 14px; }
 .banner .bad { color: var(--serious); font-weight: 600; }
 .banner .good { color: var(--good); }
-#charts { display: grid; grid-template-columns: repeat(auto-fill, minmax(480px, 1fr)); gap: 20px; }
+#charts, #alloc-charts { display: grid; grid-template-columns: repeat(auto-fill, minmax(480px, 1fr)); gap: 20px; }
 figure { margin: 0; background: var(--surface-raised); border-radius: 8px; padding: 12px 14px; }
 figcaption { font-size: 13px; margin-bottom: 4px; display: flex; gap: 10px; align-items: baseline; }
 figcaption .name { font-weight: 600; }
@@ -473,6 +473,76 @@ let script =
     });
   });
 
+  // Steady-state allocation small multiples: one chart per bench that
+  // carries the inlined "gc.minor_w" extra (minor words per op from the
+  // allocation pass), with a words formatter instead of the ns one.
+  var fmtW = function (w) {
+    var a = Math.abs(w);
+    if (a >= 1e6) return (w / 1e6).toFixed(2) + ' Mw';
+    if (a >= 1e3) return (w / 1e3).toFixed(1) + ' kw';
+    return Math.round(w) + ' w';
+  };
+  var acharts = document.getElementById('alloc-charts');
+  if (acharts) names.forEach(function (name) {
+    var pts = [];
+    entries.forEach(function (e) {
+      (e.benches || []).forEach(function (b) {
+        if (b.name === name && typeof b['gc.minor_w'] === 'number')
+          pts.push({ rev: e.rev, w: b['gc.minor_w'] });
+      });
+    });
+    if (!pts.length) return;
+    var W = 480, H = 120, L = 58, R = 12, T = 12, B = 22;
+    var lo = Infinity, hi = -Infinity;
+    pts.forEach(function (p) { lo = Math.min(lo, p.w); hi = Math.max(hi, p.w); });
+    if (hi <= lo) hi = lo + Math.max(1, lo * 0.1);
+    var pad = (hi - lo) * 0.08;
+    lo = Math.max(0, lo - pad); hi += pad;
+    var x = function (i) {
+      return pts.length === 1 ? (L + W - R) / 2
+        : L + (W - L - R) * i / (pts.length - 1);
+    };
+    var y = function (v) { return T + (H - T - B) * (1 - (v - lo) / (hi - lo)); };
+    var s = '<svg viewBox="0 0 ' + W + ' ' + H + '" role="img" aria-label="' +
+            name + ' allocation trend">';
+    for (var t = 0; t <= 2; t++) {
+      var v = lo + (hi - lo) * t / 2;
+      s += '<line class="gridline" x1="' + L + '" x2="' + (W - R) +
+           '" y1="' + y(v) + '" y2="' + y(v) + '"></line>';
+      s += '<text x="' + (L - 6) + '" y="' + (y(v) + 3) +
+           '" text-anchor="end">' + fmtW(v) + '</text>';
+    }
+    s += '<line class="axis" x1="' + L + '" x2="' + L + '" y1="' + T +
+         '" y2="' + (H - B) + '"></line>';
+    if (pts.length > 1) {
+      var line = '';
+      pts.forEach(function (p, i) { line += (i ? 'L' : 'M') + x(i) + ' ' + y(p.w); });
+      s += '<path class="line" d="' + line + '"></path>';
+    }
+    pts.forEach(function (p, i) {
+      s += '<circle class="dot" r="2.5" cx="' + x(i) + '" cy="' + y(p.w) +
+           '"></circle>';
+    });
+    var last = pts[pts.length - 1];
+    s += '<text x="' + Math.min(x(pts.length - 1) + 5, W - R - 40) + '" y="' +
+         (y(last.w) - 6) + '">' + fmtW(last.w) + '</text>';
+    s += '<text x="' + L + '" y="' + (H - 6) + '">' + pts[0].rev + '</text>';
+    if (pts.length > 1)
+      s += '<text x="' + (W - R) + '" y="' + (H - 6) +
+           '" text-anchor="end">' + last.rev + '</text>';
+    s += '</svg>';
+    var fig = document.createElement('figure');
+    fig.innerHTML = '<figcaption><span class="name">' + name +
+      '</span><span class="delta">steady-state minor words/op</span>' +
+      '</figcaption>' + s;
+    acharts.appendChild(fig);
+  });
+  if (acharts && !acharts.childElementCount) {
+    acharts.style.display = 'none';
+    var ah = document.getElementById('alloc-h2');
+    if (ah) ah.style.display = 'none';
+  }
+
   var tbody = document.getElementById('summary-body');
   if (entries.length) {
     var cur = entries[entries.length - 1];
@@ -579,6 +649,9 @@ let html ?(window = 5) ?(threshold_pct = 10.) history =
          cmp.Store.new_benches)
   | None -> ());
   add "<div id=\"charts\"></div>\n";
+  add
+    "<h2 id=\"alloc-h2\">Steady-state allocation (gc.minor_w)</h2>\n\
+     <div id=\"alloc-charts\"></div>\n";
   add
     "<h2>Current run</h2>\n\
      <table>\n\

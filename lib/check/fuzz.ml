@@ -8,6 +8,10 @@ type failure = {
   seed : int;
   reason : string;
   shrunk : Shrink.result;
+  flight : (string * string) option;
+      (* engine oracle only: (jsonl, chrome) flight dump of the shrunk
+         reproducer's failing session.  Excluded from to_json — dump
+         timings are nondeterministic and the goldens are byte-stable. *)
 }
 
 type check_run = {
@@ -26,7 +30,7 @@ type summary = {
    under the [fuzz.] prefix; one atomic load per seed while disabled. *)
 let instrumented (oracle : Oracle.t) =
   let name = oracle.Oracle.name in
-  let h_latency = Metrics.histogram ("fuzz." ^ name ^ ".ns") in
+  let h_latency = Metrics.latency ("fuzz." ^ name ^ ".ns") in
   let c_failures = Metrics.counter ("fuzz." ^ name ^ ".failures") in
   let c_seeds = Metrics.counter ("fuzz." ^ name ^ ".seeds") in
   let span_name = "fuzz." ^ name in
@@ -37,7 +41,7 @@ let instrumented (oracle : Oracle.t) =
         Metrics.incr c_seeds;
         let t0 = Clock.now_ns () in
         let result = Oracle.run oracle seed in
-        Metrics.observe h_latency (Clock.now_ns () - t0);
+        Metrics.observe_ns h_latency (Clock.now_ns () - t0);
         (match result with
         | Some (seed, reason) ->
           Metrics.incr c_failures;
@@ -68,7 +72,16 @@ let shrink_failure ?shrink_attempts (oracle : Oracle.t) (seed, reason) =
     else minimize ()
   in
   Metrics.observe h_shrink shrunk.Shrink.attempts;
-  { check = oracle.Oracle.name; seed; reason; shrunk }
+  (* Re-check the shrunk subject sequentially so the flight side channel
+     (engine oracle only) holds the dump of exactly this reproducer's
+     session, not whichever parallel seed failed last. *)
+  ignore (Oracle.take_flight ());
+  let flight =
+    match oracle.Oracle.check shrunk.Shrink.subject with
+    | _ -> Oracle.take_flight ()
+    | exception _ -> Oracle.take_flight ()
+  in
+  { check = oracle.Oracle.name; seed; reason; shrunk; flight }
 
 let run ?domains ?(seed0 = 0) ?budget_s ?shrink_attempts ~seeds oracles =
   let t0 = Clock.now_ns () in
@@ -171,21 +184,53 @@ let pp ppf summary =
             f.seed (Subject.n_vertices s) (Subject.n_paths s) (Subject.n_ops s)
             f.shrunk.Shrink.reason;
           Format.fprintf ppf "  --- reproducer ---@.%s" (Subject.wl_string s);
-          match Subject.ops_string s with
+          (match Subject.ops_string s with
           | None -> ()
-          | Some ops -> Format.fprintf ppf "  --- ops ---@.%s" ops)
+          | Some ops -> Format.fprintf ppf "  --- ops ---@.%s" ops);
+          match f.flight with
+          | None -> ()
+          | Some (jsonl, _) ->
+            Format.fprintf ppf
+              "  --- flight: %d op(s) recorded (written by --corpus) ---@."
+              (List.length
+                 (List.filter
+                    (fun l -> String.trim l <> "")
+                    (String.split_on_char '\n' jsonl))))
         r.failures)
     summary.runs;
   Format.fprintf ppf "total: %d seeds, %d failures@." summary.total_seeds
     summary.total_failures
 
 let write_corpus ~dir summary =
+  let write_file path text =
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc;
+    path
+  in
   List.concat_map
     (fun r ->
       List.concat_map
         (fun (f : failure) ->
-          Corpus.add ~dir ~check:f.check
-            ~label:("s" ^ string_of_int f.seed)
-            f.shrunk.Shrink.subject)
+          let paths =
+            Corpus.add ~dir ~check:f.check
+              ~label:("s" ^ string_of_int f.seed)
+              f.shrunk.Shrink.subject
+          in
+          match f.flight with
+          | None -> paths
+          | Some (jsonl, chrome) ->
+            (* The black-box tail of the failing session rides along with
+               the reproducer: replayable JSONL plus a Chrome trace that
+               [wl trace-check] accepts. *)
+            let base =
+              Filename.concat dir
+                (Printf.sprintf "%s.s%d.flight" f.check f.seed)
+            in
+            paths
+            @ [
+                write_file (base ^ ".jsonl") jsonl;
+                write_file (base ^ ".trace.json") chrome;
+              ])
         r.failures)
     summary.runs

@@ -18,6 +18,10 @@ type failure = {
   seed : int;
   reason : string;  (** as first observed, before shrinking *)
   shrunk : Shrink.result;
+  flight : (string * string) option;
+      (** engine-oracle failures carry the shrunk reproducer's flight
+          dump as [(jsonl, chrome_trace)] — see {!Oracle.take_flight}.
+          Not part of {!to_json} (timings are nondeterministic). *)
 }
 
 type check_run = {
@@ -56,4 +60,6 @@ val pp : Format.formatter -> summary -> unit
 
 val write_corpus : dir:string -> summary -> string list
 (** Write every failure's shrunk reproducer into a corpus directory as
-    [<check>.s<seed>.wl] (see {!Corpus.add}); returns the paths written. *)
+    [<check>.s<seed>.wl] (see {!Corpus.add}), plus — for failures that
+    carry one — the flight dump as [<check>.s<seed>.flight.jsonl] and
+    [<check>.s<seed>.flight.trace.json]; returns the paths written. *)

@@ -168,6 +168,24 @@ let solver_exact =
 
 (* --- engine ----------------------------------------------------------------- *)
 
+(* Side channel for the engine oracle's flight dump: the last failing
+   check leaves its session's (jsonl, chrome) renderings here, and the
+   fuzz driver collects them right after a sequential (re-)check, so the
+   dump always matches the reproducer it is attached to.  Racy under
+   parallel waves by design — only the sequential post-shrink re-check
+   reads it. *)
+let flight_box : (string * string) option ref = ref None
+
+let take_flight () =
+  let v = !flight_box in
+  flight_box := None;
+  v
+
+let stash_flight sess =
+  let fl = Engine.flight sess in
+  flight_box :=
+    Some (Wl_obs.Flight.to_jsonl fl, Wl_obs.Flight.to_chrome fl)
+
 let engine =
   let generate seed =
     let rng = Prng.create seed in
@@ -207,9 +225,13 @@ let engine =
         | Some _ as failure -> failure
         | None -> go (step + 1) rest)
     in
-    match compare_with_fresh (-1) with
-    | Some _ as failure -> failure
-    | None -> go 0 s.Subject.ops
+    let result =
+      match compare_with_fresh (-1) with
+      | Some _ as failure -> failure
+      | None -> go 0 s.Subject.ops
+    in
+    if result <> None then stash_flight sess;
+    result
   in
   {
     name = "engine";

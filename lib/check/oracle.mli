@@ -64,3 +64,9 @@ val find : string -> t option
 val run : t -> int -> (int * string) option
 (** Generate and check one seed; exceptions from either phase are captured
     as failures.  Returns [(seed, reason)] on failure. *)
+
+val take_flight : unit -> (string * string) option
+(** Pop the [(jsonl, chrome)] flight-recorder dump left by the last
+    failing {!engine} check, if any.  A side channel with last-writer
+    semantics: only meaningful right after a sequential check, which is
+    how {!Fuzz} attaches dumps to shrunk reproducers. *)

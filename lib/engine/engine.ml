@@ -4,6 +4,9 @@ module Dag = Wl_dag.Dag
 module Classify = Wl_dag.Classify
 module Metrics = Wl_obs.Metrics
 module Trace = Wl_obs.Trace
+module Clock = Wl_obs.Clock
+module Hdr = Wl_obs.Hdr
+module Flight = Wl_obs.Flight
 module Parallel = Wl_util.Parallel
 
 (* Global engine counters (no-ops until [Metrics.set_enabled]); the
@@ -17,6 +20,8 @@ let c_shrinks = Metrics.counter "engine.shrink_recolors"
 let c_fallbacks = Metrics.counter "engine.fallbacks"
 let c_full = Metrics.counter "engine.full_solves"
 let h_cascade = Metrics.histogram "engine.cascade_len"
+let l_add = Metrics.latency "engine.add_path.ns"
+let l_remove = Metrics.latency "engine.remove_path.ns"
 
 type path_id = int
 
@@ -167,10 +172,25 @@ type core = {
   scr : scr; (* not part of the logical state; clones get a fresh one *)
 }
 
+(* Always-on per-session observability.  Everything here records with
+   plain int stores / lock-free atomics, so it lives inside the warm
+   paths without breaking their zero-minor-alloc contract; reading any
+   of it back (health, snapshots, dumps) is cold and may allocate. *)
 type session = {
   sid : int;
   repair_budget : int;
   core : core ref;
+  flight : Flight.t;  (* ring of the last ops, dumped on failure *)
+  lat_add : Hdr.t;  (* add-op latency, whole warm/dirty path *)
+  lat_remove : Hdr.t;
+  slo : Hdr.Slo.t;  (* burn-rate over add+remove latencies *)
+  hit_ring : int array;  (* 1 = op handled warm, recent window *)
+  mutable hit_idx : int;
+  mutable hit_filled : int;
+  mutable hit_sum : int;
+  mutable fb_streak : int;  (* consecutive warm-path fallbacks *)
+  mutable max_fb_streak : int;
+  mutable s_ev : Flight.outcome;  (* outcome of the op in flight *)
   mutable s_ops : int;
   mutable s_warm_hits : int;
   mutable s_fresh : int;
@@ -332,11 +352,28 @@ let make_core g classification =
     scr = new_scr ();
   }
 
-let fresh_session ?(repair_budget = default_repair_budget) core =
+let default_slo_target_ns = 1_000_000 (* 1 ms per op: generous for warm ops *)
+let default_slo_budget = 0.01
+
+let fresh_session ?(repair_budget = default_repair_budget)
+    ?(flight_capacity = 1024) ?(slo_target_ns = default_slo_target_ns)
+    ?(slo_budget = default_slo_budget) core =
+  let sid = Atomic.fetch_and_add next_sid 1 in
   {
-    sid = Atomic.fetch_and_add next_sid 1;
+    sid;
     repair_budget;
     core = ref core;
+    flight = Flight.create ~capacity:flight_capacity ~tid:sid ();
+    lat_add = Hdr.create ();
+    lat_remove = Hdr.create ();
+    slo = Hdr.Slo.create ~target_ns:slo_target_ns ~budget:slo_budget ();
+    hit_ring = Array.make 256 0 (* alloc-ok *);
+    hit_idx = 0;
+    hit_filled = 0;
+    hit_sum = 0;
+    fb_streak = 0;
+    max_fb_streak = 0;
+    s_ev = Flight.Ok;
     s_ops = 0;
     s_warm_hits = 0;
     s_fresh = 0;
@@ -361,19 +398,21 @@ let new_slot c p =
   occ_insert c s;
   s
 
-let create ?repair_budget inst =
+let create ?repair_budget ?flight_capacity ?slo_target_ns ?slo_budget inst =
   let g = Digraph.copy (Instance.graph inst) in
   let classification = Classify.classify (Instance.dag inst) in
   let core = make_core g classification in
   List.iter (fun p -> ignore (new_slot core p)) (Instance.paths_list inst);
-  fresh_session ?repair_budget core
+  fresh_session ?repair_budget ?flight_capacity ?slo_target_ns ?slo_budget core
 
-let of_digraph ?repair_budget g =
+let of_digraph ?repair_budget ?flight_capacity ?slo_target_ns ?slo_budget g =
   match Dag.of_digraph (Digraph.copy g) with
   | Error msg -> Error (Error.Cyclic msg)
   | Ok dag ->
     let core = make_core (Dag.graph dag) (Classify.classify dag) in
-    Ok (fresh_session ?repair_budget core)
+    Ok
+      (fresh_session ?repair_budget ?flight_capacity ?slo_target_ns ?slo_budget
+         core)
 
 let id s = s.sid
 let n_live_paths s = !(s.core).n_live
@@ -449,13 +488,16 @@ let ensure_clean s =
   let c = !(s.core) in
   if c.dirty then begin
     let solve () =
+      let t0 = Clock.now_ns () in
       let inst = materialize_core c in
       let report = Solver.solve inst in
       install_assignment c report;
       c.dirty <- false;
       c.cached_report <- Some report;
       s.s_full <- s.s_full + 1;
-      Metrics.incr c_full
+      Metrics.incr c_full;
+      Flight.record s.flight Flight.Full_solve Flight.Ok ~t_ns:t0
+        ~dur_ns:(Clock.now_ns () - t0) ~arcs:0 ~palette:c.palette ~pi:c.maxload
     in
     if Trace.enabled () then
       Trace.with_span
@@ -746,6 +788,7 @@ let go_dirty s =
   c.dirty <- true;
   c.warm <- false;
   s.s_fallbacks <- s.s_fallbacks + 1;
+  s.s_ev <- Flight.Fallback;
   Metrics.incr c_fallbacks
 
 (* --- mutations ------------------------------------------------------------- *)
@@ -755,6 +798,49 @@ let count_op s =
   Metrics.incr c_ops;
   !(s.core).cached_report <- None
 
+(* Post-op observability, shared by add and remove: latency into the
+   session HDR + SLO (+ the gated global latency), the warm-hit window,
+   the fallback streak, and one flight-recorder entry.  All int stores
+   and lock-free atomics — the warm paths stay zero-minor-alloc. *)
+let obs_op s kind lat gl t0 ~arcs =
+  let c = !(s.core) in
+  let dur = Clock.now_ns () - t0 in
+  Hdr.record lat dur;
+  Hdr.Slo.record s.slo dur;
+  Metrics.observe_ns gl dur;
+  let ev = s.s_ev in
+  let w =
+    match ev with
+    | Flight.Warm_hit | Flight.Fresh_color | Flight.Repair | Flight.Warm_remove
+    | Flight.Shrink ->
+      1
+    | _ -> 0
+  in
+  let len = Array.length s.hit_ring in
+  if s.hit_filled = len then
+    s.hit_sum <- s.hit_sum - Array.unsafe_get s.hit_ring s.hit_idx
+  else s.hit_filled <- s.hit_filled + 1;
+  Array.unsafe_set s.hit_ring s.hit_idx w;
+  s.hit_sum <- s.hit_sum + w;
+  s.hit_idx <- (if s.hit_idx + 1 = len then 0 else s.hit_idx + 1);
+  (match ev with
+  | Flight.Fallback ->
+    s.fb_streak <- s.fb_streak + 1;
+    if s.fb_streak > s.max_fb_streak then s.max_fb_streak <- s.fb_streak
+  | _ -> s.fb_streak <- 0);
+  Flight.record s.flight kind ev ~t_ns:t0 ~dur_ns:dur ~arcs ~palette:c.palette
+    ~pi:c.maxload
+
+(* A refused op still leaves a flight-recorder entry and fires the
+   auto-dump latch: a client hitting validation errors is exactly when
+   the recent-op tail is wanted. *)
+let record_rejection s kind =
+  let c = !(s.core) in
+  s.s_rejected <- s.s_rejected + 1;
+  Flight.record s.flight kind Flight.Rejected ~t_ns:(Clock.now_ns ()) ~dur_ns:0
+    ~arcs:0 ~palette:c.palette ~pi:c.maxload;
+  Flight.trigger ~reason:"op rejected" s.flight
+
 (* Insert an already-validated dipath; the shared tail of [add_path] and
    [add_dipath_exn]. *)
 let add_body s p =
@@ -762,7 +848,10 @@ let add_body s p =
   count_op s;
   let warm = c.warm && not c.dirty in
   let slot = new_slot c p in
-  if not warm then c.dirty <- true
+  if not warm then begin
+    c.dirty <- true;
+    s.s_ev <- Flight.Dirty
+  end
   else begin
     let col = free_color c slot in
     if col >= 0 then begin
@@ -771,6 +860,7 @@ let add_body s p =
       c.colors.(slot) <- col;
       push_color_count c col;
       s.s_warm_hits <- s.s_warm_hits + 1;
+      s.s_ev <- Flight.Warm_hit;
       Metrics.incr c_warm_hits
     end
     else if c.maxload = c.palette + 1 then begin
@@ -780,6 +870,7 @@ let add_body s p =
       push_color_count c c.palette;
       c.palette <- c.palette + 1;
       s.s_fresh <- s.s_fresh + 1;
+      s.s_ev <- Flight.Fresh_color;
       Metrics.incr c_fresh
     end
     else begin
@@ -787,6 +878,7 @@ let add_body s p =
       if flips >= 0 then begin
         s.s_repairs <- s.s_repairs + 1;
         s.s_repair_flips <- s.s_repair_flips + flips;
+        s.s_ev <- Flight.Repair;
         Metrics.incr c_repairs;
         Metrics.observe h_cascade flips
       end
@@ -795,16 +887,23 @@ let add_body s p =
   end;
   slot
 
+let add_instrumented s p =
+  let t0 = Clock.now_ns () in
+  let slot = add_body s p in
+  obs_op s Flight.Add_path s.lat_add l_add t0
+    ~arcs:(Array.length !(s.core).slot_arcs.(slot));
+  slot
+
 let add_traced s p =
   if Trace.enabled () then
-    Trace.with_span "engine.add_path" (fun () -> add_body s p)
-  else add_body s p
+    Trace.with_span "engine.add_path" (fun () -> add_instrumented s p)
+  else add_instrumented s p
 
 let add_path s verts =
   let c = !(s.core) in
   match Dipath.of_vertices c.g verts with
   | Error msg ->
-    s.s_rejected <- s.s_rejected + 1;
+    record_rejection s Flight.Add_path;
     Error (Error.Invalid_path msg)
   | Ok p -> Ok (add_traced s p)
 
@@ -854,7 +953,7 @@ let add_dipath_exn s p =
   let c = !(s.core) in
   (try validate_dipath c p
    with Error.Error _ as e ->
-     s.s_rejected <- s.s_rejected + 1;
+     record_rejection s Flight.Add_path;
      raise e);
   add_traced s p
 
@@ -870,7 +969,10 @@ let remove_body s pid =
   occ_remove c pid;
   c.slot_live.(pid) <- false;
   c.n_live <- c.n_live - 1;
-  if not warm then c.dirty <- true
+  if not warm then begin
+    c.dirty <- true;
+    s.s_ev <- Flight.Dirty
+  end
   else begin
     let col = c.colors.(pid) in
     c.colors.(pid) <- -1;
@@ -890,27 +992,39 @@ let remove_body s pid =
       if try_shrink c then begin
         s.s_shrinks <- s.s_shrinks + 1;
         s.s_warm_removes <- s.s_warm_removes + 1;
+        s.s_ev <- Flight.Shrink;
         Metrics.incr c_shrinks
       end
       else go_dirty s
     end
-    else s.s_warm_removes <- s.s_warm_removes + 1
+    else begin
+      s.s_warm_removes <- s.s_warm_removes + 1;
+      s.s_ev <- Flight.Warm_remove
+    end
   end
+
+let remove_instrumented s pid =
+  let t0 = Clock.now_ns () in
+  (* [slot_arcs] survives the removal; read the width before anyway so
+     the record reflects what the op saw. *)
+  let arcs = Array.length !(s.core).slot_arcs.(pid) in
+  remove_body s pid;
+  obs_op s Flight.Remove_path s.lat_remove l_remove t0 ~arcs
 
 let remove_path_exn s pid =
   let c = !(s.core) in
   if pid < 0 || pid >= c.n_slots then begin
-    s.s_rejected <- s.s_rejected + 1;
+    record_rejection s Flight.Remove_path;
     Error.raise_error (Error.Bad_index { what = "path"; index = pid })
   end
   else if not c.slot_live.(pid) then begin
-    s.s_rejected <- s.s_rejected + 1;
+    record_rejection s Flight.Remove_path;
     Error.raise_error
       (Error.Invalid_op (Printf.sprintf "path %d was already removed" pid))
   end
   else if Trace.enabled () then
-    Trace.with_span "engine.remove_path" (fun () -> remove_body s pid)
-  else remove_body s pid
+    Trace.with_span "engine.remove_path" (fun () -> remove_instrumented s pid)
+  else remove_instrumented s pid
 
 let remove_path s pid =
   match remove_path_exn s pid with
@@ -942,23 +1056,23 @@ let add_arc s u v =
   let c = !(s.core) in
   let n = Digraph.n_vertices c.g in
   if u < 0 || u >= n then begin
-    s.s_rejected <- s.s_rejected + 1;
+    record_rejection s Flight.Add_arc;
     Error (Error.Bad_index { what = "vertex"; index = u })
   end
   else if v < 0 || v >= n then begin
-    s.s_rejected <- s.s_rejected + 1;
+    record_rejection s Flight.Add_arc;
     Error (Error.Bad_index { what = "vertex"; index = v })
   end
   else if u = v then begin
-    s.s_rejected <- s.s_rejected + 1;
+    record_rejection s Flight.Add_arc;
     Error (Error.Invalid_op "add_arc: self-loop")
   end
   else if Digraph.mem_arc c.g u v then begin
-    s.s_rejected <- s.s_rejected + 1;
+    record_rejection s Flight.Add_arc;
     Error (Error.Invalid_op "add_arc: duplicate arc")
   end
   else if reaches c.g v u then begin
-    s.s_rejected <- s.s_rejected + 1;
+    record_rejection s Flight.Add_arc;
     Error
       (Error.Cyclic
          (Printf.sprintf "adding arc %d -> %d would close a directed cycle" u v))
@@ -1080,7 +1194,7 @@ let submit_many ?domains ?max_in_flight jobs =
 
 (* --- invariant audit (for tests) ------------------------------------------- *)
 
-let audit s =
+let audit_core s =
   let c = !(s.core) in
   let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
   let check_occ () =
@@ -1158,3 +1272,76 @@ let audit s =
   match check_occ () with
   | Error _ as e -> e
   | Ok () -> ( match check_loads () with Error _ as e -> e | Ok () -> check_warm ())
+
+let audit s =
+  match audit_core s with
+  | Ok () -> Ok ()
+  | Error msg ->
+    (* The black box earns its keep here: the violation goes into the ring
+       as its own record, then the auto-dump fires so the op tail that led
+       to the broken invariant is preserved. *)
+    let c = !(s.core) in
+    Flight.record s.flight Flight.Audit Flight.Failed ~t_ns:(Clock.now_ns ())
+      ~dur_ns:0 ~arcs:0 ~palette:c.palette ~pi:c.maxload;
+    Flight.trigger ~reason:("audit: " ^ msg) s.flight;
+    Error msg
+
+(* Deliberately break the load accounting so the next [audit] fails —
+   the hook behind [wl session --inject-audit-failure] and the CI proof
+   that a failing audit emits a flight dump.  Test-only: the session is
+   unusable for real work afterwards. *)
+let corrupt_for_testing s =
+  let c = !(s.core) in
+  c.maxload <- c.maxload + 1
+
+(* --- health ----------------------------------------------------------------- *)
+
+type health = {
+  healthy : bool;
+  slo : Hdr.Slo.state;
+  add_latency : Hdr.snapshot;
+  remove_latency : Hdr.snapshot;
+  fallback_streak : int;
+  max_fallback_streak : int;
+  warm_hit_recent : float;
+  warm_hit_lifetime : float;
+  warm_drop : bool;
+}
+
+let flight s = s.flight
+
+let health s =
+  let st = stats s in
+  let lifetime = hit_rate st in
+  let recent =
+    if s.hit_filled = 0 then 1.0
+    else float_of_int s.hit_sum /. float_of_int s.hit_filled
+  in
+  (* Drop detection compares the recent window against the lifetime rate:
+     a session that has always fallen back is (reportedly) sick through
+     the SLO, not through a drop. *)
+  let warm_drop =
+    s.hit_filled >= 64 && lifetime > 0.05 && recent < 0.5 *. lifetime
+  in
+  let slo = Hdr.Slo.state s.slo in
+  {
+    healthy = (not slo.Hdr.Slo.tripped) && (not warm_drop) && s.fb_streak < 8;
+    slo;
+    add_latency = Hdr.snapshot s.lat_add;
+    remove_latency = Hdr.snapshot s.lat_remove;
+    fallback_streak = s.fb_streak;
+    max_fallback_streak = s.max_fb_streak;
+    warm_hit_recent = recent;
+    warm_hit_lifetime = lifetime;
+    warm_drop;
+  }
+
+let pp_health ppf h =
+  Format.fprintf ppf "@[<v>health: %s%s@,%a@,add: %a@,remove: %a@,%s"
+    (if h.healthy then "ok" else "DEGRADED")
+    (if h.warm_drop then " (warm-hit rate dropped)" else "")
+    Hdr.Slo.pp h.slo Hdr.pp_ns h.add_latency Hdr.pp_ns h.remove_latency
+    (Printf.sprintf "warm-hit recent %.2f lifetime %.2f; fallback streak %d (max %d)"
+       h.warm_hit_recent h.warm_hit_lifetime h.fallback_streak
+       h.max_fallback_streak);
+  Format.fprintf ppf "@]"

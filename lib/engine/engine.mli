@@ -42,13 +42,28 @@ type path_id = int
 
 (** {1 Construction} *)
 
-val create : ?repair_budget:int -> Instance.t -> session
+val create :
+  ?repair_budget:int ->
+  ?flight_capacity:int ->
+  ?slo_target_ns:int ->
+  ?slo_budget:float ->
+  Instance.t ->
+  session
 (** Start a session from an existing instance (graph and paths are copied;
     the instance value is not aliased).  [repair_budget] bounds the number
     of dipaths a single warm repair may recolor before falling back to a
-    full re-solve (default 256; [0] disables warm repairs entirely). *)
+    full re-solve (default 256; [0] disables warm repairs entirely).
+    [flight_capacity] sizes the session's {!Wl_obs.Flight} ring (default
+    1024 ops); [slo_target_ns] (default 1 ms) and [slo_budget] (default
+    0.01) configure the per-op latency SLO reported by {!health}. *)
 
-val of_digraph : ?repair_budget:int -> Digraph.t -> (session, Error.t) result
+val of_digraph :
+  ?repair_budget:int ->
+  ?flight_capacity:int ->
+  ?slo_target_ns:int ->
+  ?slo_budget:float ->
+  Digraph.t ->
+  (session, Error.t) result
 (** Path-less session over a copy of the graph; [Error (Cyclic _)] when the
     graph is not a DAG. *)
 
@@ -186,4 +201,40 @@ val rollback : session -> snapshot -> (unit, Error.t) result
 val audit : session -> (unit, string) result
 (** Exhaustive internal-invariant check (occupancy index, load accounting,
     warm coloring validity and contiguity); O(total path length).  Test
-    hook. *)
+    hook.  On [Error] the violation is recorded in the session's flight
+    ring and the {!Wl_obs.Flight} auto-dump latch fires, so an installed
+    dump handler receives the op tail that led to the broken state. *)
+
+val corrupt_for_testing : session -> unit
+(** Deliberately break the internal load accounting so the next {!audit}
+    fails — the hook behind [wl session --inject-audit-failure] and the
+    CI check that a failing audit emits a flight dump.  The session is
+    unusable for real work afterwards. *)
+
+(** {1 Observability}
+
+    Per-session flight recorder, HDR op latencies and SLO state are
+    always on: recording costs a handful of int stores per op and keeps
+    the warm paths zero-minor-allocation.  The read-back surfaces below
+    are cold and may allocate. *)
+
+val flight : session -> Wl_obs.Flight.t
+(** The session's flight recorder (e.g. to render dumps, or {!rearm}
+    after handling a triggered one). *)
+
+type health = {
+  healthy : bool;
+      (** SLO not tripped, no warm-hit-rate drop, fallback streak < 8 *)
+  slo : Wl_obs.Hdr.Slo.state;
+  add_latency : Wl_obs.Hdr.snapshot;
+  remove_latency : Wl_obs.Hdr.snapshot;
+  fallback_streak : int;  (** consecutive warm-path fallbacks, current *)
+  max_fallback_streak : int;
+  warm_hit_recent : float;  (** warm-handled fraction over the last 256 ops *)
+  warm_hit_lifetime : float;  (** {!hit_rate} of the cumulative stats *)
+  warm_drop : bool;
+      (** the recent rate fell under half the lifetime rate (window full) *)
+}
+
+val health : session -> health
+val pp_health : Format.formatter -> health -> unit

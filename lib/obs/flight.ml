@@ -1,0 +1,270 @@
+(* Flight recorder: the black box an engine session carries.
+
+   One op = 7 ints at a stride in a flat ring:
+     [rel_t_ns; dur_ns; kind; outcome; arcs; palette; pi]
+   Recording is plain unsafe stores plus one counter bump — no boxing,
+   no branches beyond the clamp — so it rides inside the engine's
+   zero-minor-alloc warm add/remove paths.  Rendering (JSONL, Chrome
+   trace) walks the retained tail and is cold by construction: it only
+   runs on explicit dumps or when a trigger fires.
+
+   Timestamps are stored relative to the first recorded op, which keeps
+   Chrome-trace [ts] values small and makes golden fixtures
+   deterministic (feed fixed t_ns values from 0). *)
+
+module Jsonx = Wl_json.Jsonx
+
+type kind = Add_path | Remove_path | Add_arc | Full_solve | Audit
+
+type outcome =
+  | Warm_hit
+  | Fresh_color
+  | Repair
+  | Fallback
+  | Dirty
+  | Warm_remove
+  | Shrink
+  | Ok
+  | Rejected
+  | Failed
+
+let stride = 7
+
+type t = {
+  cap : int;  (* power of two *)
+  tid : int;
+  data : int array;  (* cap * stride *)
+  mutable n : int;  (* lifetime op count *)
+  mutable origin : int;  (* t_ns of the first op; -1 until then *)
+  mutable latched : bool;
+}
+
+let create ?(capacity = 1024) ?(tid = 0) () =
+  let cap =
+    let c = ref 16 in
+    while !c < capacity && !c < 1 lsl 20 do
+      c := !c * 2
+    done;
+    !c
+  in
+  {
+    cap;
+    tid;
+    data = Array.make (cap * stride) 0 (* alloc-ok *);
+    n = 0;
+    origin = -1;
+    latched = false;
+  }
+
+let kind_code = function
+  | Add_path -> 0
+  | Remove_path -> 1
+  | Add_arc -> 2
+  | Full_solve -> 3
+  | Audit -> 4
+
+let kind_of_code = function
+  | 0 -> Add_path
+  | 1 -> Remove_path
+  | 2 -> Add_arc
+  | 3 -> Full_solve
+  | _ -> Audit
+
+let outcome_code = function
+  | Warm_hit -> 0
+  | Fresh_color -> 1
+  | Repair -> 2
+  | Fallback -> 3
+  | Dirty -> 4
+  | Warm_remove -> 5
+  | Shrink -> 6
+  | Ok -> 7
+  | Rejected -> 8
+  | Failed -> 9
+
+let outcome_of_code = function
+  | 0 -> Warm_hit
+  | 1 -> Fresh_color
+  | 2 -> Repair
+  | 3 -> Fallback
+  | 4 -> Dirty
+  | 5 -> Warm_remove
+  | 6 -> Shrink
+  | 7 -> Ok
+  | 8 -> Rejected
+  | _ -> Failed
+
+let string_of_kind = function
+  | Add_path -> "add_path"
+  | Remove_path -> "remove_path"
+  | Add_arc -> "add_arc"
+  | Full_solve -> "full_solve"
+  | Audit -> "audit"
+
+let kind_of_string = function
+  | "add_path" -> Some Add_path
+  | "remove_path" -> Some Remove_path
+  | "add_arc" -> Some Add_arc
+  | "full_solve" -> Some Full_solve
+  | "audit" -> Some Audit
+  | _ -> None
+
+let string_of_outcome = function
+  | Warm_hit -> "warm_hit"
+  | Fresh_color -> "fresh_color"
+  | Repair -> "repair"
+  | Fallback -> "fallback"
+  | Dirty -> "dirty"
+  | Warm_remove -> "warm_remove"
+  | Shrink -> "shrink"
+  | Ok -> "ok"
+  | Rejected -> "rejected"
+  | Failed -> "failed"
+
+let outcome_of_string = function
+  | "warm_hit" -> Some Warm_hit
+  | "fresh_color" -> Some Fresh_color
+  | "repair" -> Some Repair
+  | "fallback" -> Some Fallback
+  | "dirty" -> Some Dirty
+  | "warm_remove" -> Some Warm_remove
+  | "shrink" -> Some Shrink
+  | "ok" -> Some Ok
+  | "rejected" -> Some Rejected
+  | "failed" -> Some Failed
+  | _ -> None
+
+let record t kind outcome ~t_ns ~dur_ns ~arcs ~palette ~pi =
+  if t.origin < 0 then t.origin <- t_ns;
+  let base = t.n land (t.cap - 1) * stride in
+  let d = t.data in
+  Array.unsafe_set d base (t_ns - t.origin);
+  Array.unsafe_set d (base + 1) (if dur_ns < 0 then 0 else dur_ns);
+  Array.unsafe_set d (base + 2) (kind_code kind);
+  Array.unsafe_set d (base + 3) (outcome_code outcome);
+  Array.unsafe_set d (base + 4) arcs;
+  Array.unsafe_set d (base + 5) palette;
+  Array.unsafe_set d (base + 6) pi;
+  t.n <- t.n + 1
+
+let total t = t.n
+let capacity t = t.cap
+
+type entry = {
+  seq : int;
+  t_ns : int;
+  dur_ns : int;
+  kind : kind;
+  outcome : outcome;
+  arcs : int;
+  palette : int;
+  pi : int;
+}
+
+(* Oldest retained op, and how many the ring still holds. *)
+let tail_bounds ?last t =
+  let held = if t.n < t.cap then t.n else t.cap in
+  let held = match last with Some l when l < held -> l | _ -> held in
+  (t.n - held, held)
+
+let entry_at t seq =
+  let base = seq land (t.cap - 1) * stride in
+  let d = t.data in
+  {
+    seq;
+    t_ns = d.(base);
+    dur_ns = d.(base + 1);
+    kind = kind_of_code d.(base + 2);
+    outcome = outcome_of_code d.(base + 3);
+    arcs = d.(base + 4);
+    palette = d.(base + 5);
+    pi = d.(base + 6);
+  }
+
+let entries ?last t =
+  let first, held = tail_bounds ?last t in
+  List.init held (fun i -> entry_at t (first + i))
+
+let to_jsonl ?last t =
+  let buf = Buffer.create 4096 (* alloc-ok: cold dump rendering *) in
+  List.iter
+    (fun e ->
+      Printf.bprintf buf
+        "{\"seq\": %d, \"t_ns\": %d, \"dur_ns\": %d, \"op\": \"%s\", \
+         \"outcome\": \"%s\", \"arcs\": %d, \"palette\": %d, \"pi\": %d}\n"
+        e.seq e.t_ns e.dur_ns (string_of_kind e.kind)
+        (string_of_outcome e.outcome)
+        e.arcs e.palette e.pi)
+    (entries ?last t);
+  Buffer.contents buf
+
+let of_jsonl s =
+  let lines =
+    List.filteri
+      (fun _ l -> String.trim l <> "")
+      (String.split_on_char '\n' s)
+  in
+  let parse_line i line =
+    let fail msg = Error (Printf.sprintf "line %d: %s" (i + 1) msg) in
+    match Jsonx.parse line with
+    | Error e -> fail e
+    | Ok j -> (
+      let int k = Option.bind (Jsonx.member k j) Jsonx.to_int in
+      let str k = Option.bind (Jsonx.member k j) Jsonx.to_str in
+      match
+        (int "seq", int "t_ns", int "dur_ns", str "op", str "outcome",
+         int "arcs", int "palette", int "pi")
+      with
+      | ( Some seq, Some t_ns, Some dur_ns, Some op, Some oc, Some arcs,
+          Some palette, Some pi ) -> (
+        match (kind_of_string op, outcome_of_string oc) with
+        | Some kind, Some outcome ->
+          Stdlib.Ok { seq; t_ns; dur_ns; kind; outcome; arcs; palette; pi }
+        | None, _ -> fail ("unknown op " ^ op)
+        | _, None -> fail ("unknown outcome " ^ oc))
+      | _ -> fail "missing field")
+  in
+  let rec go i acc = function
+    | [] -> Stdlib.Ok (List.rev acc)
+    | l :: rest -> (
+      match parse_line i l with
+      | Stdlib.Ok e -> go (i + 1) (e :: acc) rest
+      | Error e -> Error e)
+  in
+  go 0 [] lines
+
+(* Chrome trace in exactly the event shape of {!Trace.add_chrome_event}
+   ("X" phase, cat "wl", pid 1), so one validator serves both. *)
+let to_chrome ?last t =
+  let buf = Buffer.create 4096 (* alloc-ok: cold dump rendering *) in
+  Buffer.add_string buf "{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Printf.bprintf buf
+        "{\"name\": \"%s\", \"cat\": \"wl\", \"ph\": \"X\", \"pid\": 1, \
+         \"tid\": %d, \"ts\": %.3f, \"dur\": %.3f, \"args\": {\"seq\": %d, \
+         \"outcome\": \"%s\", \"arcs\": %d, \"palette\": %d, \"pi\": %d}}"
+        (string_of_kind e.kind) t.tid
+        (float_of_int e.t_ns /. 1e3)
+        (float_of_int e.dur_ns /. 1e3)
+        e.seq
+        (string_of_outcome e.outcome)
+        e.arcs e.palette e.pi)
+    (entries ?last t);
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+(* --- automatic dumps -------------------------------------------------------- *)
+
+let handler : (reason:string -> t -> unit) option ref = ref None
+let set_dump_handler h = handler := h
+
+let trigger ~reason t =
+  if not t.latched then begin
+    t.latched <- true;
+    match !handler with None -> () | Some f -> f ~reason t
+  end
+
+let rearm t = t.latched <- false
+let dumped t = t.latched

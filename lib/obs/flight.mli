@@ -1,0 +1,102 @@
+(** Per-session flight recorder: a fixed-size ring of packed op records.
+
+    Every engine op — accepted or rejected — leaves one record in the
+    session's ring: op kind, outcome class (warm hit / fresh color /
+    repair / fallback / ...), arc count, duration, palette and [pi] at
+    completion.  Recording after {!create} is allocation-free (plain int
+    stores into a pre-sized array), so it stays inside the engine's
+    zero-minor-alloc warm paths; the ring keeps the last [capacity] ops
+    and overwrites silently.
+
+    Dumps render the recorded tail as JSONL (one op per line, replayable
+    via {!of_jsonl}) and as a Chrome/Perfetto trace in exactly the shape
+    {!Trace} emits, so [Trace.validate_chrome] and [wl trace-check]
+    accept flight dumps unchanged.  The engine calls {!trigger} when an
+    audit fails or an op errors; an installed {!set_dump_handler} (e.g.
+    [wl session --flight-dump]) then persists both renderings.  The
+    per-recorder latch means a cascade of failures dumps once, not once
+    per op — {!rearm} resets it. *)
+
+type t
+
+type kind = Add_path | Remove_path | Add_arc | Full_solve | Audit
+
+type outcome =
+  | Warm_hit  (** reused a free wavelength on the warm path *)
+  | Fresh_color  (** opened wavelength [palette + 1] (load grew) *)
+  | Repair  (** Kempe repair freed a wavelength *)
+  | Fallback  (** warm path gave up; session went dirty *)
+  | Dirty  (** op applied on an already-dirty session *)
+  | Warm_remove  (** removal kept the palette *)
+  | Shrink  (** removal retired the top wavelength *)
+  | Ok  (** op with no warmth classification (add_arc, audit pass) *)
+  | Rejected  (** op refused (validation, bad index, cycle, ...) *)
+  | Failed  (** audit violation *)
+
+val create : ?capacity:int -> ?tid:int -> unit -> t
+(** [capacity] (default 1024) is rounded up to a power of two; [tid]
+    labels Chrome-trace rows (use the session id).  Timestamps are
+    recorded relative to the first op. *)
+
+val record :
+  t ->
+  kind ->
+  outcome ->
+  t_ns:int ->
+  dur_ns:int ->
+  arcs:int ->
+  palette:int ->
+  pi:int ->
+  unit
+(** Append one op record.  Allocation-free; [t_ns] is an absolute
+    monotonic stamp (e.g. {!Clock.now_ns}), [dur_ns] clamps to [>= 0]. *)
+
+val total : t -> int
+(** Ops recorded over the recorder's lifetime (may exceed capacity). *)
+
+val capacity : t -> int
+
+type entry = {
+  seq : int;  (** 0-based op sequence number *)
+  t_ns : int;  (** start, relative to the first recorded op *)
+  dur_ns : int;
+  kind : kind;
+  outcome : outcome;
+  arcs : int;
+  palette : int;
+  pi : int;
+}
+
+val entries : ?last:int -> t -> entry list
+(** Oldest-first view of the retained tail (at most [last] ops). *)
+
+val to_jsonl : ?last:int -> t -> string
+(** One JSON object per line:
+    [{"seq":..,"t_ns":..,"dur_ns":..,"op":"add_path","outcome":"warm_hit",
+      "arcs":..,"palette":..,"pi":..}]. *)
+
+val of_jsonl : string -> (entry list, string) result
+(** Parse a {!to_jsonl} dump back (replay). *)
+
+val to_chrome : ?last:int -> t -> string
+(** A complete Chrome trace document ("X" events, cat ["wl"], [tid] =
+    session id, outcome/arcs/palette/pi in [args]) — accepted by
+    [Trace.validate_chrome]. *)
+
+val string_of_kind : kind -> string
+val string_of_outcome : outcome -> string
+
+(** {2 Automatic dumps} *)
+
+val set_dump_handler : (reason:string -> t -> unit) option -> unit
+(** Install (or clear) the process-wide dump sink.  The engine calls
+    {!trigger} on audit failure or op error; with no handler installed a
+    trigger only sets the latch. *)
+
+val trigger : reason:string -> t -> unit
+(** Fire the dump handler for this recorder, at most once until
+    {!rearm}.  Cheap (one load) when already latched or no handler. *)
+
+val rearm : t -> unit
+val dumped : t -> bool
+(** Has {!trigger} fired (handler or not) since creation/{!rearm}? *)

@@ -1,0 +1,118 @@
+(** Fixed-memory HDR latency histograms with exact quantile queries.
+
+    A log-linear bucket scheme in the style of HdrHistogram: values below
+    [2^sub_bits] get their own bucket (exact), and every higher power-of-two
+    tier is split into [2^(sub_bits-1)] linear sub-buckets, so the bucket
+    ceiling is always within [2^(1-sub_bits)] relative error of the recorded
+    value.  The whole structure is a flat array of atomic counters sized at
+    creation (~1.9k cells at the default [sub_bits = 6]) — recording is
+    lock-free, domain-safe, and allocates nothing, which is what lets the
+    engine keep per-session latency accounting inside its zero-minor-alloc
+    warm paths.
+
+    Quantiles are *exact over buckets*: [quantile h q] returns the ceiling
+    of the bucket holding the rank-[ceil(q*count)] observation, i.e. the
+    smallest reported value [v] such that at least a [q] fraction of
+    observations were [<= v].  The oracle test pins this to a sorted-array
+    reference through {!round_up}. *)
+
+type t
+
+val create : ?sub_bits:int -> unit -> t
+(** [sub_bits] (default 6, clamped to [2..12]) sets the per-tier
+    resolution: relative bucket error is at most [2^(1-sub_bits)]
+    (~3% at the default). *)
+
+val record : t -> int -> unit
+(** Record one observation (negative values clamp to 0).  Lock-free,
+    zero-allocation, safe from any domain. *)
+
+val count : t -> int
+val sum : t -> int
+
+val min_value : t -> int
+(** Smallest recorded value, [0] when empty. *)
+
+val max_value : t -> int
+(** Largest recorded value, [0] when empty. *)
+
+val quantile : t -> float -> int
+(** [quantile h q] for [q] in [(0,1]]: the ceiling of the bucket holding
+    the observation of rank [ceil (q *. count)].  [0] when empty. *)
+
+val round_up : t -> int -> int
+(** The bucket ceiling a value lands in: [quantile] answers are always
+    [round_up] of some recorded observation.  Exposed so tests can build
+    an exact sorted-array oracle. *)
+
+val merge_into : dst:t -> t -> unit
+(** Add every bucket count of the source into [dst].  Both histograms
+    must share [sub_bits] ([Invalid_argument] otherwise). *)
+
+val reset : t -> unit
+
+type snapshot = {
+  count : int;
+  sum : int;
+  min : int;
+  max : int;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+  p999 : int;
+}
+
+val snapshot : t -> snapshot
+(** Consistent-enough view for reporting (individual fields are atomic;
+    the set is not a linearizable cut under concurrent writers). *)
+
+val pp_ns : Format.formatter -> snapshot -> unit
+(** One-line human rendering with ns/µs/ms scaling. *)
+
+(** Latency SLO tracking over a sliding window of observations.
+
+    [create ~target_ns ~budget ()] tracks the fraction of the last
+    [window] observations over [target_ns].  When the window is
+    sufficiently full and that fraction (the {e burn rate}) exceeds
+    [budget], the tracker latches [tripped] — the engine surfaces it
+    through [Engine.health].  Recording is allocation-free. *)
+module Slo : sig
+  type t
+
+  val create : ?window:int -> target_ns:int -> budget:float -> unit -> t
+  (** [window] (default 512) is the number of recent observations the
+      burn rate is computed over; [budget] is the tolerated fraction of
+      over-target observations (e.g. [0.01] for 1%). *)
+
+  val record : t -> int -> unit
+  (** Record one latency observation.  Zero-allocation. *)
+
+  val burn_rate : t -> float
+  (** Fraction of the current window over target ([0.] until any
+      observation arrives). *)
+
+  val tripped : t -> bool
+  (** Latched: has the burn rate ever exceeded the budget with at least
+      [max 8 (window/8)] observations in the window? *)
+
+  val healthy : t -> bool
+  (** [not (tripped t)]. *)
+
+  val rearm : t -> unit
+  (** Clear the latch and the window. *)
+
+  type state = {
+    target_ns : int;
+    budget : float;
+    window : int;
+    observed : int;  (** observations currently in the window *)
+    over : int;  (** of which over target *)
+    total : int;  (** lifetime observations *)
+    total_over : int;
+    burn : float;
+    tripped : bool;
+  }
+
+  val state : t -> state
+  val pp : Format.formatter -> state -> unit
+end

@@ -28,7 +28,12 @@ type histogram = {
   mx : int Atomic.t;
 }
 
-type entry = C of counter | H of histogram
+(* Latency-class instruments delegate to an HDR histogram: exact
+   quantiles from fixed memory, recorded lock-free from any domain.  The
+   enable gate lives here; Hdr itself is always on. *)
+type latency = { l_name : string; hdr : Hdr.t }
+
+type entry = C of counter | H of histogram | L of latency
 
 let registry : (string, entry) Hashtbl.t = Hashtbl.create 64
 let registry_lock = Mutex.create ()
@@ -50,7 +55,7 @@ let counter name =
       c)
     (function
       | C c -> c
-      | H _ -> invalid_arg ("Metrics.counter: " ^ name ^ " is a histogram"))
+      | _ -> invalid_arg ("Metrics.counter: " ^ name ^ " is not a counter"))
 
 let histogram name =
   register name
@@ -69,7 +74,19 @@ let histogram name =
       h)
     (function
       | H h -> h
-      | C _ -> invalid_arg ("Metrics.histogram: " ^ name ^ " is a counter"))
+      | _ -> invalid_arg ("Metrics.histogram: " ^ name ^ " is not a histogram"))
+
+let latency name =
+  register name
+    (fun () ->
+      let l = { l_name = name; hdr = Hdr.create () } in
+      Hashtbl.add registry name (L l);
+      l)
+    (function
+      | L l -> l
+      | _ -> invalid_arg ("Metrics.latency: " ^ name ^ " is not a latency"))
+
+let observe_ns l v = if Atomic.get on then Hdr.record l.hdr v
 
 let add c v =
   if Atomic.get on then
@@ -111,7 +128,10 @@ type hist_snapshot = {
   buckets : (int * int) list;
 }
 
-type instrument = Counter of int | Histogram of hist_snapshot
+type instrument =
+  | Counter of int
+  | Histogram of hist_snapshot
+  | Latency of Hdr.snapshot
 
 let snapshot_hist h =
   let buckets = ref [] in
@@ -140,7 +160,10 @@ let snapshot () =
         if v = 0 then None else Some (name, Counter v)
       | H h ->
         let s = snapshot_hist h in
-        if s.count = 0 then None else Some (name, Histogram s))
+        if s.count = 0 then None else Some (name, Histogram s)
+      | L l ->
+        let s = Hdr.snapshot l.hdr in
+        if s.Hdr.count = 0 then None else Some (name, Latency s))
     all
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
@@ -156,9 +179,18 @@ let find_histogram name =
       | Some (H h) -> Some (snapshot_hist h)
       | _ -> None)
 
+let find_latency name =
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (L l) -> Some (Hdr.snapshot l.hdr)
+      | _ -> None)
+
 (* One scalar per instrument for before/after comparison: counters by
-   value, histograms by observation count. *)
-let scalar_of = function Counter v -> v | Histogram s -> s.count
+   value, histograms and latencies by observation count. *)
+let scalar_of = function
+  | Counter v -> v
+  | Histogram s -> s.count
+  | Latency s -> s.Hdr.count
 
 let diff before after =
   let tbl = Hashtbl.create 32 in
@@ -184,7 +216,8 @@ let reset () =
             Array.iter (fun a -> Atomic.set a 0) h.sums;
             Array.iter (fun a -> Atomic.set a 0) h.ns;
             Atomic.set h.mn max_int;
-            Atomic.set h.mx min_int)
+            Atomic.set h.mx min_int
+          | L l -> Hdr.reset l.hdr)
         registry)
 
 let pp_summary ppf () =
@@ -201,7 +234,8 @@ let pp_summary ppf () =
           Format.fprintf ppf "%-32s %12d  sum %-10d min %-8d mean %-10.1f max %d"
             name s.count s.sum s.min
             (float_of_int s.sum /. float_of_int (Stdlib.max 1 s.count))
-            s.max)
+            s.max
+        | Latency s -> Format.fprintf ppf "%-32s %a" name Hdr.pp_ns s)
       entries;
     Format.fprintf ppf "@]"
   end

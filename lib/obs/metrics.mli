@@ -14,6 +14,7 @@
 
 type counter
 type histogram
+type latency
 
 val set_enabled : bool -> unit
 (** Enable/disable all updates.  Call before spawning worker domains so
@@ -37,6 +38,15 @@ val observe : histogram -> int -> unit
 (** Record one observation.  Negative values are clamped into the first
     bucket but still counted in [sum]/[min]/[max]. *)
 
+val latency : string -> latency
+(** Find-or-create a latency-class instrument: an {!Hdr} histogram with
+    exact p50/p90/p99/p999 from fixed memory.  Use for nanosecond
+    durations; plain {!histogram} remains for magnitude-class counts. *)
+
+val observe_ns : latency -> int -> unit
+(** Record one duration.  Gated like every update; lock-free and
+    allocation-free when enabled. *)
+
 type hist_snapshot = {
   count : int;
   sum : int;
@@ -46,7 +56,10 @@ type hist_snapshot = {
       (** [(upper_bound, count)] for each non-empty bucket, ascending *)
 }
 
-type instrument = Counter of int | Histogram of hist_snapshot
+type instrument =
+  | Counter of int
+  | Histogram of hist_snapshot
+  | Latency of Hdr.snapshot
 
 val snapshot : unit -> (string * instrument) list
 (** Every registered instrument with a non-zero value/count, sorted by
@@ -70,6 +83,7 @@ val find_counter : string -> int option
 (** Current value of a registered counter, [None] if absent. *)
 
 val find_histogram : string -> hist_snapshot option
+val find_latency : string -> Hdr.snapshot option
 
 val reset : unit -> unit
 (** Zero every instrument (registration survives). *)

@@ -1,0 +1,254 @@
+(* OpenMetrics text rendering + a strict-enough standalone parser.
+
+   Everything here is cold reporting code: called once per scrape/dump,
+   free to allocate.  The parser deliberately shares nothing with
+   Wl_json — OpenMetrics is line-oriented — but follows the same
+   dependency-free, total style. *)
+
+type stats = { families : int; samples : int }
+
+(* --- rendering -------------------------------------------------------------- *)
+
+let sanitize name =
+  let buf = Buffer.create (String.length name + 4) in
+  if not (String.length name >= 3 && String.sub name 0 3 = "wl_") then
+    Buffer.add_string buf "wl_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    name;
+  Buffer.contents buf
+
+let escape_label v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let add_family buf ~name ~help ~typ body =
+  Printf.bprintf buf "# HELP %s %s\n" name (escape_label help);
+  Printf.bprintf buf "# TYPE %s %s\n" name typ;
+  body buf
+
+let add_counter buf name help v =
+  add_family buf ~name ~help ~typ:"counter" (fun buf ->
+      Printf.bprintf buf "%s_total %d\n" name v)
+
+let add_gauge buf name help v =
+  add_family buf ~name ~help ~typ:"gauge" (fun buf ->
+      Printf.bprintf buf "%s %.6g\n" name v)
+
+let add_histogram buf name help (s : Metrics.hist_snapshot) =
+  add_family buf ~name ~help ~typ:"histogram" (fun buf ->
+      let cum = ref 0 in
+      List.iter
+        (fun (ub, c) ->
+          cum := !cum + c;
+          if ub = max_int then ()
+          else Printf.bprintf buf "%s_bucket{le=\"%d\"} %d\n" name ub !cum)
+        s.buckets;
+      Printf.bprintf buf "%s_bucket{le=\"+Inf\"} %d\n" name s.count;
+      Printf.bprintf buf "%s_sum %d\n" name s.sum;
+      Printf.bprintf buf "%s_count %d\n" name s.count)
+
+let add_summary buf name help (s : Hdr.snapshot) =
+  add_family buf ~name ~help ~typ:"summary" (fun buf ->
+      Printf.bprintf buf "%s{quantile=\"0.5\"} %d\n" name s.Hdr.p50;
+      Printf.bprintf buf "%s{quantile=\"0.9\"} %d\n" name s.Hdr.p90;
+      Printf.bprintf buf "%s{quantile=\"0.99\"} %d\n" name s.Hdr.p99;
+      Printf.bprintf buf "%s{quantile=\"0.999\"} %d\n" name s.Hdr.p999;
+      Printf.bprintf buf "%s_sum %d\n" name s.Hdr.sum;
+      Printf.bprintf buf "%s_count %d\n" name s.Hdr.count)
+
+let render ?(gauges = []) ?(latencies = []) snapshot =
+  let items =
+    List.map
+      (fun (raw, inst) -> (sanitize raw, raw, `Inst inst))
+      snapshot
+    @ List.map (fun (raw, v) -> (sanitize raw, raw, `Gauge v)) gauges
+    @ List.map (fun (raw, s) -> (sanitize raw, raw, `Hdr s)) latencies
+  in
+  let items =
+    List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) items
+  in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (name, raw, v) ->
+      match v with
+      | `Inst (Metrics.Counter c) -> add_counter buf name raw c
+      | `Inst (Metrics.Histogram s) -> add_histogram buf name raw s
+      | `Inst (Metrics.Latency s) -> add_summary buf name raw s
+      | `Gauge g -> add_gauge buf name raw g
+      | `Hdr s -> add_summary buf name raw s)
+    items;
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+(* --- validation ------------------------------------------------------------- *)
+
+let is_name_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+  | _ -> false
+
+let valid_name s =
+  String.length s > 0
+  && (match s.[0] with '0' .. '9' -> false | c -> is_name_char c)
+  && String.for_all is_name_char s
+
+exception Bad of string
+
+let split_sample line =
+  (* name[{labels}] value — returns (name, has_quantile/le labels ok). *)
+  let n = String.length line in
+  let i = ref 0 in
+  while !i < n && is_name_char line.[!i] do
+    incr i
+  done;
+  let name = String.sub line 0 !i in
+  if not (valid_name name) then raise (Bad "invalid metric name");
+  (* labels *)
+  if !i < n && line.[!i] = '{' then begin
+    incr i;
+    let fin = ref false in
+    while not !fin do
+      if !i >= n then raise (Bad "unterminated label set");
+      if line.[!i] = '}' then begin
+        incr i;
+        fin := true
+      end
+      else begin
+        (* label name *)
+        let s = !i in
+        while !i < n && is_name_char line.[!i] do
+          incr i
+        done;
+        if !i = s then raise (Bad "empty label name");
+        if !i >= n || line.[!i] <> '=' then raise (Bad "label without =");
+        incr i;
+        if !i >= n || line.[!i] <> '"' then raise (Bad "unquoted label value");
+        incr i;
+        let closed = ref false in
+        while not !closed do
+          if !i >= n then raise (Bad "unterminated label value");
+          (match line.[!i] with
+          | '\\' -> incr i (* skip escaped char *)
+          | '"' -> closed := true
+          | _ -> ());
+          incr i
+        done;
+        if !i < n && line.[!i] = ',' then incr i
+      end
+    done
+  end;
+  if !i >= n || line.[!i] <> ' ' then raise (Bad "missing value");
+  let value = String.sub line (!i + 1) (n - !i - 1) in
+  let value =
+    match String.index_opt value ' ' with
+    | Some j -> String.sub value 0 j (* optional timestamp *)
+    | None -> value
+  in
+  (match float_of_string_opt value with
+  | Some _ -> ()
+  | None -> raise (Bad ("unparseable sample value " ^ value)));
+  name
+
+let suffixes = [ "_total"; "_bucket"; "_sum"; "_count"; "_created" ]
+
+let strip_suffix name suf =
+  let n = String.length name and m = String.length suf in
+  if n > m && String.sub name (n - m) m = suf then
+    Some (String.sub name 0 (n - m))
+  else None
+
+let validate doc =
+  let lines = String.split_on_char '\n' doc in
+  let types : (string, string) Hashtbl.t = Hashtbl.create 32 in
+  let sampled : (string, unit) Hashtbl.t = Hashtbl.create 32 in
+  let samples = ref 0 in
+  let saw_eof = ref false in
+  let err lineno msg = Printf.sprintf "line %d: %s" lineno msg in
+  let rec go lineno = function
+    | [] -> if !saw_eof then Ok () else Error "missing # EOF terminator"
+    | line :: rest ->
+      if !saw_eof then
+        if line = "" && rest = [] then Ok ()
+        else Error (err lineno "content after # EOF")
+      else if line = "" then Error (err lineno "blank line")
+      else if line = "# EOF" then begin
+        saw_eof := true;
+        go (lineno + 1) rest
+      end
+      else if String.length line > 0 && line.[0] = '#' then begin
+        match String.split_on_char ' ' line with
+        | "#" :: kw :: name :: _ when kw = "HELP" || kw = "UNIT" ->
+          if valid_name name then go (lineno + 1) rest
+          else Error (err lineno ("bad metric name in " ^ kw))
+        | "#" :: "TYPE" :: name :: [ typ ] ->
+          if not (valid_name name) then
+            Error (err lineno "bad metric name in TYPE")
+          else if
+            not
+              (List.mem typ
+                 [ "counter"; "gauge"; "histogram"; "summary"; "unknown"; "info" ])
+          then Error (err lineno ("unknown type " ^ typ))
+          else if Hashtbl.mem types name then
+            Error (err lineno ("duplicate TYPE for " ^ name))
+          else if Hashtbl.mem sampled name then
+            Error (err lineno ("TYPE after samples for " ^ name))
+          else begin
+            Hashtbl.add types name typ;
+            go (lineno + 1) rest
+          end
+        | _ -> Error (err lineno "malformed comment line")
+      end
+      else begin
+        match split_sample line with
+        | exception Bad msg -> Error (err lineno msg)
+        | name -> (
+          let family =
+            match
+              List.find_map
+                (fun suf ->
+                  match strip_suffix name suf with
+                  | Some base when Hashtbl.mem types base -> Some (base, suf)
+                  | _ -> None)
+                suffixes
+            with
+            | Some (base, suf) -> Some (base, suf)
+            | None -> if Hashtbl.mem types name then Some (name, "") else None
+          in
+          match family with
+          | None -> Error (err lineno ("sample without # TYPE: " ^ name))
+          | Some (base, suf) ->
+            let typ = Hashtbl.find types base in
+            let legal =
+              match typ with
+              | "counter" -> suf = "_total" || suf = "_created"
+              | "histogram" -> suf = "_bucket" || suf = "_sum" || suf = "_count"
+              | "summary" -> suf = "" || suf = "_sum" || suf = "_count"
+              | _ -> suf = ""
+            in
+            if not legal then
+              Error
+                (err lineno
+                   (Printf.sprintf "sample %s illegal for %s family %s" name
+                      typ base))
+            else begin
+              Hashtbl.replace sampled base ();
+              incr samples;
+              go (lineno + 1) rest
+            end)
+      end
+  in
+  match go 1 lines with
+  | Error _ as e -> e
+  | Ok () -> Ok { families = Hashtbl.length types; samples = !samples }

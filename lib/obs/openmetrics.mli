@@ -1,0 +1,34 @@
+(** OpenMetrics text exposition of metrics snapshots — and its validator.
+
+    {!render} maps a {!Metrics.snapshot} (plus ad-hoc gauges and
+    standalone {!Hdr} snapshots, e.g. per-session engine latencies) onto
+    the OpenMetrics text format:
+
+    - instrument names sanitize to [wl_]-prefixed metric names
+      ([solver.ns.thm1] → [wl_solver_ns_thm1]), the original name kept in
+      the [# HELP] line;
+    - counters become [counter] families ([_total] sample);
+    - power-of-two {!Metrics.histogram}s become [histogram] families with
+      cumulative [le] buckets;
+    - latency instruments and HDR snapshots become [summary] families
+      with [quantile] labels (0.5/0.9/0.99/0.999, values in ns);
+    - gauges are emitted verbatim;
+    - the document ends with [# EOF].
+
+    {!validate} is a dependency-free parser for the same dialect, strict
+    enough to catch shape mistakes (samples without a [# TYPE], suffixes
+    illegal for the declared type, garbage after [# EOF]) — it backs
+    [wl metrics-check] and the CI smoke over [wl stress --metrics-out]. *)
+
+val render :
+  ?gauges:(string * float) list ->
+  ?latencies:(string * Hdr.snapshot) list ->
+  (string * Metrics.instrument) list ->
+  string
+(** Families are emitted sorted by metric name; gauges and latencies are
+    merged into the same namespace as the snapshot instruments. *)
+
+type stats = { families : int; samples : int }
+
+val validate : string -> (stats, string) result
+(** Check a full exposition document.  Errors carry the 1-based line. *)

@@ -307,11 +307,16 @@ let parallel_rollup () =
     (* The calling domain works alongside the spawned ones, so each map
        has (workers/maps + 1) domains live on average. *)
     let avg_domains = float_of_int (workers + maps) /. float_of_int maps in
+    (* Clamp to [0, 1]: clock granularity can report zero-duration spans
+       (busy > 0 with wall = 0) and a 1-domain run books the caller's own
+       work as both wall and busy — either shows up as > 100% otherwise. *)
     let utilization =
       if wall.Metrics.sum = 0 then 0.
       else
-        float_of_int busy.Metrics.sum
-        /. (float_of_int wall.Metrics.sum *. avg_domains)
+        Float.min 1.
+          (Float.max 0.
+             (float_of_int busy.Metrics.sum
+             /. (float_of_int wall.Metrics.sum *. avg_domains)))
     in
     Some
       {

@@ -81,9 +81,11 @@ type parallel_rollup = {
   wall_ns : int;  (** summed wall-clock of the parallel sections *)
   busy_ns : int;  (** summed per-domain busy time (caller included) *)
   utilization : float;
-      (** [busy / (wall * avg live domains)] — 1.0 means every domain
-          computed for the whole parallel section; low values mean
-          domains idled behind stragglers or spawn overhead *)
+      (** [busy / (wall * avg live domains)], clamped to [\[0, 1\]]
+          (zero-duration spans and 1-domain runs would otherwise read as
+          over 100%) — 1.0 means every domain computed for the whole
+          parallel section; low values mean domains idled behind
+          stragglers or spawn overhead *)
 }
 
 val parallel_rollup : unit -> parallel_rollup option

@@ -105,6 +105,18 @@ let json_of_instrument = function
         ("min", Jsonx.Int h.Metrics.min);
         ("max", Jsonx.Int h.Metrics.max);
       ]
+  | Metrics.Latency s ->
+    Jsonx.Obj
+      [
+        ("count", Jsonx.Int s.Hdr.count);
+        ("sum", Jsonx.Int s.Hdr.sum);
+        ("min", Jsonx.Int s.Hdr.min);
+        ("max", Jsonx.Int s.Hdr.max);
+        ("p50", Jsonx.Int s.Hdr.p50);
+        ("p90", Jsonx.Int s.Hdr.p90);
+        ("p99", Jsonx.Int s.Hdr.p99);
+        ("p999", Jsonx.Int s.Hdr.p999);
+      ]
 
 let point_to_json p =
   Jsonx.Obj

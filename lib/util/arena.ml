@@ -28,6 +28,11 @@ type t = {
 
 let create () = { slots = Array.make 8 [||]; used = 0; grown = 0 }
 
+(* Growth events are the arena's only steady-state health signal — a
+   nonzero rate after warmup means some caller's capacity demand is still
+   climbing.  Exposed process-wide for the OpenMetrics scrape. *)
+let c_grow = Wl_obs.Metrics.counter "arena.grow_count"
+
 let reset a = a.used <- 0
 
 (* Next power of two >= n, so repeated +1 growth does not reallocate
@@ -53,6 +58,7 @@ let ints a n =
       let fresh = Array.make (round_up n) 0 in
       a.slots.(k) <- fresh;
       a.grown <- a.grown + 1;
+      Wl_obs.Metrics.incr c_grow;
       fresh
     end
   in

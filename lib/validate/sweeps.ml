@@ -21,7 +21,7 @@ type sweep = {
    instant event carrying the failing seed + reason.  All of it vanishes
    (one atomic load per seed) while metrics and tracing are off. *)
 let instrument name case =
-  let h_latency = Metrics.histogram ("sweep." ^ name ^ ".ns") in
+  let h_latency = Metrics.latency ("sweep." ^ name ^ ".ns") in
   let c_failures = Metrics.counter ("sweep." ^ name ^ ".failures") in
   let c_seeds = Metrics.counter ("sweep." ^ name ^ ".seeds") in
   let span_name = "sweep." ^ name in
@@ -32,7 +32,7 @@ let instrument name case =
         Metrics.incr c_seeds;
         let t0 = Clock.now_ns () in
         let result = case seed in
-        Metrics.observe h_latency (Clock.now_ns () - t0);
+        Metrics.observe_ns h_latency (Clock.now_ns () - t0);
         (match result with
         | Some reason ->
           Metrics.incr c_failures;

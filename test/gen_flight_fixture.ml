@@ -1,0 +1,30 @@
+(* Emit a deterministic flight-recorder Chrome dump on stdout.
+
+   Timestamps are fed in fixed (origin-relative output depends only on
+   deltas), so the rendered trace is byte-stable and diffed against
+   flight_fixture.golden.trace.json — the shared fixture proving that a
+   flight dump and a solver trace satisfy the same trace-event schema
+   (`wl trace-check` accepts both). *)
+
+module Flight = Wl_obs.Flight
+
+let () =
+  let f = Flight.create ~capacity:16 ~tid:1 () in
+  List.iteri
+    (fun i (kind, outcome, arcs, palette, pi) ->
+      Flight.record f kind outcome
+        ~t_ns:(5_000_000 + (i * 250_000))
+        ~dur_ns:(1_200 + (i * 340))
+        ~arcs ~palette ~pi)
+    [
+      (Flight.Full_solve, Flight.Ok, 0, 3, 3);
+      (Flight.Add_path, Flight.Warm_hit, 4, 3, 3);
+      (Flight.Add_path, Flight.Fresh_color, 2, 4, 4);
+      (Flight.Add_path, Flight.Repair, 5, 4, 4);
+      (Flight.Remove_path, Flight.Warm_remove, 2, 4, 4);
+      (Flight.Remove_path, Flight.Shrink, 5, 3, 3);
+      (Flight.Add_arc, Flight.Ok, 1, 3, 3);
+      (Flight.Add_path, Flight.Rejected, 0, 3, 3);
+      (Flight.Audit, Flight.Failed, 0, 3, 3);
+    ];
+  print_string (Flight.to_chrome f)

@@ -101,13 +101,27 @@ let test_engine_warm_ops_zero_alloc () =
   for _ = 1 to 500 do
     Engine.remove_path_exn session (Engine.add_dipath_exn session p)
   done;
+  let flight_before = Wl_obs.Flight.total (Engine.flight session) in
+  let hdr_before =
+    let h = Engine.health session in
+    h.Engine.add_latency.Wl_obs.Hdr.count
+  in
   let dw =
     minor_delta (fun () ->
         for _ = 1 to 100 do
           Engine.remove_path_exn session (Engine.add_dipath_exn session p)
         done)
   in
-  check_float "warm add/remove allocates nothing" 0. dw
+  check_float "warm add/remove allocates nothing" 0. dw;
+  (* The always-on observability was live for every measured op: the
+     flight ring and the HDR latency histogram both advanced inside the
+     zero-allocation window — recording really is free. *)
+  check_int "flight recorded each measured op"
+    (flight_before + 200)
+    (Wl_obs.Flight.total (Engine.flight session));
+  check_int "hdr recorded each measured add" (hdr_before + 100)
+    (let h = Engine.health session in
+     h.Engine.add_latency.Wl_obs.Hdr.count)
 
 (* --- the gate's allocation arm ---------------------------------------------- *)
 

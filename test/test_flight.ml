@@ -1,0 +1,231 @@
+(* Flight recorder: ring semantics, dump formats, the auto-dump latch,
+   and the engine wiring (every session carries one; a failing audit or a
+   rejected op trips the dump handler with the op tail that led there).
+
+   The JSONL dump is the replayable record: of_jsonl must reproduce the
+   entry list byte-for-byte-equivalently, and the Chrome dump must pass
+   the same validator as solver traces so one `wl trace-check` serves
+   both. *)
+
+open Helpers
+module Flight = Wl_obs.Flight
+module Trace = Wl_obs.Trace
+module Engine = Wl_engine.Engine
+module Instance = Wl_core.Instance
+
+let check_float = Alcotest.(check (float 0.))
+
+let kinds = [| Flight.Add_path; Flight.Remove_path; Flight.Add_arc;
+               Flight.Full_solve; Flight.Audit |]
+
+let outcomes =
+  [| Flight.Warm_hit; Flight.Fresh_color; Flight.Repair; Flight.Fallback;
+     Flight.Dirty; Flight.Warm_remove; Flight.Shrink; Flight.Ok;
+     Flight.Rejected; Flight.Failed |]
+
+let record_n f n =
+  for i = 0 to n - 1 do
+    Flight.record f
+      kinds.(i mod Array.length kinds)
+      outcomes.(i mod Array.length outcomes)
+      ~t_ns:(1_000_000 + (i * 1000))
+      ~dur_ns:(i * 10) ~arcs:(i mod 7) ~palette:(i mod 5) ~pi:(i mod 5)
+  done
+
+let test_ring_retention () =
+  let f = Flight.create ~capacity:16 () in
+  check_int "capacity rounds to a power of two" 16 (Flight.capacity f);
+  record_n f 40;
+  check_int "lifetime count" 40 (Flight.total f);
+  let es = Flight.entries f in
+  check_int "holds the last capacity ops" 16 (List.length es);
+  let seqs = List.map (fun e -> e.Flight.seq) es in
+  check "oldest retained is total - capacity" true
+    (seqs = List.init 16 (fun i -> 24 + i));
+  (* Field round-trip through the packed ring, including the relative
+     timestamp (origin = first recorded t_ns). *)
+  List.iter
+    (fun e ->
+      let i = e.Flight.seq in
+      check_int "t_ns relative to origin" (i * 1000) e.Flight.t_ns;
+      check_int "dur" (i * 10) e.Flight.dur_ns;
+      check "kind" true (e.Flight.kind = kinds.(i mod 5));
+      check "outcome" true (e.Flight.outcome = outcomes.(i mod 10));
+      check_int "arcs" (i mod 7) e.Flight.arcs;
+      check_int "palette" (i mod 5) e.Flight.palette;
+      check_int "pi" (i mod 5) e.Flight.pi)
+    es;
+  check_int "last=4 trims" 4 (List.length (Flight.entries ~last:4 f))
+
+let test_jsonl_roundtrip () =
+  let f = Flight.create ~capacity:32 () in
+  record_n f 50;
+  match Flight.of_jsonl (Flight.to_jsonl f) with
+  | Error e -> Alcotest.fail ("of_jsonl: " ^ e)
+  | Ok replayed ->
+    check "JSONL replays the recorded op tail exactly" true
+      (replayed = Flight.entries f)
+
+let test_jsonl_rejects_garbage () =
+  (match Flight.of_jsonl "{\"seq\": 0}\n" with
+  | Error e -> check "missing fields located" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "accepted a truncated record");
+  match
+    Flight.of_jsonl
+      "{\"seq\": 0, \"t_ns\": 0, \"dur_ns\": 0, \"op\": \"warp\", \
+       \"outcome\": \"ok\", \"arcs\": 0, \"palette\": 0, \"pi\": 0}\n"
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted an unknown op kind"
+
+let test_chrome_dump_validates () =
+  let f = Flight.create ~capacity:64 ~tid:3 () in
+  record_n f 20;
+  match Trace.validate_chrome (Flight.to_chrome f) with
+  | Ok n -> check_int "one event per retained op" 20 n
+  | Error e -> Alcotest.fail ("chrome dump rejected: " ^ e)
+
+let test_trigger_latch () =
+  let fired = ref [] in
+  Flight.set_dump_handler
+    (Some (fun ~reason _ -> fired := reason :: !fired));
+  Fun.protect
+    ~finally:(fun () -> Flight.set_dump_handler None)
+    (fun () ->
+      let f = Flight.create () in
+      check "not dumped initially" false (Flight.dumped f);
+      Flight.trigger ~reason:"first" f;
+      Flight.trigger ~reason:"second" f;
+      check "latched after the first trigger" true (Flight.dumped f);
+      check "handler ran exactly once" true (!fired = [ "first" ]);
+      Flight.rearm f;
+      Flight.trigger ~reason:"third" f;
+      check "rearm re-enables the dump" true (!fired = [ "third"; "first" ]))
+
+(* --- engine wiring ----------------------------------------------------------- *)
+
+let churn session pool rounds =
+  Array.iteri
+    (fun i p ->
+      if i < rounds then
+        Engine.remove_path_exn session (Engine.add_dipath_exn session p))
+    pool
+
+let test_engine_audit_failure_dumps () =
+  let captured = ref None in
+  Flight.set_dump_handler
+    (Some
+       (fun ~reason f ->
+         captured := Some (reason, Flight.to_jsonl f, Flight.to_chrome f)));
+  Fun.protect
+    ~finally:(fun () -> Flight.set_dump_handler None)
+    (fun () ->
+      let inst = random_nic_instance ~n:30 ~k:12 5 in
+      let s = Engine.create inst in
+      churn s (Instance.paths inst) 8;
+      check "audit passes on a healthy session" true (Engine.audit s = Ok ());
+      check "no dump yet" true (!captured = None);
+      Engine.corrupt_for_testing s;
+      (match Engine.audit s with
+      | Ok () -> Alcotest.fail "audit passed on a corrupted session"
+      | Error _ -> ());
+      match !captured with
+      | None -> Alcotest.fail "failing audit did not trigger a flight dump"
+      | Some (reason, jsonl, chrome) ->
+        check "reason names the audit" true
+          (String.length reason >= 5 && String.sub reason 0 5 = "audit");
+        (* The chrome dump passes the shared validator... *)
+        (match Trace.validate_chrome chrome with
+        | Ok n -> check "dump has the op tail" true (n > 0)
+        | Error e -> Alcotest.fail ("dump trace invalid: " ^ e));
+        (* ...and the JSONL replays the tail, ending in the audit event. *)
+        (match Flight.of_jsonl jsonl with
+        | Error e -> Alcotest.fail ("dump jsonl invalid: " ^ e)
+        | Ok entries ->
+          check "tail replays" true (entries <> []);
+          let last = List.nth entries (List.length entries - 1) in
+          check "last op is the failed audit" true
+            (last.Flight.kind = Flight.Audit
+            && last.Flight.outcome = Flight.Failed));
+        check "session flight latched" true (Flight.dumped (Engine.flight s)))
+
+let test_engine_rejection_dumps () =
+  let fired = ref 0 in
+  Flight.set_dump_handler (Some (fun ~reason:_ _ -> incr fired));
+  Fun.protect
+    ~finally:(fun () -> Flight.set_dump_handler None)
+    (fun () ->
+      let inst = random_nic_instance ~n:20 ~k:6 11 in
+      let s = Engine.create inst in
+      (match Engine.remove_path s 999_999 with
+      | Ok () -> Alcotest.fail "bogus handle accepted"
+      | Error _ -> ());
+      check_int "rejected op trips the dump latch" 1 !fired;
+      (* Latched: a second rejection does not spam the handler. *)
+      (match Engine.remove_path s 999_998 with Ok () -> () | Error _ -> ());
+      check_int "dump latch holds" 1 !fired)
+
+let test_engine_health () =
+  let inst = random_nic_instance ~n:40 ~k:15 3 in
+  let s = Engine.create inst in
+  ignore (Engine.report s);
+  (* solved: the churn below runs warm *)
+  let pool = Instance.paths inst in
+  churn s pool 15;
+  let h = Engine.health s in
+  check "healthy after warm churn" true h.Engine.healthy;
+  check "slo not tripped" false h.Engine.slo.Wl_obs.Hdr.Slo.tripped;
+  check "adds were measured" true (h.Engine.add_latency.Wl_obs.Hdr.count >= 15);
+  check "removes were measured" true
+    (h.Engine.remove_latency.Wl_obs.Hdr.count >= 15);
+  check "warm lifetime rate positive" true (h.Engine.warm_hit_lifetime > 0.);
+  check "no fallback streak" true (h.Engine.fallback_streak = 0);
+  check "no warm drop" false h.Engine.warm_drop;
+  (* The ops we just ran are in the flight ring. *)
+  check "flight recorded the churn" true
+    (Flight.total (Engine.flight s) >= 30);
+  (* pp_health renders without raising and names the SLO. *)
+  let rendered = Format.asprintf "%a" Engine.pp_health h in
+  check "pp_health mentions slo" true
+    (let rec at i =
+       i + 3 <= String.length rendered
+       && (String.sub rendered i 3 = "slo" || at (i + 1))
+     in
+     at 0)
+
+let minor_delta f =
+  let w0 = Gc.minor_words () in
+  f ();
+  Gc.minor_words () -. w0
+
+let test_record_zero_alloc () =
+  let f = Flight.create ~capacity:256 () in
+  record_n f 100;
+  let dw =
+    minor_delta (fun () ->
+        for i = 1 to 1000 do
+          Flight.record f Flight.Add_path Flight.Warm_hit ~t_ns:(i * 100)
+            ~dur_ns:50 ~arcs:3 ~palette:2 ~pi:2
+        done)
+  in
+  check_float "Flight.record allocates nothing" 0. dw
+
+let suite =
+  [
+    ( "flight",
+      [
+        Alcotest.test_case "ring retention" `Quick test_ring_retention;
+        Alcotest.test_case "jsonl roundtrip" `Quick test_jsonl_roundtrip;
+        Alcotest.test_case "jsonl rejects garbage" `Quick
+          test_jsonl_rejects_garbage;
+        Alcotest.test_case "chrome dump validates" `Quick
+          test_chrome_dump_validates;
+        Alcotest.test_case "trigger latch" `Quick test_trigger_latch;
+        Alcotest.test_case "engine audit failure dumps" `Quick
+          test_engine_audit_failure_dumps;
+        Alcotest.test_case "engine rejection dumps" `Quick
+          test_engine_rejection_dumps;
+        Alcotest.test_case "engine health" `Quick test_engine_health;
+        Alcotest.test_case "record zero-alloc" `Quick test_record_zero_alloc;
+      ] );
+  ]

@@ -312,11 +312,11 @@ let test_sweep_latency_histogram () =
       let case = List.assoc "thm1" Sweeps.all in
       let failures = Sweeps.run ~seeds:10 case in
       check "sweep clean" true (failures = []);
-      match Metrics.find_histogram "sweep.thm1.ns" with
+      match Metrics.find_latency "sweep.thm1.ns" with
       | None -> Alcotest.fail "sweep.thm1.ns not populated"
       | Some s ->
-        check_int "one latency sample per seed" 10 s.Metrics.count;
-        check "latencies positive" true (s.Metrics.min > 0))
+        check_int "one latency sample per seed" 10 s.Wl_obs.Hdr.count;
+        check "latencies positive" true (s.Wl_obs.Hdr.min > 0))
 
 let test_solver_counters_and_provenance () =
   let inst = random_nic_instance ~n:24 ~k:16 3 in
@@ -345,6 +345,76 @@ let test_solver_counters_and_provenance () =
     (contains (render true) "(from ");
   check "stats report appends counters" true
     (contains (render true) "counters:")
+
+(* --- parallel rollup --------------------------------------------------------- *)
+
+let test_parallel_rollup_clamped () =
+  (* Clock granularity can report zero-duration parallel sections (busy
+     observed, wall = 0) and a 1-domain run books the caller's work as
+     both wall and busy; either used to read as utilization > 100%.
+     Synthesize both shapes straight into the parallel.* metrics. *)
+  with_metrics (fun () ->
+      let wall = Metrics.histogram "parallel.map_wall_ns" in
+      let busy = Metrics.histogram "parallel.domain_busy_ns" in
+      let workers = Metrics.counter "parallel.workers_spawned" in
+      (* One map, one spawned worker, busy time far above wall * domains. *)
+      Metrics.observe wall 10;
+      Metrics.observe busy 10_000;
+      Metrics.add workers 1;
+      (match Prof.parallel_rollup () with
+      | None -> Alcotest.fail "rollup missing"
+      | Some r ->
+        check "utilization clamped to <= 1" true (r.Prof.utilization <= 1.);
+        check "utilization clamped to >= 0" true (r.Prof.utilization >= 0.));
+      (* Zero-duration sections: wall sum 0 must read 0%, not infinity. *)
+      Metrics.reset ();
+      Metrics.observe wall 0;
+      Metrics.observe busy 500;
+      match Prof.parallel_rollup () with
+      | None -> Alcotest.fail "rollup missing after reset"
+      | Some r ->
+        Alcotest.(check (float 0.)) "zero wall reads 0%" 0. r.Prof.utilization)
+
+(* --- openmetrics ------------------------------------------------------------- *)
+
+let test_openmetrics_render_validates () =
+  with_metrics (fun () ->
+      let c = Metrics.counter "om.test.solves" in
+      let h = Metrics.histogram "om.test.flips" in
+      let l = Metrics.latency "om.test.ns" in
+      Metrics.add c 3;
+      List.iter (Metrics.observe h) [ 1; 2; 500 ];
+      List.iter (Metrics.observe_ns l) [ 100; 2000; 90_000 ];
+      let doc =
+        Wl_obs.Openmetrics.render
+          ~gauges:[ ("om.test.sessions", 2.) ]
+          ~latencies:[ ("om.test.extra.ns", Wl_obs.Hdr.snapshot (Wl_obs.Hdr.create ())) ]
+          (Metrics.snapshot ())
+      in
+      match Wl_obs.Openmetrics.validate doc with
+      | Error e -> Alcotest.fail ("rendered exposition rejected: " ^ e)
+      | Ok st ->
+        (* counter + histogram + latency + gauge + standalone latency *)
+        check "families" true (st.Wl_obs.Openmetrics.families >= 5);
+        check "samples" true (st.Wl_obs.Openmetrics.samples > 10))
+
+let test_openmetrics_validator_rejects () =
+  let reject doc why =
+    match Wl_obs.Openmetrics.validate doc with
+    | Ok _ -> Alcotest.fail ("accepted " ^ why)
+    | Error _ -> ()
+  in
+  reject "wl_x_total 1\n# EOF\n" "a sample without a TYPE";
+  reject "# TYPE wl_x counter\nwl_x_total 1\n" "a document without EOF";
+  reject "# TYPE wl_x counter\nwl_x_total 1\n# EOF\ntrailing\n"
+    "content after EOF";
+  reject "# TYPE wl_x counter\nwl_x{quantile=\"0.5\"} 1\n# EOF\n"
+    "a quantile sample on a counter";
+  reject "# TYPE wl_x counter\n# TYPE wl_x counter\nwl_x_total 1\n# EOF\n"
+    "a duplicate TYPE";
+  match Wl_obs.Openmetrics.validate "# TYPE wl_x counter\nwl_x_total 1\n# EOF\n" with
+  | Ok st -> check_int "minimal doc is one family" 1 st.Wl_obs.Openmetrics.families
+  | Error e -> Alcotest.fail ("rejected a minimal valid doc: " ^ e)
 
 let suite =
   [
@@ -376,5 +446,11 @@ let suite =
           test_prof_aggregates_and_mirror;
         Alcotest.test_case "prof: self time excludes children" `Quick
           test_prof_self_time_excludes_children;
+        Alcotest.test_case "prof: parallel rollup clamped" `Quick
+          test_parallel_rollup_clamped;
+        Alcotest.test_case "openmetrics render validates" `Quick
+          test_openmetrics_render_validates;
+        Alcotest.test_case "openmetrics validator rejects" `Quick
+          test_openmetrics_validator_rejects;
       ] );
   ]

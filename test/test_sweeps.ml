@@ -62,9 +62,9 @@ let test_instrumentation () =
   check_int "failures returned" 4 (List.length failures);
   check_int "seeds counter" 10 (counter "seeds");
   check_int "failures counter" (List.length failures) (counter "failures");
-  (match Metrics.find_histogram "sweep.testcase.ns" with
-  | None -> Alcotest.fail "latency histogram missing"
-  | Some h -> check_int "latency observations" 10 h.Metrics.count);
+  (match Metrics.find_latency "sweep.testcase.ns" with
+  | None -> Alcotest.fail "latency summary missing"
+  | Some h -> check_int "latency observations" 10 h.Wl_obs.Hdr.count);
   let events = Trace.events sink in
   let instant_seeds =
     List.filter_map
