@@ -10,6 +10,14 @@
                [SWEEP..]
    Sweeps: thm1 thm2 thm6 thm6multi casec grooming all (default: all)
 
+   Daemon load generator (wavelength-assignment-as-a-service):
+     --daemon ADDR  replay an add/remove churn against a running `wl wld`
+                    daemon instead of running sweeps; with
+                    [--sessions N] [--client-threads T] [--ops K] [--seed S]
+                    [--json] [--record TRAJECTORY.jsonl] [--metrics-out PATH]
+                    publishes p50/p99 op latency and the warm-hit rate, and
+                    --record appends them as the serve/churn bench arm
+
    --metrics      collect and print solver-internals counters at the end
    --metrics-out PATH
                   also collect counters and write them as an OpenMetrics
@@ -26,6 +34,174 @@ module Sweeps = Wl_validate.Sweeps
 module Parallel = Wl_util.Parallel
 module Metrics = Wl_obs.Metrics
 module Trace = Wl_obs.Trace
+module Client = Wl_serve.Client
+module Hdr = Wl_obs.Hdr
+module Prng = Wl_util.Prng
+
+(* --- daemon load generator (--daemon ADDR) ---------------------------------
+
+   Replays a Traffic-style add/remove churn against a running wld daemon:
+   [sessions] tenants multiplexed over [threads] client connections, each
+   tenant an independent engine session server-side.  Publishes p50/p99 op
+   latency and the warm-hit rate, and with --record appends them as a
+   serve/* arm to the bench trajectory (the PR 5 dashboard picks the arm
+   up from there). *)
+
+let daemon_fail fmt = Printf.ksprintf (fun m -> prerr_endline ("stress: " ^ m); exit 74) fmt
+
+let or_daemon_fail ~ctx = function
+  | Ok v -> v
+  | Error e -> daemon_fail "%s: %s" ctx (Wl_core.Error.to_string e)
+
+type daemon_result = {
+  wall_s : float;
+  total_ops : int;
+  p50_ns : int;
+  p99_ns : int;
+  warm_hit_rate : float;
+  latencies_ns : float list;
+}
+
+let run_daemon ~addr ~sessions ~threads ~ops ~seed ~json =
+  let rng = Prng.create seed in
+  (* a rooted tree has no internal cycle, so the engine's warm paths stay
+     live — the steady state whose p50/p99 the arm is meant to track *)
+  let dag = Wl_netgen.Generators.random_rooted_tree rng 48 in
+  let reqs = Wl_netgen.Traffic.uniform rng dag 64 in
+  let pool =
+    match Wl_core.Routing.route_shortest dag reqs with
+    | Ok [] | Error _ -> daemon_fail "could not route a churn pool"
+    | Ok paths -> Array.of_list (List.map Wl_digraph.Dipath.vertices paths)
+  in
+  let base = Wl_core.Instance.make dag [] in
+  let tenant k = Printf.sprintf "t%05d" k in
+  let hdrs = Array.init threads (fun _ -> Hdr.create ()) in
+  let lats = Array.make threads [] in
+  let warm = Array.make threads 0 and accepted = Array.make threads 0 in
+  let errors = Array.make threads 0 in
+  let worker i () =
+    let client = or_daemon_fail ~ctx:addr (Client.connect ~json addr) in
+    let rng = Prng.create (seed + 7919 * (i + 1)) in
+    let mine = ref [] in
+    let k = ref i in
+    while !k < sessions do
+      let s =
+        or_daemon_fail ~ctx:(tenant !k) (Client.open_session client ~tenant:(tenant !k) base)
+      in
+      mine := (s, ref []) :: !mine;
+      k := !k + threads
+    done;
+    let mine = Array.of_list !mine in
+    let timed f =
+      let t0 = Wl_obs.Clock.now_ns () in
+      let r = f () in
+      let dt = Wl_obs.Clock.now_ns () - t0 in
+      Hdr.record hdrs.(i) dt;
+      lats.(i) <- float_of_int dt :: lats.(i);
+      r
+    in
+    (* round-robin over this thread's tenants so the whole population stays
+       concurrently live on the daemon *)
+    for _round = 1 to ops do
+      Array.iter
+        (fun (s, live) ->
+          let n_live = List.length !live in
+          if n_live = 0 || Prng.bernoulli rng 0.6 then (
+            let vs = pool.(Prng.int rng (Array.length pool)) in
+            match timed (fun () -> Client.add_path s vs) with
+            | Ok pid -> live := pid :: !live
+            | Error _ -> errors.(i) <- errors.(i) + 1)
+          else
+            let pid = List.nth !live (Prng.int rng n_live) in
+            match timed (fun () -> Client.remove_path s pid) with
+            | Ok () -> live := List.filter (fun x -> x <> pid) !live
+            | Error _ -> errors.(i) <- errors.(i) + 1)
+        mine
+    done;
+    Array.iter
+      (fun (s, _) ->
+        match Client.stats s with
+        | Ok st ->
+          (* warm-handled fraction, as Engine.hit_rate counts it *)
+          warm.(i) <-
+            warm.(i) + st.Wl_engine.Engine.warm_hits + st.Wl_engine.Engine.fresh_colors
+            + st.Wl_engine.Engine.repairs + st.Wl_engine.Engine.warm_removes;
+          accepted.(i) <- accepted.(i) + st.Wl_engine.Engine.ops
+        | Error _ -> errors.(i) <- errors.(i) + 1)
+      mine;
+    Client.close client
+  in
+  let t0 = Unix.gettimeofday () in
+  let ths = Array.init threads (fun i -> Thread.create (worker i) ()) in
+  Array.iter Thread.join ths;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let merged = Hdr.create () in
+  Array.iter (fun h -> Hdr.merge_into ~dst:merged h) hdrs;
+  let total_ops = Hdr.count merged in
+  let total_errors = Array.fold_left ( + ) 0 errors in
+  if total_errors > 0 then daemon_fail "%d client operations failed" total_errors;
+  let warm_total = Array.fold_left ( + ) 0 warm in
+  let accepted_total = Array.fold_left ( + ) 0 accepted in
+  {
+    wall_s;
+    total_ops;
+    p50_ns = Hdr.quantile merged 0.5;
+    p99_ns = Hdr.quantile merged 0.99;
+    warm_hit_rate =
+      (if accepted_total = 0 then 1.0
+       else float_of_int warm_total /. float_of_int accepted_total);
+    latencies_ns = Array.fold_left (fun acc l -> List.rev_append l acc) [] lats;
+  }
+
+let record_daemon_arm ~path ~sessions ~threads ~ops r =
+  let module Store = Wl_obs.Store in
+  let point =
+    {
+      Store.name = "serve/churn";
+      params =
+        [ ("sessions", sessions); ("client_threads", threads); ("ops_per_session", ops) ];
+      extras =
+        [
+          ("p50_ns", float_of_int r.p50_ns);
+          ("p99_ns", float_of_int r.p99_ns);
+          ("warm_hit_rate", r.warm_hit_rate);
+          ("ops_per_s", float_of_int r.total_ops /. r.wall_s);
+        ];
+      sample = Store.summarize r.latencies_ns;
+      baseline_ns = None;
+      counters = [];
+    }
+  in
+  Store.append path (Store.make ~note:"serve churn" ~domains:threads [ point ]);
+  Printf.printf "stress: recorded serve/churn arm to %s\n%!" path
+
+let daemon_mode ~addr ~sessions ~threads ~ops ~seed ~json ~record ~metrics_out =
+  Printf.printf
+    "stress: daemon churn against %s: %d sessions, %d client threads, %d ops/session\n%!"
+    addr sessions threads ops;
+  if metrics_out <> None then Metrics.set_enabled true;
+  let r = run_daemon ~addr ~sessions ~threads ~ops ~seed ~json in
+  Printf.printf
+    "daemon     %6d sessions %8.2fs %8.0f op/s   p50 %s  p99 %s  warm %.0f%%\n%!"
+    sessions r.wall_s
+    (float_of_int r.total_ops /. r.wall_s)
+    (Printf.sprintf "%dns" r.p50_ns)
+    (Printf.sprintf "%dns" r.p99_ns)
+    (100. *. r.warm_hit_rate);
+  Option.iter (fun path -> record_daemon_arm ~path ~sessions ~threads ~ops r) record;
+  (match metrics_out with
+  | None -> ()
+  | Some path ->
+    Metrics.set_enabled false;
+    Cli_common.write_metrics ~progname:"stress"
+      ~gauges:
+        [
+          ("stress.daemon.sessions", float_of_int sessions);
+          ("stress.daemon.ops", float_of_int r.total_ops);
+          ("stress.daemon.warm_hit_rate", r.warm_hit_rate);
+        ]
+      path);
+  exit 0
 
 (* Minimize the first failing seed of a sweep and print the reduced
    instance.  The sweep's property can stop applying as the shrinker
@@ -94,6 +270,9 @@ let () =
   let metrics_out = ref None in
   let shrink = ref false in
   let chosen = ref [] in
+  let daemon = ref None in
+  let sessions = ref 1000 and client_threads = ref 8 and ops = ref 32 in
+  let seed = ref 1 and json = ref false and record = ref None in
   let rec parse = function
     | [] -> ()
     | "--seeds" :: v :: rest ->
@@ -114,6 +293,27 @@ let () =
     | "--shrink" :: rest ->
       shrink := true;
       parse rest
+    | "--daemon" :: v :: rest ->
+      daemon := Some v;
+      parse rest
+    | "--sessions" :: v :: rest ->
+      sessions := int_of_string v;
+      parse rest
+    | "--client-threads" :: v :: rest ->
+      client_threads := int_of_string v;
+      parse rest
+    | "--ops" :: v :: rest ->
+      ops := int_of_string v;
+      parse rest
+    | "--seed" :: v :: rest ->
+      seed := int_of_string v;
+      parse rest
+    | "--json" :: rest ->
+      json := true;
+      parse rest
+    | "--record" :: v :: rest ->
+      record := Some v;
+      parse rest
     | "all" :: rest -> parse rest
     | name :: rest ->
       (match List.assoc_opt name Sweeps.all with
@@ -124,6 +324,11 @@ let () =
       parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
+  (match !daemon with
+  | Some addr ->
+    daemon_mode ~addr ~sessions:!sessions ~threads:!client_threads ~ops:!ops
+      ~seed:!seed ~json:!json ~record:!record ~metrics_out:!metrics_out
+  | None -> ());
   let to_run = if !chosen = [] then Sweeps.all else List.rev !chosen in
   match !replay_seed with
   | Some seed ->
@@ -150,22 +355,12 @@ let () =
       match !metrics_out with
       | None -> ()
       | Some path ->
-        let doc =
-          Wl_obs.Openmetrics.render
-            ~gauges:
-              [
-                ("stress.seeds_per_sweep", float_of_int !seeds);
-                ("stress.domains", float_of_int !domains);
-              ]
-            (Metrics.snapshot ())
-        in
-        if path = "-" then print_string doc
-        else begin
-          let oc = open_out path in
-          output_string oc doc;
-          close_out oc;
-          Printf.printf "stress: wrote OpenMetrics exposition to %s (%d bytes)\n"
-            path (String.length doc)
-        end
+        Cli_common.write_metrics ~progname:"stress"
+          ~gauges:
+            [
+              ("stress.seeds_per_sweep", float_of_int !seeds);
+              ("stress.domains", float_of_int !domains);
+            ]
+          path
     end;
     exit (if ok then 0 else 1)

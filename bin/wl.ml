@@ -8,6 +8,7 @@
      generate KIND    emit a generated instance in the text format
      dot FILE         emit Graphviz DOT (wavelength-colored when --solve)
      top FILE         churn an engine session and watch health/latency live
+     wld ADDR         serve engine sessions over the wlrpc/1 wire protocol
      trace-check FILE validate a trace file against the trace-event schema
      metrics-check F  validate an OpenMetrics exposition (from --metrics-out)
 
@@ -168,7 +169,7 @@ let generate_cmd =
   let param =
     Arg.(value & opt int 4 & info [ "k"; "param" ] ~docv:"N" ~doc:"Size parameter.")
   in
-  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let seed = Cli_common.seed_arg () in
   Cmd.v
     (Cmd.info "generate" ~doc:"Emit a generated instance in the text format.")
     Term.(const generate $ kind $ param $ seed)
@@ -317,24 +318,7 @@ let witness_cmd =
 
 (* --- session --- *)
 
-(* Install a process-wide flight-dump handler writing PREFIX.jsonl (the
-   replayable op tail) and PREFIX.trace.json (chrome trace-event, accepted
-   by [wl trace-check]).  Shared by `wl session --flight-dump` and the CI
-   audit-failure smoke. *)
-let install_flight_dump prefix =
-  let write path text =
-    let oc = open_out path in
-    output_string oc text;
-    close_out oc
-  in
-  Wl_obs.Flight.set_dump_handler
-    (Some
-       (fun ~reason fl ->
-         write (prefix ^ ".jsonl") (Wl_obs.Flight.to_jsonl fl);
-         write (prefix ^ ".trace.json") (Wl_obs.Flight.to_chrome fl);
-         Printf.eprintf
-           "wl: flight dump (%s): wrote %s.jsonl and %s.trace.json (%d ops)\n%!"
-           reason prefix prefix (Wl_obs.Flight.total fl)))
+let install_flight_dump = Cli_common.install_flight_dump
 
 let session file ops_file budget quiet flight_dump inject_audit_failure =
   let module Engine = Wl_engine.Engine in
@@ -414,15 +398,13 @@ let session_cmd =
       & info [ "quiet" ] ~doc:"Only print the final report and engine stats.")
   in
   let flight_dump =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "flight-dump" ] ~docv:"PREFIX"
-          ~doc:
-            "Install a flight-recorder dump handler: when the session's \
-             auto-dump latch fires (failed audit, rejected op) write the op \
-             tail as $(docv).jsonl and $(docv).trace.json (the latter passes \
-             $(b,wl trace-check)).")
+    Cli_common.flight_dump_arg
+      ~doc:
+        "Install a flight-recorder dump handler: when the session's \
+         auto-dump latch fires (failed audit, rejected op) write the op \
+         tail as $(docv).jsonl and $(docv).trace.json (the latter passes \
+         $(b,wl trace-check))."
+      ()
   in
   let inject_audit_failure =
     Arg.(
@@ -969,34 +951,23 @@ let top file frames interval ops_per_frame seed budget metrics_out =
   | Some path ->
     let h = Engine.health s in
     let r = Engine.report s in
-    let doc =
-      Wl_obs.Openmetrics.render
-        ~gauges:
-          [
-            ("engine.session.paths", float_of_int (Engine.n_live_paths s));
-            ("engine.session.palette", float_of_int r.Solver.n_wavelengths);
-            ("engine.session.pi", float_of_int (Engine.pi s));
-            ("engine.session.warm_hit_recent", h.Engine.warm_hit_recent);
-            ( "engine.session.warm_hit_lifetime",
-              h.Engine.warm_hit_lifetime );
-            ( "engine.session.fallback_streak",
-              float_of_int h.Engine.fallback_streak );
-          ]
-        ~latencies:
-          [
-            ("engine.session.add.ns", h.Engine.add_latency);
-            ("engine.session.remove.ns", h.Engine.remove_latency);
-          ]
-        (Metrics.snapshot ())
-    in
-    if path = "-" then print_string doc
-    else begin
-      let oc = open_out path in
-      output_string oc doc;
-      close_out oc;
-      Printf.printf "wrote OpenMetrics exposition to %s (%d bytes)\n" path
-        (String.length doc)
-    end
+    Cli_common.write_metrics ~progname:"wl top"
+      ~gauges:
+        [
+          ("engine.session.paths", float_of_int (Engine.n_live_paths s));
+          ("engine.session.palette", float_of_int r.Solver.n_wavelengths);
+          ("engine.session.pi", float_of_int (Engine.pi s));
+          ("engine.session.warm_hit_recent", h.Engine.warm_hit_recent);
+          ("engine.session.warm_hit_lifetime", h.Engine.warm_hit_lifetime);
+          ( "engine.session.fallback_streak",
+            float_of_int h.Engine.fallback_streak );
+        ]
+      ~latencies:
+        [
+          ("engine.session.add.ns", h.Engine.add_latency);
+          ("engine.session.remove.ns", h.Engine.remove_latency);
+        ]
+      path
 
 let top_cmd =
   let frames =
@@ -1015,11 +986,7 @@ let top_cmd =
       value & opt int 256
       & info [ "ops" ] ~docv:"K" ~doc:"Engine ops applied per frame.")
   in
-  let seed =
-    Arg.(
-      value & opt int 0
-      & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed for the op mix.")
-  in
+  let seed = Cli_common.seed_arg ~default:0 ~doc:"PRNG seed for the op mix." () in
   let budget =
     Arg.(
       value
@@ -1028,14 +995,12 @@ let top_cmd =
           ~doc:"Warm-repair recolor budget (as in wl session).")
   in
   let metrics_out =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "metrics-out" ] ~docv:"PATH"
-          ~doc:
-            "After the last frame, write the OpenMetrics exposition \
-             (global counters plus this session's gauges and latency \
-             summaries) to $(docv) ($(b,-) for stdout).")
+    Cli_common.metrics_out_arg
+      ~doc:
+        "After the last frame, write the OpenMetrics exposition (global \
+         counters plus this session's gauges and latency summaries) to \
+         $(docv) ($(b,-) for stdout)."
+      ()
   in
   Cmd.v
     (Cmd.info "top"
@@ -1047,6 +1012,120 @@ let top_cmd =
       const top $ file_arg $ frames $ interval $ ops $ seed $ budget
       $ metrics_out)
 
+(* --- wld --- *)
+
+let wld addr shards max_queue flight_capacity metrics_out health_dump
+    flight_dump =
+  let module Engine = Wl_engine.Engine in
+  let module Shard = Wl_serve.Shard in
+  let module Server = Wl_serve.Server in
+  let address = or_die_e ~ctx:addr (Server.address_of_string addr) in
+  Option.iter install_flight_dump flight_dump;
+  if metrics_out <> None then Metrics.set_enabled true;
+  let shard = Shard.create ~flight_capacity ~shards ~max_queue () in
+  let srv = or_die_e ~ctx:addr (Server.serve ~shard address) in
+  Printf.eprintf "wld: serving wlrpc/%d on %s (%d shards, queue %d)\n%!"
+    Wl_serve.Proto.version
+    (Server.address_to_string address)
+    shards max_queue;
+  let stop _ = Server.request_stop srv in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let sessions = Server.wait srv in
+  Printf.eprintf "wld: drained %d sessions\n%!" (List.length sessions);
+  (* per-session health listing: the artifact the drain promises *)
+  let buf = Buffer.create 1024 in
+  let fmt = Format.formatter_of_buffer buf in
+  List.iter
+    (fun (tenant, s) ->
+      Format.fprintf fmt "tenant %s@,%a@," tenant Engine.pp_health
+        (Engine.health s))
+    sessions;
+  Format.pp_print_flush fmt ();
+  (match health_dump with
+  | None -> ()
+  | Some path ->
+    Cli_common.write_text ~progname:"wld" ~what:"session health listing" path
+      (Buffer.contents buf));
+  (* flight recorders survive the drain quiesced: dump through the shared
+     handler so the traces pass wl trace-check like any other dump *)
+  if flight_dump <> None then
+    List.iter
+      (fun (tenant, s) ->
+        let fl = Engine.flight s in
+        Wl_obs.Flight.rearm fl;
+        Wl_obs.Flight.trigger ~reason:("drain " ^ tenant) fl)
+      sessions;
+  (match metrics_out with
+  | None -> ()
+  | Some path ->
+    Metrics.set_enabled false;
+    Cli_common.write_metrics ~progname:"wld"
+      ~gauges:
+        [
+          ("wld.shards", float_of_int shards);
+          ("wld.sessions_at_drain", float_of_int (List.length sessions));
+        ]
+      path);
+  exit 0
+
+let wld_cmd =
+  let addr =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ADDR"
+          ~doc:
+            "Listen address: $(b,unix:PATH) or $(b,tcp:HOST:PORT) (a bare \
+             path counts as unix, a bare HOST:PORT as tcp).")
+  in
+  let shards =
+    Arg.(
+      value & opt int 4
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Engine worker domains; sessions are hash-partitioned over \
+             them by tenant id.")
+  in
+  let max_queue =
+    Arg.(
+      value & opt int 1024
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Per-shard request queue bound; producers block (backpressure) \
+             when a shard is this far behind.")
+  in
+  let flight_capacity =
+    Arg.(
+      value & opt int 256
+      & info [ "flight-capacity" ] ~docv:"N"
+          ~doc:
+            "Flight-recorder ring size per session (smaller than the \
+             embedded default so thousands of sessions stay cheap).")
+  in
+  let metrics_out = Cli_common.metrics_out_arg () in
+  let health_dump =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "health-dump" ] ~docv:"PATH"
+          ~doc:
+            "On drain, write the per-tenant engine health listing to \
+             $(docv) ($(b,-) for stdout).")
+  in
+  let flight_dump = Cli_common.flight_dump_arg () in
+  Cmd.v
+    (Cmd.info "wld"
+       ~doc:
+         "Serve wavelength assignment over the wlrpc/1 protocol: a \
+          long-lived daemon sharding engine sessions across domains, with \
+          graceful drain on SIGTERM (stop accepting, flush shards, dump \
+          per-session health).")
+    Term.(
+      const wld $ addr $ shards $ max_queue $ flight_capacity $ metrics_out
+      $ health_dump $ flight_dump)
+
 let () =
   let info =
     Cmd.info "wl" ~version:"1.0.0"
@@ -1057,6 +1136,6 @@ let () =
        (Cmd.group info
           [
             analyze_cmd; color_cmd; generate_cmd; dot_cmd; svg_cmd; groom_cmd;
-            witness_cmd; verify_cmd; session_cmd; top_cmd; fuzz_cmd;
+            witness_cmd; verify_cmd; session_cmd; top_cmd; wld_cmd; fuzz_cmd;
             bench_cmd; report_cmd; trace_check_cmd; metrics_check_cmd;
           ]))

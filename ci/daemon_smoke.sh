@@ -1,0 +1,36 @@
+#!/bin/sh
+# Daemon smoke: launch wld on a unix socket, drive session churn through
+# the result-typed client, SIGTERM, and assert a clean graceful drain —
+# exit 0, scrapeable OpenMetrics expositions on both sides, a validating
+# flight trace and a non-empty per-tenant health listing left behind.
+set -eu
+
+WL=$1
+STRESS=$2
+SOCK=./wld_smoke.sock
+
+"$WL" wld "unix:$SOCK" --shards 2 --metrics-out wld_smoke_metrics.txt \
+  --health-dump wld_smoke_health.txt --flight-dump wld_smoke_flight &
+WLD_PID=$!
+
+i=0
+while [ ! -S "$SOCK" ]; do
+  i=$((i + 1))
+  if [ $i -gt 100 ]; then
+    echo "daemon never bound $SOCK" >&2
+    kill "$WLD_PID" 2>/dev/null || true
+    exit 1
+  fi
+  sleep 0.1
+done
+
+"$STRESS" --daemon "unix:$SOCK" --sessions 64 --client-threads 4 --ops 8 \
+  --metrics-out stress_daemon_metrics.txt
+
+kill -TERM "$WLD_PID"
+wait "$WLD_PID"
+
+"$WL" metrics-check wld_smoke_metrics.txt
+"$WL" metrics-check stress_daemon_metrics.txt
+"$WL" trace-check wld_smoke_flight.trace.json
+test -s wld_smoke_health.txt

@@ -7,6 +7,9 @@ module Path_gen = Wl_netgen.Path_gen
 module Prng = Wl_util.Prng
 module Classify = Wl_dag.Classify
 module Sweeps = Wl_validate.Sweeps
+module Client = Wl_serve.Client
+module Proto = Wl_serve.Proto
+module Wire = Wl_serve.Wire
 
 type t = {
   name : string;
@@ -376,6 +379,357 @@ let invariants =
     check;
   }
 
+(* --- client_vs_engine -------------------------------------------------------- *)
+
+let errs = Error.to_string
+
+let rec first f = function
+  | [] -> None
+  | x :: rest -> ( match f x with Some _ as s -> s | None -> first f rest)
+
+(* An engine batch as the client sees it across the wire. *)
+let wire_outcomes (b : Engine.batch) =
+  Array.map (Result.map Proto.outcome_of_engine) b.Engine.outcomes
+
+let client_vs_engine =
+  let generate seed =
+    let rng = Prng.create seed in
+    let dag = Generators.gnp_no_internal_cycle rng 12 0.25 in
+    let inst = Path_gen.random_instance rng dag 5 in
+    let ops =
+      random_ops rng (Instance.graph inst)
+        ~n_initial:(Instance.n_paths inst) ~count:12
+    in
+    Subject.make ~ops inst
+  in
+  (* One loopback client (sync shard, full codec round trip on every call)
+     against one bare engine session, op for op.  Statistics must agree
+     exactly: the sync shard batches nothing, so the service boundary adds
+     no observable behavior of its own. *)
+  let check_encoding ~json (s : Subject.t) =
+    let inst = s.Subject.inst in
+    let tag = if json then "json" else "text" in
+    let fail fmt = Printf.ksprintf Option.some fmt in
+    let c = Client.local ~json () in
+    Fun.protect ~finally:(fun () -> try Client.close c with _ -> ())
+    @@ fun () ->
+    match Client.session c ~tenant:"no spaces!" with
+    | Ok _ -> fail "%s: invalid tenant id accepted" tag
+    | Error e when (match e with Error.Precondition _ -> false | _ -> true) ->
+      fail "%s: invalid tenant rejected with %s, want Precondition" tag
+        (errs e)
+    | Error _ -> (
+      match Client.open_session c ~tenant:"oracle" inst with
+      | Error e -> fail "%s: open failed: %s" tag (errs e)
+      | Ok csess ->
+        let eng = Engine.create inst in
+        (* [Open] replies with a report, so the service session has seen
+           one [Engine.report] before any op; keep the arms aligned. *)
+        ignore (Engine.report eng);
+        let rec steps step = function
+          | [] -> None
+          | op :: rest -> (
+            let b = Engine.submit eng [ op ] in
+            match Client.submit csess [ op ] with
+            | Error e ->
+              fail "%s: submit failed at op %d: %s" tag step (errs e)
+            | Ok r ->
+              if r.Client.outcomes <> wire_outcomes b then
+                fail "%s: outcomes diverged at op %d" tag step
+              else if
+                r.Client.after <> Proto.report_of_solver b.Engine.batch_report
+              then fail "%s: batch report diverged at op %d" tag step
+              else if Client.stats csess <> Ok (Engine.stats eng) then
+                fail "%s: stats diverged at op %d" tag step
+              else steps (step + 1) rest)
+        in
+        let colors () =
+          (* One id past anything live: dead-handle errors must round-trip
+             identically too. *)
+          let n_ids = Instance.n_paths inst + List.length s.Subject.ops + 1 in
+          let rec go i =
+            if i >= n_ids then None
+            else if Client.color_of csess i <> Engine.color_of eng i then
+              fail "%s: color_of %d diverged" tag i
+            else go (i + 1)
+          in
+          go 0
+        in
+        let finale () =
+          if
+            Client.report csess
+            <> Ok (Proto.report_of_solver (Engine.report eng))
+          then fail "%s: final report diverged" tag
+          else if Client.pi csess <> Ok (Engine.pi eng) then
+            fail "%s: pi diverged" tag
+          else
+            match Client.snapshot csess with
+            | Error e -> fail "%s: snapshot failed: %s" tag (errs e)
+            | Ok snap ->
+              if not (same_instance snap (Engine.instance eng)) then
+                fail "%s: snapshot instance diverged" tag
+              else (
+                match Client.health csess with
+                | Error e -> fail "%s: health failed: %s" tag (errs e)
+                | Ok _ -> (
+                  match Client.evict csess with
+                  | Error e -> fail "%s: evict failed: %s" tag (errs e)
+                  | Ok () -> (
+                    match Client.pi csess with
+                    | Error (Error.Invalid_op _) -> None
+                    | Ok _ -> fail "%s: evicted session still answers" tag
+                    | Error e ->
+                      fail "%s: evicted session answered %s, want Invalid_op"
+                        tag (errs e))))
+        in
+        first
+          (fun f -> f ())
+          [ (fun () -> steps 0 s.Subject.ops); colors; finale ])
+  in
+  let check s =
+    match check_encoding ~json:false s with
+    | Some _ as failure -> failure
+    | None -> check_encoding ~json:true s
+  in
+  {
+    name = "client_vs_engine";
+    doc =
+      "Loopback service client (full wlrpc/1 codec, text and JSON) vs a \
+       bare engine session, op for op";
+    generate = generate;
+    check;
+  }
+
+(* --- wlrpc_frame ------------------------------------------------------------- *)
+
+(* Instances are abstract, so requests/replies carrying one get structural
+   comparison everywhere else and [same_instance] there. *)
+let req_equal (a : Proto.req) (b : Proto.req) =
+  match (a, b) with
+  | ( Proto.Open { tenant = t1; instance = i1 },
+      Proto.Open { tenant = t2; instance = i2 } ) ->
+    t1 = t2 && same_instance i1 i2
+  | Proto.Open _, _ | _, Proto.Open _ -> false
+  | a, b -> a = b
+
+let reply_equal (a : Proto.reply) (b : Proto.reply) =
+  match (a, b) with
+  | Ok (Proto.R_snapshot i1), Ok (Proto.R_snapshot i2) -> same_instance i1 i2
+  | Ok (Proto.R_snapshot _), _ | _, Ok (Proto.R_snapshot _) -> false
+  | a, b -> a = b
+
+(* Every [Error.t] constructor, with payloads that stress the escaping
+   (embedded newline and backslash survive the line-oriented text form). *)
+let every_error =
+  [
+    Error.Parse { line = 3; msg = "unexpected token \\ and\nan embedded newline" };
+    Error.Invalid_path "not a dipath";
+    Error.Cyclic "back arc 4 -> 1";
+    Error.Bad_index { what = "path"; index = 41 };
+    Error.Invalid_op "remove of a dead path";
+    Error.Precondition "tenant id must match [A-Za-z0-9_.-]";
+    Error.Unsupported_version 9;
+    Error.Io "connection reset by peer";
+  ]
+
+let wlrpc_frame =
+  let generate seed =
+    let rng = Prng.create seed in
+    let dag = Generators.gnp_dag rng 10 0.3 in
+    let inst = Path_gen.random_instance rng dag 5 in
+    let ops =
+      random_ops rng (Instance.graph inst)
+        ~n_initial:(Instance.n_paths inst) ~count:8
+    in
+    Subject.make ~ops inst
+  in
+  let check (s : Subject.t) =
+    let inst = s.Subject.inst in
+    let t = "t0" in
+    let fail fmt = Printf.ksprintf Option.some fmt in
+    let req_of_op : Engine.op -> Proto.req = function
+      | Engine.Add_path vs -> Proto.Add_path { tenant = t; vertices = vs }
+      | Engine.Remove_path id -> Proto.Remove_path { tenant = t; id }
+      | Engine.Add_arc (a, b) -> Proto.Add_arc { tenant = t; tail = a; head = b }
+    in
+    let reqs =
+      [
+        Proto.Hello Proto.version;
+        Proto.Ping;
+        Proto.Shutdown;
+        Proto.Open { tenant = t; instance = inst };
+        Proto.Submit { tenant = t; ops = s.Subject.ops };
+        Proto.Report { tenant = t };
+        Proto.Pi { tenant = t };
+        Proto.Color_of { tenant = t; id = 2 };
+        Proto.Stats { tenant = t };
+        Proto.Health { tenant = t };
+        Proto.Snapshot { tenant = t };
+        Proto.Evict { tenant = t };
+      ]
+      @ List.map req_of_op s.Subject.ops
+    in
+    let eng = Engine.create inst in
+    let b = Engine.submit eng s.Subject.ops in
+    let rep = Proto.report_of_solver b.Engine.batch_report in
+    (* Dyadic rates so float round-trip exactness is never in question;
+       the latency fields are plain ints. *)
+    let health =
+      {
+        Proto.healthy = true;
+        add_p50 = 120;
+        add_p99 = 3400;
+        remove_p50 = 5;
+        remove_p99 = 97;
+        warm_hit_recent = 0.5;
+        warm_hit_lifetime = 0.25;
+        fallback_streak = 1;
+      }
+    in
+    let replies : Proto.reply list =
+      [
+        Ok (Proto.R_hello Proto.version);
+        Ok Proto.R_pong;
+        Ok Proto.R_bye;
+        Ok (Proto.R_open rep);
+        Ok (Proto.R_path 7);
+        Ok (Proto.R_removed 0);
+        Ok (Proto.R_arc 3);
+        Ok (Proto.R_report rep);
+        Ok (Proto.R_pi rep.Proto.pi);
+        Ok (Proto.R_color 1);
+        Ok (Proto.R_stats (Engine.stats eng));
+        Ok (Proto.R_health health);
+        Ok (Proto.R_outcomes { outcomes = wire_outcomes b; after = rep });
+        Ok
+          (Proto.R_outcomes
+             {
+               outcomes =
+                 Array.of_list (List.map (fun e -> Error e) every_error);
+               after = rep;
+             });
+        Ok (Proto.R_snapshot (Engine.instance eng));
+        Ok Proto.R_evicted;
+      ]
+      @ List.map (fun e -> (Error e : Proto.reply)) every_error
+    in
+    let encodings = [ false; true ] in
+    let round_trip_req json r =
+      let tag = if json then "json" else "text" in
+      let enc = Proto.encode_request ~json r in
+      match Proto.decode_request enc with
+      | exception e ->
+        fail "request decode raised (%s): %s" tag (Printexc.to_string e)
+      | Error e -> fail "request decode failed (%s): %s" tag (errs e)
+      | Ok r' when not (req_equal r r') ->
+        fail "request round trip changed the message (%s)" tag
+      | Ok _ -> (
+        let f = Wire.frame enc in
+        match Wire.unframe f 0 with
+        | Ok (p, off) when p = enc && off = String.length f -> None
+        | Ok _ -> fail "frame round trip changed the payload (%s)" tag
+        | Error e -> fail "frame round trip failed (%s): %s" tag (errs e))
+    in
+    let round_trip_reply json r =
+      let tag = if json then "json" else "text" in
+      let enc = Proto.encode_reply ~json r in
+      match Proto.decode_reply enc with
+      | exception e ->
+        fail "reply decode raised (%s): %s" tag (Printexc.to_string e)
+      | Error e -> fail "reply decode failed (%s): %s" tag (errs e)
+      | Ok d when not (reply_equal r d) ->
+        fail "reply round trip changed the message (%s)" tag
+      | Ok _ -> None
+    in
+    let base =
+      Wire.frame
+        (Proto.encode_request (Proto.Open { tenant = t; instance = inst }))
+    in
+    let n = String.length base in
+    let expect_frame_error name buf =
+      match Wire.unframe buf 0 with
+      | exception e ->
+        fail "%s: unframe raised %s" name (Printexc.to_string e)
+      | Error (Error.Parse _) -> None
+      | Error e -> fail "%s: want Parse error, got %s" name (errs e)
+      | Ok _ -> fail "%s: corrupt frame decoded" name
+    in
+    let corruptions =
+      [
+        ("empty buffer", "");
+        ("truncated prefix (1)", String.sub base 0 1);
+        ("truncated prefix (3)", String.sub base 0 3);
+        ("truncated payload", String.sub base 0 (n - 1));
+        ("half payload", String.sub base 0 (4 + ((n - 4) / 2)));
+        ("zero length", "\000\000\000\000" ^ String.sub base 4 (n - 4));
+        ("oversized length", "\255\255\255\255" ^ String.sub base 4 (n - 4));
+        ("garbage prefix", "garbage!" ^ base);
+      ]
+    in
+    let flipped_payload () =
+      (* A flipped byte keeps the frame well-formed: unframe must succeed
+         and the payload decoder must stay total on the damaged bytes. *)
+      let buf = Bytes.of_string base in
+      let i = 4 + ((Bytes.length buf - 4) / 2) in
+      Bytes.set buf i (Char.chr (Char.code (Bytes.get buf i) lxor 0xff));
+      match Wire.unframe (Bytes.to_string buf) 0 with
+      | exception e -> fail "flipped byte: unframe raised %s" (Printexc.to_string e)
+      | Error e -> fail "flipped byte: unframe failed: %s" (errs e)
+      | Ok (p, _) -> (
+        match Proto.decode_request p with
+        | Ok _ | Error _ -> None
+        | exception e ->
+          fail "flipped byte: decode raised %s" (Printexc.to_string e))
+    in
+    let truncated_payloads () =
+      let enc = Proto.encode_request (Proto.Submit { tenant = t; ops = s.Subject.ops }) in
+      let m = String.length enc in
+      let rec go k =
+        if k >= m then None
+        else
+          match Proto.decode_request (String.sub enc 0 k) with
+          | Ok _ | Error _ -> go (k + (1 + (m / 7)))
+          | exception e ->
+            fail "truncated payload at %d: decode raised %s" k
+              (Printexc.to_string e)
+      in
+      go 0
+    in
+    let stream () =
+      (* Consecutive frames in one buffer come back as the same payloads. *)
+      let payloads = List.map (fun r -> Proto.encode_request r) reqs in
+      match Wire.unframe_all (String.concat "" (List.map Wire.frame payloads)) with
+      | Ok ps when ps = payloads -> None
+      | Ok _ -> fail "unframe_all changed the payload stream"
+      | Error e -> fail "unframe_all failed on a valid stream: %s" (errs e)
+    in
+    first
+      (fun f -> f ())
+      ([
+         (fun () ->
+           first
+             (fun json -> first (round_trip_req json) reqs)
+             encodings);
+         (fun () ->
+           first
+             (fun json -> first (round_trip_reply json) replies)
+             encodings);
+         (fun () ->
+           first (fun (name, buf) -> expect_frame_error name buf) corruptions);
+         flipped_payload;
+         truncated_payloads;
+         stream;
+       ])
+  in
+  {
+    name = "wlrpc_frame";
+    doc =
+      "wlrpc/1 codec round trips (both encodings, every error constructor) \
+       and totality on truncated/oversized/garbage frames";
+    generate;
+    check;
+  }
+
 (* --- lifted sweeps and the self-test ---------------------------------------- *)
 
 let of_sweep (sw : Sweeps.sweep) =
@@ -408,7 +762,15 @@ let selftest =
   }
 
 let all =
-  [ thm1_dsatur; solver_exact; engine; serial; invariants ]
+  [
+    thm1_dsatur;
+    solver_exact;
+    engine;
+    serial;
+    invariants;
+    client_vs_engine;
+    wlrpc_frame;
+  ]
   @ List.map of_sweep Sweeps.sweeps
 
 let find name = List.find_opt (fun o -> o.name = name) (all @ [ selftest ])

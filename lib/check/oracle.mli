@@ -44,6 +44,21 @@ val engine : t
 val serial : t
 val invariants : t
 
+val client_vs_engine : t
+(** A {!Wl_serve.Client} loopback session (full [wlrpc/1] codec round
+    trip on every call, text and JSON encodings both) replayed op-for-op
+    against a bare {!Wl_engine.Engine} session: outcomes, reports, stats,
+    colors and snapshots must agree exactly — the service boundary may
+    not change observable engine behavior. *)
+
+val wlrpc_frame : t
+(** Frame- and payload-level robustness of the [wlrpc/1] codecs:
+    encode/decode round trips are exact (requests, replies and every
+    {!Wl_core.Error.t} constructor, in both encodings), and corrupted
+    frames — truncated, oversized, zero-length or garbage prefixes,
+    flipped payload bytes — decode to protocol errors, never exceptions
+    or hangs. *)
+
 val of_sweep : Wl_validate.Sweeps.sweep -> t
 (** Lift a validation sweep (op script always empty, the property as the
     check) so sweep failures shrink like native oracle failures. *)

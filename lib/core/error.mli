@@ -30,6 +30,20 @@ val exit_code : t -> int
     Bad_index 68, Invalid_op 69, Precondition 70, Unsupported_version 71,
     Io 74. *)
 
+val to_code : t -> int
+(** The on-wire error code of the [wlrpc/1] protocol — {e equal} to
+    {!exit_code} by construction, so a client that exits with the code from
+    an error frame behaves exactly like the CLI hitting the same error
+    locally.  Wire, CLI and library share this one namespace; the
+    exhaustiveness test pins the agreement per constructor. *)
+
+val of_code : int -> string -> t option
+(** [of_code code msg] reconstructs the constructor behind a wire code and
+    its {!to_string} rendering ([None] for an unknown code).  Structured
+    payloads (parse line, bad index, version) are parsed back out of the
+    stable rendering, so [of_code (to_code e) (to_string e)] recovers [e]
+    itself for every constructor. *)
+
 val raise_error : t -> 'a
 (** Raise as the {!Error} exception. *)
 

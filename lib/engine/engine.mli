@@ -87,7 +87,10 @@ val add_dipath : session -> Dipath.t -> (path_id, Error.t) result
 val add_dipath_exn : session -> Dipath.t -> path_id
 (** {!add_dipath}, raising {!Wl_core.Error.Error} instead of returning
     [Error] — the warm steady state performs zero minor allocation, which
-    a result cell would break. *)
+    a result cell would break.  This and {!remove_path_exn} are the only
+    two [_exn] twins the public API keeps (see the deprecation table in
+    {!module:Wl}): both are documented zero-alloc hot paths, everything
+    else is result-typed only. *)
 
 val remove_path : session -> path_id -> (unit, Error.t) result
 (** [Bad_index] for an out-of-range handle, [Invalid_op] for an

@@ -1,0 +1,212 @@
+open Wl_core
+module Digraph = Wl_digraph.Digraph
+module Engine = Wl_engine.Engine
+
+type transport =
+  | Local of Shard.t
+  | Remote of { fd : Unix.file_descr; m : Mutex.t }
+
+type t = { transport : transport; json : bool; mutable closed : bool }
+
+type session = { client : t; tenant : string }
+
+type outcomes = {
+  outcomes : (Proto.outcome, Error.t) result array;
+  after : Proto.report;
+}
+
+let closed_error = Error.Invalid_op "client is closed"
+
+(* Both transports run the full codec round trip — encode, frame, unframe,
+   decode on each side — so a loopback client exercises exactly the bytes
+   a remote one would put on a socket. *)
+let call_local shard ~json req =
+  let framed = Wire.frame (Proto.encode_request ~json req) in
+  match Wire.unframe framed 0 with
+  | Error e -> (Error e : Proto.reply)
+  | Ok (payload, _) -> (
+    let reply =
+      match Proto.decode_request payload with
+      | Error e -> (Error e : Proto.reply)
+      | Ok req -> Shard.call shard req
+    in
+    let framed = Wire.frame (Proto.encode_reply ~json reply) in
+    match Wire.unframe framed 0 with
+    | Error e -> Error e
+    | Ok (payload, _) -> (
+      match Proto.decode_reply payload with
+      | Error e -> Error e
+      | Ok reply -> reply))
+
+let call_remote fd m ~json req =
+  Mutex.lock m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock m)
+    (fun () ->
+      match Wire.write fd (Proto.encode_request ~json req) with
+      | Error e -> (Error e : Proto.reply)
+      | Ok () -> (
+        match Wire.read fd with
+        | Error e -> Error e
+        | Ok None -> Error (Error.Io "connection closed by server")
+        | Ok (Some payload) -> (
+          match Proto.decode_reply payload with
+          | Error e -> Error e
+          | Ok reply -> reply)))
+
+let call t req =
+  if t.closed then (Error closed_error : Proto.reply)
+  else
+    match t.transport with
+    | Local shard -> call_local shard ~json:t.json req
+    | Remote { fd; m } -> call_remote fd m ~json:t.json req
+
+let local ?(json = false) ?(threaded = false) ?flight_capacity ?(shards = 1)
+    ?(max_queue = 1024) () =
+  {
+    transport = Local (Shard.create ~threaded ?flight_capacity ~shards ~max_queue ());
+    json;
+    closed = false;
+  }
+
+let of_shard ?(json = false) shard = { transport = Local shard; json; closed = false }
+
+let connect ?(json = false) addr =
+  match Server.address_of_string addr with
+  | Error _ as e -> e
+  | Ok parsed -> (
+    try
+      let fd =
+        match parsed with
+        | Server.Unix_sock path ->
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_UNIX path);
+          fd
+        | Server.Tcp (host, port) ->
+          let inet =
+            match Unix.inet_addr_of_string host with
+            | a -> a
+            | exception _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          in
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_INET (inet, port));
+          fd
+      in
+      Ok { transport = Remote { fd; m = Mutex.create () }; json; closed = false }
+    with
+    | Unix.Unix_error (e, _, _) ->
+      Error (Error.Io (Printf.sprintf "cannot connect to %s: %s" addr (Unix.error_message e)))
+    | Not_found -> Error (Error.Io (Printf.sprintf "cannot resolve %s" addr)))
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    match t.transport with
+    | Local shard -> ignore (Shard.drain shard)
+    | Remote { fd; _ } -> ( try Unix.close fd with _ -> ())
+  end
+
+(* --- reply projection ------------------------------------------------------ *)
+
+let unexpected verb = Error (Error.Invalid_op ("unexpected reply to " ^ verb))
+
+let hello t =
+  match call t (Proto.Hello Proto.version) with
+  | Ok (Proto.R_hello v) -> Ok v
+  | Error e -> Error e
+  | Ok _ -> unexpected "hello"
+
+let ping t =
+  match call t Proto.Ping with
+  | Ok Proto.R_pong -> Ok ()
+  | Error e -> Error e
+  | Ok _ -> unexpected "ping"
+
+let shutdown_server t =
+  match call t Proto.Shutdown with
+  | Ok Proto.R_bye -> Ok ()
+  | Error e -> Error e
+  | Ok _ -> unexpected "shutdown"
+
+let session t ~tenant =
+  if Proto.tenant_ok tenant then Ok { client = t; tenant }
+  else Error (Error.Precondition (Printf.sprintf "invalid tenant id %S" tenant))
+
+let tenant s = s.tenant
+
+let open_session t ~tenant instance =
+  match session t ~tenant with
+  | Error _ as e -> e
+  | Ok s -> (
+    match call t (Proto.Open { tenant; instance }) with
+    | Ok (Proto.R_open _) -> Ok s
+    | Error e -> Error e
+    | Ok _ -> unexpected "open")
+
+let scall s req = call s.client req
+
+let add_path s vertices =
+  match scall s (Proto.Add_path { tenant = s.tenant; vertices }) with
+  | Ok (Proto.R_path id) -> Ok id
+  | Error e -> Error e
+  | Ok _ -> unexpected "add_path"
+
+let remove_path s id =
+  match scall s (Proto.Remove_path { tenant = s.tenant; id }) with
+  | Ok (Proto.R_removed _) -> Ok ()
+  | Error e -> Error e
+  | Ok _ -> unexpected "remove_path"
+
+let add_arc s tail head =
+  match scall s (Proto.Add_arc { tenant = s.tenant; tail; head }) with
+  | Ok (Proto.R_arc a) -> Ok a
+  | Error e -> Error e
+  | Ok _ -> unexpected "add_arc"
+
+let submit s ops =
+  match scall s (Proto.Submit { tenant = s.tenant; ops }) with
+  | Ok (Proto.R_outcomes { outcomes; after }) -> Ok { outcomes; after }
+  | Error e -> Error e
+  | Ok _ -> unexpected "submit"
+
+let report s =
+  match scall s (Proto.Report { tenant = s.tenant }) with
+  | Ok (Proto.R_report r) -> Ok r
+  | Error e -> Error e
+  | Ok _ -> unexpected "report"
+
+let pi s =
+  match scall s (Proto.Pi { tenant = s.tenant }) with
+  | Ok (Proto.R_pi pi) -> Ok pi
+  | Error e -> Error e
+  | Ok _ -> unexpected "pi"
+
+let color_of s id =
+  match scall s (Proto.Color_of { tenant = s.tenant; id }) with
+  | Ok (Proto.R_color c) -> Ok c
+  | Error e -> Error e
+  | Ok _ -> unexpected "color_of"
+
+let stats s =
+  match scall s (Proto.Stats { tenant = s.tenant }) with
+  | Ok (Proto.R_stats st) -> Ok st
+  | Error e -> Error e
+  | Ok _ -> unexpected "stats"
+
+let health s =
+  match scall s (Proto.Health { tenant = s.tenant }) with
+  | Ok (Proto.R_health h) -> Ok h
+  | Error e -> Error e
+  | Ok _ -> unexpected "health"
+
+let snapshot s =
+  match scall s (Proto.Snapshot { tenant = s.tenant }) with
+  | Ok (Proto.R_snapshot inst) -> Ok inst
+  | Error e -> Error e
+  | Ok _ -> unexpected "snapshot"
+
+let evict s =
+  match scall s (Proto.Evict { tenant = s.tenant }) with
+  | Ok Proto.R_evicted -> Ok ()
+  | Error e -> Error e
+  | Ok _ -> unexpected "evict"

@@ -1,0 +1,97 @@
+(** Result-typed client for the wavelength-assignment service.
+
+    Mirrors the {!Wl_engine.Engine} session API one-to-one — every call
+    returns [('a, Wl_core.Error.t) result], never raises — over either
+    transport:
+
+    {ul
+    {- {!connect} — a remote [wld] daemon ([unix:PATH] or
+       [tcp:HOST:PORT]);}
+    {- {!local} / {!of_shard} — an in-process loopback that still runs
+       every request and reply through the full [wlrpc/1] codec
+       (encode, frame, unframe, decode), so switching a program between
+       embedded and remote operation changes one constructor, not its
+       observable behavior.}}
+
+    A {!session} is a tenant handle bound to a client; all engine
+    operations go through one.  One client may serve many sessions and
+    is safe to share between threads (remote calls serialize on the
+    connection). *)
+
+open Wl_core
+module Digraph = Wl_digraph.Digraph
+module Engine = Wl_engine.Engine
+
+type t
+type session
+
+type outcomes = {
+  outcomes : (Proto.outcome, Error.t) result array;
+  after : Proto.report;
+}
+(** Wire projection of {!Wl_engine.Engine.batch}. *)
+
+(** {1 Connecting} *)
+
+val connect : ?json:bool -> string -> (t, Error.t) result
+(** Dial a daemon at an {!Server.address} string.  [json] selects the
+    JSON mirror encoding for requests (replies come back in kind);
+    default is the text form. *)
+
+val local :
+  ?json:bool ->
+  ?threaded:bool ->
+  ?flight_capacity:int ->
+  ?shards:int ->
+  ?max_queue:int ->
+  unit ->
+  t
+(** Self-contained loopback client over a private {!Shard.t}
+    ([threaded] defaults to [false]: requests execute synchronously on
+    the caller, which keeps engine statistics deterministic). *)
+
+val of_shard : ?json:bool -> Shard.t -> t
+(** Loopback over an existing shard set (the daemon's own, in tests). *)
+
+val close : t -> unit
+(** Remote: close the socket.  Loopback: drain the private shards.
+    Idempotent; later calls return [Error (Invalid_op _)]. *)
+
+val call : t -> Proto.req -> Proto.reply
+(** Raw escape hatch: one request, one reply, full codec round trip. *)
+
+(** {1 Admin} *)
+
+val hello : t -> (int, Error.t) result
+(** Version handshake; the daemon's protocol revision. *)
+
+val ping : t -> (unit, Error.t) result
+
+val shutdown_server : t -> (unit, Error.t) result
+(** Ask the daemon to drain and exit (loopback: a no-op [Ok ()]). *)
+
+(** {1 Sessions} *)
+
+val session : t -> tenant:string -> (session, Error.t) result
+(** A handle for [tenant] (validated by {!Proto.tenant_ok}); does not
+    open anything server-side. *)
+
+val open_session : t -> tenant:string -> Instance.t -> (session, Error.t) result
+(** Open (or replace) the tenant's engine session from an instance. *)
+
+val tenant : session -> string
+
+(** {1 Engine operations} — names and shapes follow
+    {!Wl_engine.Engine}. *)
+
+val add_path : session -> Digraph.vertex list -> (Engine.path_id, Error.t) result
+val remove_path : session -> Engine.path_id -> (unit, Error.t) result
+val add_arc : session -> Digraph.vertex -> Digraph.vertex -> (Digraph.arc, Error.t) result
+val submit : session -> Engine.op list -> (outcomes, Error.t) result
+val report : session -> (Proto.report, Error.t) result
+val pi : session -> (int, Error.t) result
+val color_of : session -> Engine.path_id -> (int, Error.t) result
+val stats : session -> (Engine.stats, Error.t) result
+val health : session -> (Proto.health, Error.t) result
+val snapshot : session -> (Instance.t, Error.t) result
+val evict : session -> (unit, Error.t) result

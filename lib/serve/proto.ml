@@ -1,0 +1,858 @@
+open Wl_core
+module Engine = Wl_engine.Engine
+module Script = Wl_engine.Script
+module Jsonx = Wl_json.Jsonx
+
+let version = 1
+
+let tenant_ok t =
+  let n = String.length t in
+  n > 0 && n <= 128
+  && String.for_all
+       (function 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' | '.' | '-' -> true | _ -> false)
+       t
+
+let check_tenant t = if not (tenant_ok t) then invalid_arg ("Proto: invalid tenant id " ^ t)
+
+type req =
+  | Hello of int
+  | Ping
+  | Shutdown
+  | Open of { tenant : string; instance : Instance.t }
+  | Add_path of { tenant : string; vertices : int list }
+  | Remove_path of { tenant : string; id : int }
+  | Add_arc of { tenant : string; tail : int; head : int }
+  | Submit of { tenant : string; ops : Engine.op list }
+  | Report of { tenant : string }
+  | Pi of { tenant : string }
+  | Color_of of { tenant : string; id : int }
+  | Stats of { tenant : string }
+  | Health of { tenant : string }
+  | Snapshot of { tenant : string }
+  | Evict of { tenant : string }
+
+type report = { n_wavelengths : int; pi : int; optimal : bool; method_name : string }
+
+type health = {
+  healthy : bool;
+  add_p50 : int;
+  add_p99 : int;
+  remove_p50 : int;
+  remove_p99 : int;
+  warm_hit_recent : float;
+  warm_hit_lifetime : float;
+  fallback_streak : int;
+}
+
+type outcome = O_path of int | O_removed of int | O_arc of int
+
+type resp =
+  | R_hello of int
+  | R_pong
+  | R_bye
+  | R_open of report
+  | R_path of int
+  | R_removed of int
+  | R_arc of int
+  | R_report of report
+  | R_pi of int
+  | R_color of int
+  | R_stats of Engine.stats
+  | R_health of health
+  | R_outcomes of { outcomes : (outcome, Error.t) result array; after : report }
+  | R_snapshot of Instance.t
+  | R_evicted
+
+type reply = (resp, Error.t) result
+
+let report_of_solver (r : Solver.report) =
+  {
+    n_wavelengths = r.Solver.n_wavelengths;
+    pi = r.Solver.pi;
+    optimal = r.Solver.optimal;
+    method_name = Solver.method_name r.Solver.method_used;
+  }
+
+let health_of_engine (h : Engine.health) =
+  {
+    healthy = h.Engine.healthy;
+    add_p50 = h.Engine.add_latency.Wl_obs.Hdr.p50;
+    add_p99 = h.Engine.add_latency.Wl_obs.Hdr.p99;
+    remove_p50 = h.Engine.remove_latency.Wl_obs.Hdr.p50;
+    remove_p99 = h.Engine.remove_latency.Wl_obs.Hdr.p99;
+    warm_hit_recent = h.Engine.warm_hit_recent;
+    warm_hit_lifetime = h.Engine.warm_hit_lifetime;
+    fallback_streak = h.Engine.fallback_streak;
+  }
+
+let outcome_of_engine = function
+  | Engine.Path_added id -> O_path id
+  | Engine.Path_removed id -> O_removed id
+  | Engine.Arc_added a -> O_arc a
+
+let proto_error msg = Error.Parse { line = 0; msg }
+
+(* --- structured errors on the wire ----------------------------------------- *)
+
+(* One line, message field last so it may contain spaces; newlines and
+   backslashes escape so the line stays a line. *)
+let escape_nl s =
+  if String.for_all (fun c -> c <> '\n' && c <> '\\') s then s
+  else begin
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (function
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\\' -> Buffer.add_string b "\\\\"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  end
+
+let unescape_nl s =
+  if not (String.contains s '\\') then s
+  else begin
+    let b = Buffer.create (String.length s) in
+    let n = String.length s in
+    let rec go i =
+      if i < n then
+        if s.[i] = '\\' && i + 1 < n then begin
+          (match s.[i + 1] with
+          | 'n' -> Buffer.add_char b '\n'
+          | c -> Buffer.add_char b c);
+          go (i + 2)
+        end
+        else begin
+          Buffer.add_char b s.[i];
+          go (i + 1)
+        end
+    in
+    go 0;
+    Buffer.contents b
+  end
+
+let error_ctor = function
+  | Error.Parse _ -> "parse"
+  | Error.Invalid_path _ -> "invalid_path"
+  | Error.Cyclic _ -> "cyclic"
+  | Error.Bad_index _ -> "bad_index"
+  | Error.Invalid_op _ -> "invalid_op"
+  | Error.Precondition _ -> "precondition"
+  | Error.Unsupported_version _ -> "unsupported_version"
+  | Error.Io _ -> "io"
+
+(* "err CODE CTOR ARGS..." — the wire code leads so code-only clients can
+   dispatch without knowing the constructor grammar. *)
+let error_to_line e =
+  let code = Error.to_code e in
+  match e with
+  | Error.Parse { line; msg } -> Printf.sprintf "err %d parse %d %s" code line (escape_nl msg)
+  | Error.Invalid_path msg -> Printf.sprintf "err %d invalid_path %s" code (escape_nl msg)
+  | Error.Cyclic msg -> Printf.sprintf "err %d cyclic %s" code (escape_nl msg)
+  | Error.Bad_index { what; index } ->
+    Printf.sprintf "err %d bad_index %d %s" code index (escape_nl what)
+  | Error.Invalid_op msg -> Printf.sprintf "err %d invalid_op %s" code (escape_nl msg)
+  | Error.Precondition msg -> Printf.sprintf "err %d precondition %s" code (escape_nl msg)
+  | Error.Unsupported_version v -> Printf.sprintf "err %d unsupported_version %d" code v
+  | Error.Io msg -> Printf.sprintf "err %d io %s" code (escape_nl msg)
+
+(* Tokens after "err": CODE CTOR then constructor args, message last. *)
+let error_of_tokens toks =
+  let rest_from parts n =
+    (* re-join everything from token [n] with single spaces *)
+    unescape_nl (String.concat " " (List.filteri (fun i _ -> i >= n) parts))
+  in
+  match toks with
+  | code :: ctor :: args -> (
+    match (int_of_string_opt code, ctor) with
+    | None, _ -> Error (proto_error "error frame: bad code")
+    | Some code, _ -> (
+      let msg_from n = rest_from args n in
+      match (ctor, args) with
+      | "parse", line :: _ -> (
+        match int_of_string_opt line with
+        | Some l -> Ok (Error.Parse { line = l; msg = msg_from 1 })
+        | None -> Error (proto_error "error frame: bad parse line"))
+      | "invalid_path", _ -> Ok (Error.Invalid_path (msg_from 0))
+      | "cyclic", _ -> Ok (Error.Cyclic (msg_from 0))
+      | "bad_index", index :: _ -> (
+        match int_of_string_opt index with
+        | Some i -> Ok (Error.Bad_index { what = msg_from 1; index = i })
+        | None -> Error (proto_error "error frame: bad index"))
+      | "invalid_op", _ -> Ok (Error.Invalid_op (msg_from 0))
+      | "precondition", _ -> Ok (Error.Precondition (msg_from 0))
+      | "unsupported_version", [ v ] -> (
+        match int_of_string_opt v with
+        | Some v -> Ok (Error.Unsupported_version v)
+        | None -> Error (proto_error "error frame: bad version"))
+      | "io", _ -> Ok (Error.Io (msg_from 0))
+      | _ -> (
+        (* unknown constructor from a future revision: degrade through the
+           shared code table rather than failing the whole reply *)
+        match Error.of_code code (msg_from 0) with
+        | Some e -> Ok e
+        | None -> Error (proto_error ("error frame: unknown constructor " ^ ctor)))))
+  | _ -> Error (proto_error "error frame: missing code")
+
+let error_to_json e =
+  let base =
+    match e with
+    | Error.Parse { line; msg } -> [ ("line", Jsonx.Int line); ("msg", Jsonx.Str msg) ]
+    | Error.Invalid_path msg
+    | Error.Cyclic msg
+    | Error.Invalid_op msg
+    | Error.Precondition msg
+    | Error.Io msg -> [ ("msg", Jsonx.Str msg) ]
+    | Error.Bad_index { what; index } ->
+      [ ("index", Jsonx.Int index); ("what", Jsonx.Str what) ]
+    | Error.Unsupported_version v -> [ ("version", Jsonx.Int v) ]
+  in
+  Jsonx.Obj
+    (("code", Jsonx.Int (Error.to_code e)) :: ("ctor", Jsonx.Str (error_ctor e)) :: base)
+
+let error_of_json j =
+  let str k = Option.bind (Jsonx.member k j) Jsonx.to_str in
+  let int k = Option.bind (Jsonx.member k j) Jsonx.to_int in
+  let msg () = Option.value (str "msg") ~default:"" in
+  match (int "code", str "ctor") with
+  | Some code, Some ctor -> (
+    match ctor with
+    | "parse" ->
+      Ok (Error.Parse { line = Option.value (int "line") ~default:0; msg = msg () })
+    | "invalid_path" -> Ok (Error.Invalid_path (msg ()))
+    | "cyclic" -> Ok (Error.Cyclic (msg ()))
+    | "bad_index" ->
+      Ok
+        (Error.Bad_index
+           {
+             what = Option.value (str "what") ~default:"";
+             index = Option.value (int "index") ~default:(-1);
+           })
+    | "invalid_op" -> Ok (Error.Invalid_op (msg ()))
+    | "precondition" -> Ok (Error.Precondition (msg ()))
+    | "unsupported_version" ->
+      Ok (Error.Unsupported_version (Option.value (int "version") ~default:(-1)))
+    | "io" -> Ok (Error.Io (msg ()))
+    | _ -> (
+      match Error.of_code code (msg ()) with
+      | Some e -> Ok e
+      | None -> Error (proto_error ("error frame: unknown constructor " ^ ctor))))
+  | _ -> Error (proto_error "error frame: missing code or ctor")
+
+(* --- text encoding --------------------------------------------------------- *)
+
+let hdr = Printf.sprintf "wlrpc %d" version
+
+let encode_request_text = function
+  | Hello v -> Printf.sprintf "%s hello %d\n" hdr v
+  | Ping -> hdr ^ " ping\n"
+  | Shutdown -> hdr ^ " shutdown\n"
+  | Open { tenant; instance } ->
+    check_tenant tenant;
+    Printf.sprintf "%s open %s\n%s" hdr tenant (Serial.to_string instance)
+  | Add_path { tenant; vertices } ->
+    check_tenant tenant;
+    Printf.sprintf "%s add_path %s%s\n" hdr tenant
+      (String.concat "" (List.map (Printf.sprintf " %d") vertices))
+  | Remove_path { tenant; id } ->
+    check_tenant tenant;
+    Printf.sprintf "%s remove_path %s %d\n" hdr tenant id
+  | Add_arc { tenant; tail; head } ->
+    check_tenant tenant;
+    Printf.sprintf "%s add_arc %s %d %d\n" hdr tenant tail head
+  | Submit { tenant; ops } ->
+    check_tenant tenant;
+    Printf.sprintf "%s submit %s\n%s" hdr tenant (Script.to_string ops)
+  | Report { tenant } ->
+    check_tenant tenant;
+    Printf.sprintf "%s report %s\n" hdr tenant
+  | Pi { tenant } ->
+    check_tenant tenant;
+    Printf.sprintf "%s pi %s\n" hdr tenant
+  | Color_of { tenant; id } ->
+    check_tenant tenant;
+    Printf.sprintf "%s color_of %s %d\n" hdr tenant id
+  | Stats { tenant } ->
+    check_tenant tenant;
+    Printf.sprintf "%s stats %s\n" hdr tenant
+  | Health { tenant } ->
+    check_tenant tenant;
+    Printf.sprintf "%s health %s\n" hdr tenant
+  | Snapshot { tenant } ->
+    check_tenant tenant;
+    Printf.sprintf "%s snapshot %s\n" hdr tenant
+  | Evict { tenant } ->
+    check_tenant tenant;
+    Printf.sprintf "%s evict %s\n" hdr tenant
+
+let report_tokens r =
+  Printf.sprintf "%d %d %b %s" r.n_wavelengths r.pi r.optimal r.method_name
+
+let stats_tokens (s : Engine.stats) =
+  Printf.sprintf "%d %d %d %d %d %d %d %d %d %d" s.Engine.ops s.Engine.warm_hits
+    s.Engine.fresh_colors s.Engine.repairs s.Engine.repair_flips s.Engine.shrink_recolors
+    s.Engine.warm_removes s.Engine.fallbacks s.Engine.full_solves s.Engine.rejected
+
+let outcome_line = function
+  | Ok (O_path id) -> Printf.sprintf "outcome path %d" id
+  | Ok (O_removed id) -> Printf.sprintf "outcome removed %d" id
+  | Ok (O_arc id) -> Printf.sprintf "outcome arc %d" id
+  | Error e -> "outcome " ^ error_to_line e
+
+let encode_reply_text = function
+  | Error e -> Printf.sprintf "%s %s\n" hdr (error_to_line e)
+  | Ok r -> (
+    match r with
+    | R_hello v -> Printf.sprintf "%s ok hello %d\n" hdr v
+    | R_pong -> hdr ^ " ok pong\n"
+    | R_bye -> hdr ^ " ok bye\n"
+    | R_open rep -> Printf.sprintf "%s ok open %s\n" hdr (report_tokens rep)
+    | R_path id -> Printf.sprintf "%s ok path %d\n" hdr id
+    | R_removed id -> Printf.sprintf "%s ok removed %d\n" hdr id
+    | R_arc id -> Printf.sprintf "%s ok arc %d\n" hdr id
+    | R_report rep -> Printf.sprintf "%s ok report %s\n" hdr (report_tokens rep)
+    | R_pi pi -> Printf.sprintf "%s ok pi %d\n" hdr pi
+    | R_color c -> Printf.sprintf "%s ok color %d\n" hdr c
+    | R_stats s -> Printf.sprintf "%s ok stats %s\n" hdr (stats_tokens s)
+    | R_health h ->
+      Printf.sprintf "%s ok health %b %d %d %d %d %.17g %.17g %d\n" hdr h.healthy h.add_p50
+        h.add_p99 h.remove_p50 h.remove_p99 h.warm_hit_recent h.warm_hit_lifetime
+        h.fallback_streak
+    | R_outcomes { outcomes; after } ->
+      let b = Buffer.create 256 in
+      Buffer.add_string b
+        (Printf.sprintf "%s ok outcomes %d %s\n" hdr (Array.length outcomes)
+           (report_tokens after));
+      Array.iter
+        (fun o ->
+          Buffer.add_string b (outcome_line o);
+          Buffer.add_char b '\n')
+        outcomes;
+      Buffer.contents b
+    | R_snapshot inst -> Printf.sprintf "%s ok snapshot\n%s" hdr (Serial.to_string inst)
+    | R_evicted -> hdr ^ " ok evicted\n")
+
+(* --- text decoding --------------------------------------------------------- *)
+
+let split_head payload =
+  match String.index_opt payload '\n' with
+  | None -> (payload, "")
+  | Some i ->
+    (String.sub payload 0 i, String.sub payload (i + 1) (String.length payload - i - 1))
+
+let tokens line = String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let int_tok name s =
+  match int_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (proto_error (Printf.sprintf "%s: expected an integer, got %S" name s))
+
+let with_tenant t k =
+  if tenant_ok t then k t else Error (proto_error (Printf.sprintf "invalid tenant id %S" t))
+
+let decode_request_text payload =
+  let head, body = split_head payload in
+  match tokens head with
+  | "wlrpc" :: v :: rest -> (
+    match int_of_string_opt v with
+    | None -> Error (proto_error "bad wlrpc header")
+    | Some v when v <> version -> Error (Error.Unsupported_version v)
+    | Some _ -> (
+      match rest with
+      | [ "hello"; v ] -> Result.map (fun v -> Hello v) (int_tok "hello" v)
+      | [ "ping" ] -> Ok Ping
+      | [ "shutdown" ] -> Ok Shutdown
+      | [ "open"; t ] ->
+        with_tenant t (fun tenant ->
+            Result.map (fun instance -> Open { tenant; instance }) (Serial.of_string body))
+      | "add_path" :: t :: vs ->
+        with_tenant t (fun tenant ->
+            let rec ints acc = function
+              | [] -> Ok (List.rev acc)
+              | v :: rest -> Result.bind (int_tok "add_path vertex" v) (fun v -> ints (v :: acc) rest)
+            in
+            Result.map (fun vertices -> Add_path { tenant; vertices }) (ints [] vs))
+      | [ "remove_path"; t; id ] ->
+        with_tenant t (fun tenant ->
+            Result.map (fun id -> Remove_path { tenant; id }) (int_tok "remove_path id" id))
+      | [ "add_arc"; t; u; v ] ->
+        with_tenant t (fun tenant ->
+            Result.bind (int_tok "add_arc tail" u) (fun tail ->
+                Result.map (fun head -> Add_arc { tenant; tail; head }) (int_tok "add_arc head" v)))
+      | [ "submit"; t ] ->
+        with_tenant t (fun tenant ->
+            Result.map (fun ops -> Submit { tenant; ops }) (Script.of_string body))
+      | [ "report"; t ] -> with_tenant t (fun tenant -> Ok (Report { tenant }))
+      | [ "pi"; t ] -> with_tenant t (fun tenant -> Ok (Pi { tenant }))
+      | [ "color_of"; t; id ] ->
+        with_tenant t (fun tenant ->
+            Result.map (fun id -> Color_of { tenant; id }) (int_tok "color_of id" id))
+      | [ "stats"; t ] -> with_tenant t (fun tenant -> Ok (Stats { tenant }))
+      | [ "health"; t ] -> with_tenant t (fun tenant -> Ok (Health { tenant }))
+      | [ "snapshot"; t ] -> with_tenant t (fun tenant -> Ok (Snapshot { tenant }))
+      | [ "evict"; t ] -> with_tenant t (fun tenant -> Ok (Evict { tenant }))
+      | verb :: _ -> Error (proto_error ("unknown request verb " ^ verb))
+      | [] -> Error (proto_error "empty request")))
+  | _ -> Error (proto_error "request does not start with a wlrpc header")
+
+let report_of_tokens = function
+  | [ w; pi; opt; m ] -> (
+    match (int_of_string_opt w, int_of_string_opt pi, bool_of_string_opt opt) with
+    | Some n_wavelengths, Some pi, Some optimal ->
+      Ok { n_wavelengths; pi; optimal; method_name = m }
+    | _ -> Error (proto_error "bad report tokens"))
+  | _ -> Error (proto_error "bad report shape")
+
+let decode_reply_text payload =
+  let head, body = split_head payload in
+  match tokens head with
+  | "wlrpc" :: v :: rest -> (
+    match int_of_string_opt v with
+    | None -> Error (proto_error "bad wlrpc header")
+    | Some v when v <> version -> Error (Error.Unsupported_version v)
+    | Some _ -> (
+      match rest with
+      | "err" :: toks -> Result.map (fun e -> (Error e : reply)) (error_of_tokens toks)
+      | [ "ok"; "hello"; v ] -> Result.map (fun v -> Ok (R_hello v)) (int_tok "hello" v)
+      | [ "ok"; "pong" ] -> Ok (Ok R_pong)
+      | [ "ok"; "bye" ] -> Ok (Ok R_bye)
+      | "ok" :: "open" :: toks -> Result.map (fun r -> Ok (R_open r)) (report_of_tokens toks)
+      | [ "ok"; "path"; id ] -> Result.map (fun id -> Ok (R_path id)) (int_tok "path" id)
+      | [ "ok"; "removed"; id ] ->
+        Result.map (fun id -> Ok (R_removed id)) (int_tok "removed" id)
+      | [ "ok"; "arc"; id ] -> Result.map (fun id -> Ok (R_arc id)) (int_tok "arc" id)
+      | "ok" :: "report" :: toks ->
+        Result.map (fun r -> Ok (R_report r)) (report_of_tokens toks)
+      | [ "ok"; "pi"; pi ] -> Result.map (fun pi -> Ok (R_pi pi)) (int_tok "pi" pi)
+      | [ "ok"; "color"; c ] -> Result.map (fun c -> Ok (R_color c)) (int_tok "color" c)
+      | "ok" :: "stats" :: toks -> (
+        match List.map int_of_string_opt toks with
+        | [
+         Some ops; Some warm_hits; Some fresh_colors; Some repairs; Some repair_flips;
+         Some shrink_recolors; Some warm_removes; Some fallbacks; Some full_solves;
+         Some rejected;
+        ] ->
+          Ok
+            (Ok
+               (R_stats
+                  {
+                    Engine.ops; warm_hits; fresh_colors; repairs; repair_flips;
+                    shrink_recolors; warm_removes; fallbacks; full_solves; rejected;
+                  }))
+        | _ -> Error (proto_error "bad stats tokens"))
+      | [ "ok"; "health"; h; a50; a99; r50; r99; whr; whl; streak ] -> (
+        match
+          ( bool_of_string_opt h, int_of_string_opt a50, int_of_string_opt a99,
+            int_of_string_opt r50, int_of_string_opt r99, float_of_string_opt whr,
+            float_of_string_opt whl, int_of_string_opt streak )
+        with
+        | ( Some healthy, Some add_p50, Some add_p99, Some remove_p50, Some remove_p99,
+            Some warm_hit_recent, Some warm_hit_lifetime, Some fallback_streak ) ->
+          Ok
+            (Ok
+               (R_health
+                  {
+                    healthy; add_p50; add_p99; remove_p50; remove_p99; warm_hit_recent;
+                    warm_hit_lifetime; fallback_streak;
+                  }))
+        | _ -> Error (proto_error "bad health tokens"))
+      | "ok" :: "outcomes" :: n :: toks ->
+        Result.bind (int_tok "outcomes count" n) (fun n ->
+            Result.bind (report_of_tokens toks) (fun after ->
+                let lines =
+                  String.split_on_char '\n' body |> List.filter (fun l -> l <> "")
+                in
+                if List.length lines <> n then
+                  Error (proto_error "outcome count does not match body")
+                else
+                  let rec go acc = function
+                    | [] -> Ok (List.rev acc)
+                    | line :: rest -> (
+                      match tokens line with
+                      | [ "outcome"; "path"; id ] ->
+                        Result.bind (int_tok "outcome path" id) (fun id ->
+                            go (Ok (O_path id) :: acc) rest)
+                      | [ "outcome"; "removed"; id ] ->
+                        Result.bind (int_tok "outcome removed" id) (fun id ->
+                            go (Ok (O_removed id) :: acc) rest)
+                      | [ "outcome"; "arc"; id ] ->
+                        Result.bind (int_tok "outcome arc" id) (fun id ->
+                            go (Ok (O_arc id) :: acc) rest)
+                      | "outcome" :: "err" :: toks ->
+                        Result.bind (error_of_tokens toks) (fun e ->
+                            go (Error e :: acc) rest)
+                      | _ -> Error (proto_error "bad outcome line"))
+                  in
+                  Result.map
+                    (fun outcomes ->
+                      (Ok (R_outcomes { outcomes = Array.of_list outcomes; after }) : reply))
+                    (go [] lines)))
+      | [ "ok"; "snapshot" ] ->
+        Result.map (fun inst -> (Ok (R_snapshot inst) : reply)) (Serial.of_string body)
+      | [ "ok"; "evicted" ] -> Ok (Ok R_evicted)
+      | _ -> Error (proto_error "unknown reply shape")))
+  | _ -> Error (proto_error "reply does not start with a wlrpc header")
+
+(* --- JSON mirror ----------------------------------------------------------- *)
+
+let instance_to_jsonx inst =
+  match Jsonx.parse (Serial.to_json inst) with
+  | Ok j -> j
+  | Error msg -> invalid_arg ("Proto: instance JSON did not re-parse: " ^ msg)
+
+let instance_of_jsonx j = Serial.of_json (Jsonx.to_string j)
+
+let ops_to_jsonx ops =
+  match Jsonx.parse (Script.to_json ops) with
+  | Ok j -> Option.value (Jsonx.member "ops" j) ~default:(Jsonx.Arr [])
+  | Error msg -> invalid_arg ("Proto: ops JSON did not re-parse: " ^ msg)
+
+let ops_of_jsonx j =
+  Script.of_json
+    (Jsonx.to_string
+       (Jsonx.Obj
+          [
+            ("format", Jsonx.Str "wl-ops");
+            ("version", Jsonx.Int Script.current_version);
+            ("ops", j);
+          ]))
+
+let req_json fields = Jsonx.to_string (Jsonx.Obj (("wlrpc", Jsonx.Int version) :: fields))
+
+let encode_request_json = function
+  | Hello v -> req_json [ ("verb", Jsonx.Str "hello"); ("version", Jsonx.Int v) ]
+  | Ping -> req_json [ ("verb", Jsonx.Str "ping") ]
+  | Shutdown -> req_json [ ("verb", Jsonx.Str "shutdown") ]
+  | Open { tenant; instance } ->
+    check_tenant tenant;
+    req_json
+      [
+        ("verb", Jsonx.Str "open"); ("tenant", Jsonx.Str tenant);
+        ("instance", instance_to_jsonx instance);
+      ]
+  | Add_path { tenant; vertices } ->
+    check_tenant tenant;
+    req_json
+      [
+        ("verb", Jsonx.Str "add_path"); ("tenant", Jsonx.Str tenant);
+        ("vertices", Jsonx.Arr (List.map (fun v -> Jsonx.Int v) vertices));
+      ]
+  | Remove_path { tenant; id } ->
+    check_tenant tenant;
+    req_json
+      [ ("verb", Jsonx.Str "remove_path"); ("tenant", Jsonx.Str tenant); ("id", Jsonx.Int id) ]
+  | Add_arc { tenant; tail; head } ->
+    check_tenant tenant;
+    req_json
+      [
+        ("verb", Jsonx.Str "add_arc"); ("tenant", Jsonx.Str tenant);
+        ("from", Jsonx.Int tail); ("to", Jsonx.Int head);
+      ]
+  | Submit { tenant; ops } ->
+    check_tenant tenant;
+    req_json
+      [ ("verb", Jsonx.Str "submit"); ("tenant", Jsonx.Str tenant); ("ops", ops_to_jsonx ops) ]
+  | Report { tenant } ->
+    check_tenant tenant;
+    req_json [ ("verb", Jsonx.Str "report"); ("tenant", Jsonx.Str tenant) ]
+  | Pi { tenant } ->
+    check_tenant tenant;
+    req_json [ ("verb", Jsonx.Str "pi"); ("tenant", Jsonx.Str tenant) ]
+  | Color_of { tenant; id } ->
+    check_tenant tenant;
+    req_json
+      [ ("verb", Jsonx.Str "color_of"); ("tenant", Jsonx.Str tenant); ("id", Jsonx.Int id) ]
+  | Stats { tenant } ->
+    check_tenant tenant;
+    req_json [ ("verb", Jsonx.Str "stats"); ("tenant", Jsonx.Str tenant) ]
+  | Health { tenant } ->
+    check_tenant tenant;
+    req_json [ ("verb", Jsonx.Str "health"); ("tenant", Jsonx.Str tenant) ]
+  | Snapshot { tenant } ->
+    check_tenant tenant;
+    req_json [ ("verb", Jsonx.Str "snapshot"); ("tenant", Jsonx.Str tenant) ]
+  | Evict { tenant } ->
+    check_tenant tenant;
+    req_json [ ("verb", Jsonx.Str "evict"); ("tenant", Jsonx.Str tenant) ]
+
+let report_json r =
+  [
+    ("w", Jsonx.Int r.n_wavelengths); ("pi", Jsonx.Int r.pi);
+    ("optimal", Jsonx.Bool r.optimal); ("method", Jsonx.Str r.method_name);
+  ]
+
+let encode_reply_json (reply : reply) =
+  let obj fields = Jsonx.to_string (Jsonx.Obj (("wlrpc", Jsonx.Int version) :: fields)) in
+  match reply with
+  | Error e -> obj [ ("err", error_to_json e) ]
+  | Ok r ->
+    let ok fields verb = obj [ ("ok", Jsonx.Obj (("verb", Jsonx.Str verb) :: fields)) ] in
+    (match r with
+    | R_hello v -> ok [ ("version", Jsonx.Int v) ] "hello"
+    | R_pong -> ok [] "pong"
+    | R_bye -> ok [] "bye"
+    | R_open rep -> ok (report_json rep) "open"
+    | R_path id -> ok [ ("id", Jsonx.Int id) ] "path"
+    | R_removed id -> ok [ ("id", Jsonx.Int id) ] "removed"
+    | R_arc id -> ok [ ("id", Jsonx.Int id) ] "arc"
+    | R_report rep -> ok (report_json rep) "report"
+    | R_pi pi -> ok [ ("pi", Jsonx.Int pi) ] "pi"
+    | R_color c -> ok [ ("color", Jsonx.Int c) ] "color"
+    | R_stats s ->
+      ok
+        [
+          ("ops", Jsonx.Int s.Engine.ops); ("warm_hits", Jsonx.Int s.Engine.warm_hits);
+          ("fresh_colors", Jsonx.Int s.Engine.fresh_colors);
+          ("repairs", Jsonx.Int s.Engine.repairs);
+          ("repair_flips", Jsonx.Int s.Engine.repair_flips);
+          ("shrink_recolors", Jsonx.Int s.Engine.shrink_recolors);
+          ("warm_removes", Jsonx.Int s.Engine.warm_removes);
+          ("fallbacks", Jsonx.Int s.Engine.fallbacks);
+          ("full_solves", Jsonx.Int s.Engine.full_solves);
+          ("rejected", Jsonx.Int s.Engine.rejected);
+        ]
+        "stats"
+    | R_health h ->
+      ok
+        [
+          ("healthy", Jsonx.Bool h.healthy); ("add_p50", Jsonx.Int h.add_p50);
+          ("add_p99", Jsonx.Int h.add_p99); ("remove_p50", Jsonx.Int h.remove_p50);
+          ("remove_p99", Jsonx.Int h.remove_p99);
+          ("warm_hit_recent", Jsonx.Float h.warm_hit_recent);
+          ("warm_hit_lifetime", Jsonx.Float h.warm_hit_lifetime);
+          ("fallback_streak", Jsonx.Int h.fallback_streak);
+        ]
+        "health"
+    | R_outcomes { outcomes; after } ->
+      ok
+        (report_json after
+        @ [
+            ( "outcomes",
+              Jsonx.Arr
+                (Array.to_list
+                   (Array.map
+                      (function
+                        | Ok (O_path id) -> Jsonx.Obj [ ("path", Jsonx.Int id) ]
+                        | Ok (O_removed id) -> Jsonx.Obj [ ("removed", Jsonx.Int id) ]
+                        | Ok (O_arc id) -> Jsonx.Obj [ ("arc", Jsonx.Int id) ]
+                        | Error e -> Jsonx.Obj [ ("err", error_to_json e) ])
+                      outcomes)) );
+          ])
+        "outcomes"
+    | R_snapshot inst -> ok [ ("instance", instance_to_jsonx inst) ] "snapshot"
+    | R_evicted -> ok [] "evicted")
+
+let json_version j =
+  match Option.bind (Jsonx.member "wlrpc" j) Jsonx.to_int with
+  | None -> Error (proto_error "missing wlrpc version")
+  | Some v when v <> version -> Error (Error.Unsupported_version v)
+  | Some _ -> Ok ()
+
+let decode_request_json payload =
+  match Jsonx.parse payload with
+  | Error msg -> Error (proto_error ("request JSON: " ^ msg))
+  | Ok j ->
+    Result.bind (json_version j) (fun () ->
+        let str k = Option.bind (Jsonx.member k j) Jsonx.to_str in
+        let int k = Option.bind (Jsonx.member k j) Jsonx.to_int in
+        let tenant k =
+          match str "tenant" with
+          | Some t when tenant_ok t -> k t
+          | Some t -> Error (proto_error (Printf.sprintf "invalid tenant id %S" t))
+          | None -> Error (proto_error "missing tenant")
+        in
+        match str "verb" with
+        | None -> Error (proto_error "missing request verb")
+        | Some "hello" -> (
+          match int "version" with
+          | Some v -> Ok (Hello v)
+          | None -> Error (proto_error "hello: missing version"))
+        | Some "ping" -> Ok Ping
+        | Some "shutdown" -> Ok Shutdown
+        | Some "open" ->
+          tenant (fun tenant ->
+              match Jsonx.member "instance" j with
+              | None -> Error (proto_error "open: missing instance")
+              | Some inst ->
+                Result.map (fun instance -> Open { tenant; instance }) (instance_of_jsonx inst))
+        | Some "add_path" ->
+          tenant (fun tenant ->
+              match Option.bind (Jsonx.member "vertices" j) Jsonx.to_list with
+              | None -> Error (proto_error "add_path: missing vertices")
+              | Some vs -> (
+                let ints = List.map Jsonx.to_int vs in
+                if List.exists Option.is_none ints then
+                  Error (proto_error "add_path: non-integer vertex")
+                else Ok (Add_path { tenant; vertices = List.filter_map Fun.id ints })))
+        | Some "remove_path" ->
+          tenant (fun tenant ->
+              match int "id" with
+              | Some id -> Ok (Remove_path { tenant; id })
+              | None -> Error (proto_error "remove_path: missing id"))
+        | Some "add_arc" ->
+          tenant (fun tenant ->
+              match (int "from", int "to") with
+              | Some tail, Some head -> Ok (Add_arc { tenant; tail; head })
+              | _ -> Error (proto_error "add_arc: missing endpoints"))
+        | Some "submit" ->
+          tenant (fun tenant ->
+              match Jsonx.member "ops" j with
+              | None -> Error (proto_error "submit: missing ops")
+              | Some ops -> Result.map (fun ops -> Submit { tenant; ops }) (ops_of_jsonx ops))
+        | Some "report" -> tenant (fun tenant -> Ok (Report { tenant }))
+        | Some "pi" -> tenant (fun tenant -> Ok (Pi { tenant }))
+        | Some "color_of" ->
+          tenant (fun tenant ->
+              match int "id" with
+              | Some id -> Ok (Color_of { tenant; id })
+              | None -> Error (proto_error "color_of: missing id"))
+        | Some "stats" -> tenant (fun tenant -> Ok (Stats { tenant }))
+        | Some "health" -> tenant (fun tenant -> Ok (Health { tenant }))
+        | Some "snapshot" -> tenant (fun tenant -> Ok (Snapshot { tenant }))
+        | Some "evict" -> tenant (fun tenant -> Ok (Evict { tenant }))
+        | Some verb -> Error (proto_error ("unknown request verb " ^ verb)))
+
+let report_of_json j =
+  let int k = Option.bind (Jsonx.member k j) Jsonx.to_int in
+  let b = Option.bind (Jsonx.member "optimal" j) Jsonx.to_bool in
+  let m = Option.bind (Jsonx.member "method" j) Jsonx.to_str in
+  match (int "w", int "pi", b, m) with
+  | Some n_wavelengths, Some pi, Some optimal, Some method_name ->
+    Ok { n_wavelengths; pi; optimal; method_name }
+  | _ -> Error (proto_error "bad report fields")
+
+let to_float j =
+  match j with Jsonx.Float f -> Some f | Jsonx.Int i -> Some (float_of_int i) | _ -> None
+
+let decode_reply_json payload =
+  match Jsonx.parse payload with
+  | Error msg -> Error (proto_error ("reply JSON: " ^ msg))
+  | Ok j ->
+    Result.bind (json_version j) (fun () ->
+        match (Jsonx.member "err" j, Jsonx.member "ok" j) with
+        | Some e, _ -> Result.map (fun e -> (Error e : reply)) (error_of_json e)
+        | None, Some ok -> (
+          let str k = Option.bind (Jsonx.member k ok) Jsonx.to_str in
+          let int k = Option.bind (Jsonx.member k ok) Jsonx.to_int in
+          match str "verb" with
+          | None -> Error (proto_error "missing reply verb")
+          | Some "hello" -> (
+            match int "version" with
+            | Some v -> Ok (Ok (R_hello v))
+            | None -> Error (proto_error "hello: missing version"))
+          | Some "pong" -> Ok (Ok R_pong)
+          | Some "bye" -> Ok (Ok R_bye)
+          | Some "open" -> Result.map (fun r -> Ok (R_open r)) (report_of_json ok)
+          | Some "path" -> (
+            match int "id" with
+            | Some id -> Ok (Ok (R_path id))
+            | None -> Error (proto_error "path: missing id"))
+          | Some "removed" -> (
+            match int "id" with
+            | Some id -> Ok (Ok (R_removed id))
+            | None -> Error (proto_error "removed: missing id"))
+          | Some "arc" -> (
+            match int "id" with
+            | Some id -> Ok (Ok (R_arc id))
+            | None -> Error (proto_error "arc: missing id"))
+          | Some "report" -> Result.map (fun r -> Ok (R_report r)) (report_of_json ok)
+          | Some "pi" -> (
+            match int "pi" with
+            | Some pi -> Ok (Ok (R_pi pi))
+            | None -> Error (proto_error "pi: missing value"))
+          | Some "color" -> (
+            match int "color" with
+            | Some c -> Ok (Ok (R_color c))
+            | None -> Error (proto_error "color: missing value"))
+          | Some "stats" -> (
+            let f k = int k in
+            match
+              ( f "ops", f "warm_hits", f "fresh_colors", f "repairs", f "repair_flips",
+                f "shrink_recolors", f "warm_removes", f "fallbacks", f "full_solves",
+                f "rejected" )
+            with
+            | ( Some ops, Some warm_hits, Some fresh_colors, Some repairs, Some repair_flips,
+                Some shrink_recolors, Some warm_removes, Some fallbacks, Some full_solves,
+                Some rejected ) ->
+              Ok
+                (Ok
+                   (R_stats
+                      {
+                        Engine.ops; warm_hits; fresh_colors; repairs; repair_flips;
+                        shrink_recolors; warm_removes; fallbacks; full_solves; rejected;
+                      }))
+            | _ -> Error (proto_error "stats: missing fields"))
+          | Some "health" -> (
+            let fl k = Option.bind (Jsonx.member k ok) to_float in
+            match
+              ( Option.bind (Jsonx.member "healthy" ok) Jsonx.to_bool, int "add_p50",
+                int "add_p99", int "remove_p50", int "remove_p99", fl "warm_hit_recent",
+                fl "warm_hit_lifetime", int "fallback_streak" )
+            with
+            | ( Some healthy, Some add_p50, Some add_p99, Some remove_p50, Some remove_p99,
+                Some warm_hit_recent, Some warm_hit_lifetime, Some fallback_streak ) ->
+              Ok
+                (Ok
+                   (R_health
+                      {
+                        healthy; add_p50; add_p99; remove_p50; remove_p99; warm_hit_recent;
+                        warm_hit_lifetime; fallback_streak;
+                      }))
+            | _ -> Error (proto_error "health: missing fields"))
+          | Some "outcomes" ->
+            Result.bind (report_of_json ok) (fun after ->
+                match Option.bind (Jsonx.member "outcomes" ok) Jsonx.to_list with
+                | None -> Error (proto_error "outcomes: missing list")
+                | Some os ->
+                  let rec go acc = function
+                    | [] -> Ok (List.rev acc)
+                    | o :: rest -> (
+                      match
+                        ( Option.bind (Jsonx.member "path" o) Jsonx.to_int,
+                          Option.bind (Jsonx.member "removed" o) Jsonx.to_int,
+                          Option.bind (Jsonx.member "arc" o) Jsonx.to_int,
+                          Jsonx.member "err" o )
+                      with
+                      | Some id, _, _, _ -> go (Ok (O_path id) :: acc) rest
+                      | _, Some id, _, _ -> go (Ok (O_removed id) :: acc) rest
+                      | _, _, Some id, _ -> go (Ok (O_arc id) :: acc) rest
+                      | _, _, _, Some e ->
+                        Result.bind (error_of_json e) (fun e -> go (Error e :: acc) rest)
+                      | _ -> Error (proto_error "outcomes: bad element"))
+                  in
+                  Result.map
+                    (fun outcomes ->
+                      (Ok (R_outcomes { outcomes = Array.of_list outcomes; after }) : reply))
+                    (go [] os))
+          | Some "snapshot" -> (
+            match Jsonx.member "instance" ok with
+            | None -> Error (proto_error "snapshot: missing instance")
+            | Some inst ->
+              Result.map (fun i -> (Ok (R_snapshot i) : reply)) (instance_of_jsonx inst))
+          | Some "evicted" -> Ok (Ok R_evicted)
+          | Some verb -> Error (proto_error ("unknown reply verb " ^ verb)))
+        | None, None -> Error (proto_error "reply carries neither ok nor err"))
+
+(* --- sniffing entry points ------------------------------------------------- *)
+
+let is_json payload = String.length payload > 0 && payload.[0] = '{'
+
+let encode_request ?(json = false) req =
+  if json then encode_request_json req else encode_request_text req
+
+let decode_request payload =
+  if is_json payload then decode_request_json payload
+  else
+    match decode_request_text payload with
+    | exception _ -> Error (proto_error "request decode raised")
+    | r -> r
+
+let encode_reply ?(json = false) reply =
+  if json then encode_reply_json reply else encode_reply_text reply
+
+let decode_reply payload =
+  if is_json payload then decode_reply_json payload
+  else
+    match decode_reply_text payload with
+    | exception _ -> Error (proto_error "reply decode raised")
+    | r -> r

@@ -1,0 +1,111 @@
+(** Typed [wlrpc/1] messages and their two codecs.
+
+    Every request/reply crossing a {!Wire} frame is one of these values.
+    Payloads exist in two interchangeable encodings, sniffed apart by the
+    first byte exactly like {!Wl_core.Serial} does for instance files:
+
+    {ul
+    {- the {e text} form — line-oriented, [wlrpc 1 VERB ...] header, with
+       instance and op-script bodies embedded verbatim in the existing
+       Serial v2 / wlops text formats;}
+    {- the {e JSON mirror} — one object per frame
+       ([{"wlrpc":1,"verb":...}]), for debugging with ordinary tooling
+       ([socat | jq]); servers accept both at all times, replying in the
+       encoding the request used.}}
+
+    Error replies carry the structured {!Wl_core.Error.t}: the frame holds
+    the constructor tag, the {!Wl_core.Error.to_code} wire code {e and}
+    the constructor's own payload fields, so an error round-trips the wire
+    without losing its line number, index or version — and a client
+    exiting with the frame's code behaves exactly like the CLI hitting
+    the same error locally. *)
+
+open Wl_core
+module Engine = Wl_engine.Engine
+
+val version : int
+(** [1] — the only protocol revision; a [hello] for any other revision is
+    refused with [Unsupported_version]. *)
+
+val tenant_ok : string -> bool
+(** Tenant ids are non-empty, at most 128 bytes, and drawn from
+    [A-Za-z0-9_.-] — printable, whitespace-free, safe in both encodings
+    and in file names derived from them. *)
+
+(** {1 Messages} *)
+
+type req =
+  | Hello of int  (** protocol version the client speaks *)
+  | Ping
+  | Shutdown  (** ask the server to drain and exit *)
+  | Open of { tenant : string; instance : Instance.t }
+  | Add_path of { tenant : string; vertices : int list }
+  | Remove_path of { tenant : string; id : int }
+  | Add_arc of { tenant : string; tail : int; head : int }
+  | Submit of { tenant : string; ops : Engine.op list }
+  | Report of { tenant : string }
+  | Pi of { tenant : string }
+  | Color_of of { tenant : string; id : int }
+  | Stats of { tenant : string }
+  | Health of { tenant : string }
+  | Snapshot of { tenant : string }
+  | Evict of { tenant : string }
+
+type report = {
+  n_wavelengths : int;
+  pi : int;
+  optimal : bool;
+  method_name : string;  (** {!Wl_core.Solver.method_name} token *)
+}
+(** The wire projection of {!Wl_core.Solver.report} — the full assignment
+    stays server-side; {!req.Snapshot} materializes it as an instance when
+    a client wants the complete state. *)
+
+type health = {
+  healthy : bool;
+  add_p50 : int;
+  add_p99 : int;
+  remove_p50 : int;
+  remove_p99 : int;
+  warm_hit_recent : float;
+  warm_hit_lifetime : float;
+  fallback_streak : int;
+}
+
+type outcome = O_path of int | O_removed of int | O_arc of int
+
+type resp =
+  | R_hello of int
+  | R_pong
+  | R_bye
+  | R_open of report
+  | R_path of int
+  | R_removed of int
+  | R_arc of int
+  | R_report of report
+  | R_pi of int
+  | R_color of int
+  | R_stats of Engine.stats
+  | R_health of health
+  | R_outcomes of { outcomes : (outcome, Error.t) result array; after : report }
+  | R_snapshot of Instance.t
+  | R_evicted
+
+type reply = (resp, Error.t) result
+
+(** {1 Projections} *)
+
+val report_of_solver : Wl_core.Solver.report -> report
+val health_of_engine : Engine.health -> health
+val outcome_of_engine : Engine.op_outcome -> outcome
+
+(** {1 Codecs}
+
+    Encoders are total on well-formed values (invalid tenant ids raise
+    [Invalid_argument] — they are unrepresentable on the wire); decoders
+    are total on arbitrary bytes and never raise. *)
+
+val encode_request : ?json:bool -> req -> string
+val decode_request : string -> (req, Error.t) result
+val encode_reply : ?json:bool -> reply -> string
+val decode_reply : string -> (reply, Error.t) result

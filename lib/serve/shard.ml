@@ -1,0 +1,374 @@
+open Wl_core
+module Engine = Wl_engine.Engine
+
+(* FNV-1a with the offset basis folded into OCaml's 63-bit int range. *)
+let shard_of_tenant ~shards tenant =
+  let h = ref 0x4bf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    tenant;
+  (!h land max_int) mod shards
+
+type job = {
+  req : Proto.req;
+  job_m : Mutex.t;
+  job_c : Condition.t;
+  mutable reply : Proto.reply option;
+}
+
+type shard = {
+  sid : int;
+  m : Mutex.t;
+  nonempty : Condition.t;
+  nonfull : Condition.t;
+  mutable queue : job list;  (** newest first *)
+  mutable queue_len : int;
+  mutable stopping : bool;
+  sessions : (string, Engine.session) Hashtbl.t;
+  n_sessions : int Atomic.t;
+  mutable worker : unit Domain.t option;
+}
+
+type t = {
+  shards : shard array;
+  max_queue : int;
+  flight_capacity : int;
+  threaded : bool;
+  drain_m : Mutex.t;
+  mutable drained : (string * Engine.session) list option;
+}
+
+(* --- per-request execution (runs on the owning shard) ---------------------- *)
+
+let no_session tenant = Error.Invalid_op ("no open session for tenant " ^ tenant)
+
+let with_session sh tenant k =
+  match Hashtbl.find_opt sh.sessions tenant with
+  | None -> Error (no_session tenant)
+  | Some s -> k s
+
+let wire_outcomes (b : Engine.batch) =
+  Proto.R_outcomes
+    {
+      outcomes = Array.map (Result.map Proto.outcome_of_engine) b.Engine.outcomes;
+      after = Proto.report_of_solver b.Engine.batch_report;
+    }
+
+let handle_one t sh (req : Proto.req) : Proto.reply =
+  match req with
+  | Proto.Hello v ->
+    if v = Proto.version then Ok (Proto.R_hello Proto.version)
+    else Error (Error.Unsupported_version v)
+  | Proto.Ping -> Ok Proto.R_pong
+  | Proto.Shutdown -> Ok Proto.R_bye
+  | Proto.Open { tenant; instance } ->
+    let s = Engine.create ~flight_capacity:t.flight_capacity instance in
+    if not (Hashtbl.mem sh.sessions tenant) then Atomic.incr sh.n_sessions;
+    Hashtbl.replace sh.sessions tenant s;
+    Ok (Proto.R_open (Proto.report_of_solver (Engine.report s)))
+  | Proto.Add_path { tenant; vertices } ->
+    with_session sh tenant (fun s ->
+        Result.map (fun id -> Proto.R_path id) (Engine.add_path s vertices))
+  | Proto.Remove_path { tenant; id } ->
+    with_session sh tenant (fun s ->
+        Result.map (fun () -> Proto.R_removed id) (Engine.remove_path s id))
+  | Proto.Add_arc { tenant; tail; head } ->
+    with_session sh tenant (fun s ->
+        Result.map (fun a -> Proto.R_arc a) (Engine.add_arc s tail head))
+  | Proto.Submit { tenant; ops } ->
+    with_session sh tenant (fun s -> Ok (wire_outcomes (Engine.submit s ops)))
+  | Proto.Report { tenant } ->
+    with_session sh tenant (fun s ->
+        Ok (Proto.R_report (Proto.report_of_solver (Engine.report s))))
+  | Proto.Pi { tenant } -> with_session sh tenant (fun s -> Ok (Proto.R_pi (Engine.pi s)))
+  | Proto.Color_of { tenant; id } ->
+    with_session sh tenant (fun s ->
+        Result.map (fun c -> Proto.R_color c) (Engine.color_of s id))
+  | Proto.Stats { tenant } ->
+    with_session sh tenant (fun s -> Ok (Proto.R_stats (Engine.stats s)))
+  | Proto.Health { tenant } ->
+    with_session sh tenant (fun s ->
+        Ok (Proto.R_health (Proto.health_of_engine (Engine.health s))))
+  | Proto.Snapshot { tenant } ->
+    with_session sh tenant (fun s -> Ok (Proto.R_snapshot (Engine.instance s)))
+  | Proto.Evict { tenant } ->
+    with_session sh tenant (fun s ->
+        ignore s;
+        Hashtbl.remove sh.sessions tenant;
+        Atomic.decr sh.n_sessions;
+        Ok Proto.R_evicted)
+
+(* --- wave batching --------------------------------------------------------- *)
+
+(* A tenant's slice of one submit_many wave: jobs in order, each owed
+   [nops] outcomes; at most one trailing Submit job (it consumes the
+   batch report, so nothing of that tenant's may run after it). *)
+type run = { tenant : string; session : Engine.session; mutable jobs : (job * int) list }
+
+let job_ops (req : Proto.req) =
+  match req with
+  | Proto.Add_path { vertices; _ } -> Some [ Engine.Add_path vertices ]
+  | Proto.Remove_path { id; _ } -> Some [ Engine.Remove_path id ]
+  | Proto.Add_arc { tail; head; _ } -> Some [ Engine.Add_arc (tail, head) ]
+  | Proto.Submit { ops; _ } -> Some ops
+  | _ -> None
+
+let req_tenant (req : Proto.req) =
+  match req with
+  | Proto.Add_path { tenant; _ }
+  | Proto.Remove_path { tenant; _ }
+  | Proto.Add_arc { tenant; _ }
+  | Proto.Submit { tenant; _ } -> Some tenant
+  | _ -> None
+
+let is_submit = function Proto.Submit _ -> true | _ -> false
+
+let finish job reply =
+  Mutex.lock job.job_m;
+  job.reply <- Some reply;
+  Condition.signal job.job_c;
+  Mutex.unlock job.job_m
+
+let single_reply (req : Proto.req) (o : (Engine.op_outcome, Error.t) result) : Proto.reply =
+  match (req, o) with
+  | Proto.Add_path _, Ok (Engine.Path_added id) -> Ok (Proto.R_path id)
+  | Proto.Remove_path { id; _ }, Ok (Engine.Path_removed _) -> Ok (Proto.R_removed id)
+  | Proto.Add_arc _, Ok (Engine.Arc_added a) -> Ok (Proto.R_arc a)
+  | _, Error e -> Error e
+  | _, Ok _ -> Error (Error.Invalid_op "batch outcome shape mismatch")
+
+let distribute run (b : Engine.batch) =
+  let off = ref 0 in
+  List.iter
+    (fun (job, nops) ->
+      let slice = Array.sub b.Engine.outcomes !off nops in
+      off := !off + nops;
+      match job.req with
+      | Proto.Submit _ ->
+        finish job
+          (Ok
+             (Proto.R_outcomes
+                {
+                  outcomes = Array.map (Result.map Proto.outcome_of_engine) slice;
+                  after = Proto.report_of_solver b.Engine.batch_report;
+                }))
+      | req -> finish job (single_reply req slice.(0)))
+    run.jobs
+
+(* Collect the longest prefix of [wave] in which every tenant contributes
+   one submit_many entry; returns the runs (wave order) and the rest. *)
+let collect_runs sh wave =
+  let runs = ref [] in
+  let find tenant = List.find_opt (fun r -> r.tenant = tenant) !runs in
+  let closed r =
+    match r.jobs with (j, _) :: _ -> is_submit j.req | [] -> false
+  in
+  let rec go = function
+    | [] -> []
+    | job :: rest as jobs -> (
+      match (job_ops job.req, req_tenant job.req) with
+      | Some ops, Some tenant -> (
+        match Hashtbl.find_opt sh.sessions tenant with
+        | None ->
+          finish job (Error (no_session tenant));
+          go rest
+        | Some session -> (
+          match find tenant with
+          | Some r when closed r -> jobs (* report barrier: next wave *)
+          | Some r ->
+            r.jobs <- (job, List.length ops) :: r.jobs;
+            go rest
+          | None ->
+            runs := { tenant; session; jobs = [ (job, List.length ops) ] } :: !runs;
+            go rest))
+      | _ -> jobs (* query or admin: barrier *))
+  in
+  let rest = go wave in
+  (List.rev_map (fun r -> r.jobs <- List.rev r.jobs; r) !runs, rest)
+
+let mutation_prefix wave =
+  match wave with
+  | job :: _ -> job_ops job.req <> None && req_tenant job.req <> None
+  | [] -> false
+
+let rec process t sh wave =
+  match wave with
+  | [] -> ()
+  | job :: rest when not (mutation_prefix wave) ->
+    finish job (handle_one t sh job.req);
+    process t sh rest
+  | _ ->
+    let runs, rest = collect_runs sh wave in
+    (match runs with
+    | [] -> ()
+    | [ run ] ->
+      (* one tenant: plain submit, no domain fan-out *)
+      let ops = List.concat_map (fun (j, _) -> Option.get (job_ops j.req)) run.jobs in
+      distribute run (Engine.submit run.session ops)
+    | runs ->
+      let entries =
+        Array.of_list
+          (List.map
+             (fun r ->
+               (r.session, List.concat_map (fun (j, _) -> Option.get (job_ops j.req)) r.jobs))
+             runs)
+      in
+      let batches = Engine.submit_many entries in
+      List.iteri (fun i r -> distribute r batches.(i)) runs);
+    process t sh rest
+
+(* --- worker loop ----------------------------------------------------------- *)
+
+let worker_loop t sh =
+  let rec loop () =
+    Mutex.lock sh.m;
+    while sh.queue = [] && not sh.stopping do
+      Condition.wait sh.nonempty sh.m
+    done;
+    let wave = List.rev sh.queue in
+    sh.queue <- [];
+    sh.queue_len <- 0;
+    Condition.broadcast sh.nonfull;
+    Mutex.unlock sh.m;
+    match wave with
+    | [] -> () (* stopping and flushed *)
+    | wave ->
+      process t sh wave;
+      loop ()
+  in
+  loop ()
+
+(* --- public surface -------------------------------------------------------- *)
+
+let create ?(threaded = true) ?(flight_capacity = 256) ~shards ~max_queue () =
+  if shards <= 0 then invalid_arg "Shard.create: shards must be positive";
+  if max_queue <= 0 then invalid_arg "Shard.create: max_queue must be positive";
+  let mk sid =
+    {
+      sid;
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      nonfull = Condition.create ();
+      queue = [];
+      queue_len = 0;
+      stopping = false;
+      sessions = Hashtbl.create 64;
+      n_sessions = Atomic.make 0;
+      worker = None;
+    }
+  in
+  let t =
+    {
+      shards = Array.init shards mk;
+      max_queue;
+      flight_capacity;
+      threaded;
+      drain_m = Mutex.create ();
+      drained = None;
+    }
+  in
+  if threaded then
+    Array.iter (fun sh -> sh.worker <- Some (Domain.spawn (fun () -> worker_loop t sh))) t.shards;
+  t
+
+let shards t = Array.length t.shards
+
+let session_count t =
+  Array.fold_left (fun acc sh -> acc + Atomic.get sh.n_sessions) 0 t.shards
+
+let draining_error = Error.Precondition "server draining"
+
+let call_sync t sh req =
+  Mutex.lock sh.m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock sh.m)
+    (fun () -> if sh.stopping then Error draining_error else handle_one t sh req)
+
+let call_threaded t sh req =
+  let job =
+    { req; job_m = Mutex.create (); job_c = Condition.create (); reply = None }
+  in
+  Mutex.lock sh.m;
+  while sh.queue_len >= t.max_queue && not sh.stopping do
+    Condition.wait sh.nonfull sh.m
+  done;
+  if sh.stopping then begin
+    Mutex.unlock sh.m;
+    Error draining_error
+  end
+  else begin
+    sh.queue <- job :: sh.queue;
+    sh.queue_len <- sh.queue_len + 1;
+    Condition.signal sh.nonempty;
+    Mutex.unlock sh.m;
+    Mutex.lock job.job_m;
+    while job.reply = None do
+      Condition.wait job.job_c job.job_m
+    done;
+    Mutex.unlock job.job_m;
+    Option.get job.reply
+  end
+
+let owning_tenant : Proto.req -> string option = function
+  | Proto.Hello _ | Proto.Ping | Proto.Shutdown -> None
+  | Proto.Open { tenant; _ }
+  | Proto.Add_path { tenant; _ }
+  | Proto.Remove_path { tenant; _ }
+  | Proto.Add_arc { tenant; _ }
+  | Proto.Submit { tenant; _ }
+  | Proto.Report { tenant }
+  | Proto.Pi { tenant }
+  | Proto.Color_of { tenant; _ }
+  | Proto.Stats { tenant }
+  | Proto.Health { tenant }
+  | Proto.Snapshot { tenant }
+  | Proto.Evict { tenant } -> Some tenant
+
+let call t (req : Proto.req) =
+  match owning_tenant req with
+  | None -> (
+    match req with
+    | Proto.Hello v ->
+      if v = Proto.version then Ok (Proto.R_hello Proto.version)
+      else Error (Error.Unsupported_version v)
+    | Proto.Ping -> Ok Proto.R_pong
+    | _ -> Ok Proto.R_bye)
+  | Some tenant ->
+    let sh = t.shards.(shard_of_tenant ~shards:(Array.length t.shards) tenant) in
+    if t.threaded then call_threaded t sh req else call_sync t sh req
+
+let drain t =
+  Mutex.lock t.drain_m;
+  match t.drained with
+  | Some listing ->
+    Mutex.unlock t.drain_m;
+    listing
+  | None ->
+    Array.iter
+      (fun sh ->
+        Mutex.lock sh.m;
+        sh.stopping <- true;
+        Condition.broadcast sh.nonempty;
+        Condition.broadcast sh.nonfull;
+        Mutex.unlock sh.m)
+      t.shards;
+    if t.threaded then
+      Array.iter
+        (fun sh ->
+          match sh.worker with
+          | Some d ->
+            Domain.join d;
+            sh.worker <- None
+          | None -> ())
+        t.shards;
+    let listing =
+      Array.to_list t.shards
+      |> List.concat_map (fun sh ->
+             Hashtbl.fold (fun tenant s acc -> (tenant, s) :: acc) sh.sessions [])
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    in
+    t.drained <- Some listing;
+    Mutex.unlock t.drain_m;
+    listing

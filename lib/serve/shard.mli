@@ -1,0 +1,59 @@
+(** Sharded engine workers behind the [wlrpc/1] dispatch.
+
+    Sessions are partitioned over [shards] workers by a stable hash of the
+    tenant id; every request for a tenant is executed by that tenant's
+    worker, so per-tenant operations are processed in submission order
+    without any per-session locking.
+
+    In {e threaded} mode (the daemon) each worker is its own domain
+    draining a bounded job queue.  A worker takes the whole queue as one
+    {e wave} and feeds the leading run of mutations — grouped per tenant,
+    order preserved — through {!Wl_engine.Engine.submit_many}, so
+    concurrent tenants solve in parallel and a dirty streak costs one
+    solve per tenant per wave.  The queue bound is the backpressure:
+    {!call} blocks when the worker is [max_queue] jobs behind.
+
+    In {e synchronous} mode (the in-process loopback client, the fuzz
+    oracles) there are no domains: {!call} executes the request inline
+    under the shard's lock.  Same dispatch code, deterministic stats —
+    which is what makes a loopback client comparable op-for-op with a
+    bare engine session. *)
+
+module Engine = Wl_engine.Engine
+
+type t
+
+val create :
+  ?threaded:bool ->
+  ?flight_capacity:int ->
+  shards:int ->
+  max_queue:int ->
+  unit ->
+  t
+(** [threaded] defaults to [true]; [flight_capacity] (default 256) bounds
+    each session's flight-recorder ring so thousands of sessions stay
+    cheap.  [shards] must be positive, [max_queue] at least 1.
+    @raise Invalid_argument on a non-positive [shards] or [max_queue]. *)
+
+val shards : t -> int
+
+val shard_of_tenant : shards:int -> string -> int
+(** The stable partition function (FNV-1a over the tenant bytes), exposed
+    for tests and for operators reading per-shard metrics. *)
+
+val call : t -> Proto.req -> Proto.reply
+(** Execute one request and wait for its reply.  Tenant-scoped requests
+    run on the tenant's shard; [Hello]/[Ping]/[Shutdown] are answered
+    inline ([Shutdown] replies [R_bye] — initiating the drain is the
+    caller's job).  After {!drain} has begun, returns
+    [Error (Precondition _)]. *)
+
+val session_count : t -> int
+(** Open sessions across all shards (approximate under concurrency). *)
+
+val drain : t -> (string * Engine.session) list
+(** Stop accepting, flush every shard's queue, join the workers, and
+    return every still-open session, sorted by tenant — after the join
+    the sessions are quiescent, so callers can read
+    {!Wl_engine.Engine.health} or dump flight recorders without racing a
+    worker.  Idempotent; later calls return the same listing. *)

@@ -1,0 +1,101 @@
+open Wl_core
+
+let max_frame = 16 * 1024 * 1024
+
+let proto_error msg = Error.Parse { line = 0; msg }
+
+let frame payload =
+  let len = String.length payload in
+  if len = 0 then invalid_arg "Wire.frame: empty payload";
+  if len > max_frame then invalid_arg "Wire.frame: payload exceeds max_frame";
+  let b = Bytes.create (4 + len) in
+  Bytes.set_uint8 b 0 ((len lsr 24) land 0xff);
+  Bytes.set_uint8 b 1 ((len lsr 16) land 0xff);
+  Bytes.set_uint8 b 2 ((len lsr 8) land 0xff);
+  Bytes.set_uint8 b 3 (len land 0xff);
+  Bytes.blit_string payload 0 b 4 len;
+  Bytes.unsafe_to_string b
+
+(* Decode the 4-byte prefix without touching anything past it; bounds are
+   checked before the payload buffer exists, so a garbage length can cost
+   at most a refused frame, never an allocation. *)
+let length_at buf off =
+  (Char.code buf.[off] lsl 24)
+  lor (Char.code buf.[off + 1] lsl 16)
+  lor (Char.code buf.[off + 2] lsl 8)
+  lor Char.code buf.[off + 3]
+
+let unframe buf off =
+  let n = String.length buf in
+  if off < 0 || off > n then Error (proto_error "frame offset out of range")
+  else if n - off < 4 then Error (proto_error "truncated frame: length prefix incomplete")
+  else
+    let len = length_at buf off in
+    if len = 0 then Error (proto_error "zero-length frame")
+    else if len > max_frame then
+      Error (proto_error (Printf.sprintf "oversized frame: %d bytes (max %d)" len max_frame))
+    else if n - off - 4 < len then
+      Error
+        (proto_error
+           (Printf.sprintf "truncated frame: %d payload bytes promised, %d present" len
+              (n - off - 4)))
+    else Ok (String.sub buf (off + 4) len, off + 4 + len)
+
+let unframe_all buf =
+  let n = String.length buf in
+  let rec go acc off =
+    if off = n then Ok (List.rev acc)
+    else
+      match unframe buf off with
+      | Ok (payload, off') -> go (payload :: acc) off'
+      | Error _ as e -> e
+  in
+  go [] 0
+
+(* --- blocking fd transport ------------------------------------------------ *)
+
+let rec write_all fd b off len =
+  if len = 0 then Ok ()
+  else
+    match Unix.write fd b off len with
+    | 0 -> Error (Error.Io "connection closed during write")
+    | n -> write_all fd b (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd b off len
+    | exception Unix.Unix_error (e, _, _) -> Error (Error.Io (Unix.error_message e))
+
+let write fd payload =
+  let framed = frame payload in
+  write_all fd (Bytes.unsafe_of_string framed) 0 (String.length framed)
+
+(* Read exactly [len] bytes; [Ok false] when EOF arrives before the first
+   byte (clean close), [Error] when it arrives in the middle. *)
+let read_exactly fd b len =
+  let rec go off =
+    if off = len then Ok true
+    else
+      match Unix.read fd b off (len - off) with
+      | 0 ->
+        if off = 0 then Ok false
+        else Error (proto_error (Printf.sprintf "truncated frame: eof after %d of %d bytes" off len))
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (e, _, _) -> Error (Error.Io (Unix.error_message e))
+  in
+  go 0
+
+let read fd =
+  let prefix = Bytes.create 4 in
+  match read_exactly fd prefix 4 with
+  | Error _ as e -> e
+  | Ok false -> Ok None
+  | Ok true -> (
+    let len = length_at (Bytes.unsafe_to_string prefix) 0 in
+    if len = 0 then Error (proto_error "zero-length frame")
+    else if len > max_frame then
+      Error (proto_error (Printf.sprintf "oversized frame: %d bytes (max %d)" len max_frame))
+    else
+      let payload = Bytes.create len in
+      match read_exactly fd payload len with
+      | Error _ as e -> e
+      | Ok false -> Error (proto_error "truncated frame: eof before payload")
+      | Ok true -> Ok (Some (Bytes.unsafe_to_string payload)))

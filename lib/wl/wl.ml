@@ -54,10 +54,21 @@ module Metrics = Wl_obs.Metrics
 module Trace = Wl_obs.Trace
 module Prng = Wl_util.Prng
 
+(** {1 Wavelength assignment as a service} *)
+
+module Proto = Wl_serve.Proto
+module Wire = Wl_serve.Wire
+module Shard = Wl_serve.Shard
+module Server = Wl_serve.Server
+module Client = Wl_serve.Client
+
 (** {1 Convenience} *)
 
 let solve = Wl_core.Solver.solve
 let solve_result = Wl_core.Solver.solve_result
+let connect = Wl_serve.Client.connect
+let session = Wl_serve.Client.session
+let local = Wl_serve.Client.local
 
 let version = 2
 (** Serialization format version this build writes by default

@@ -129,6 +129,44 @@ let test_error_exit_codes () =
     | exception Error.Error (Error.Io "x") -> true
     | _ -> false)
 
+(* Exhaustive wire-code round-trip: to_code must agree with exit_code on
+   every constructor, and of_code over the stable rendering must recover
+   the constructor — the contract that keeps wire error frames, CLI exit
+   statuses and library errors in one namespace. *)
+let test_error_wire_codes () =
+  let samples =
+    [
+      Error.Parse { line = 3; msg = "boom" };
+      Error.Parse { line = 0; msg = "headerless" };
+      Error.Invalid_path "p not a dipath";
+      Error.Cyclic "cycle through 3";
+      Error.Bad_index { what = "path"; index = 7 };
+      Error.Bad_index { what = "tenant: shard"; index = 12 };
+      Error.Invalid_op "dead handle";
+      Error.Precondition "pre";
+      Error.Unsupported_version 9;
+      Error.Io "read failed";
+    ]
+  in
+  List.iter
+    (fun e ->
+      check_int "to_code = exit_code" (Error.exit_code e) (Error.to_code e);
+      match Error.of_code (Error.to_code e) (Error.to_string e) with
+      | None -> Alcotest.failf "of_code %d returned None" (Error.to_code e)
+      | Some e' ->
+        Alcotest.(check string)
+          "of_code round-trip" (Error.to_string e) (Error.to_string e');
+        check "same constructor" true (Error.to_code e = Error.to_code e'))
+    samples;
+  (* the round-trip is exact, not just rendering-equal *)
+  List.iter
+    (fun e ->
+      check "structural round-trip" true
+        (Error.of_code (Error.to_code e) (Error.to_string e) = Some e))
+    samples;
+  check "unknown code" true (Error.of_code 63 "x" = None);
+  check "unknown code high" true (Error.of_code 99 "x" = None)
+
 let suite =
   [
     ( "contracts",
@@ -143,5 +181,6 @@ let suite =
         Alcotest.test_case "exact coloring" `Quick test_exact_contracts;
         Alcotest.test_case "baselines" `Quick test_baselines_contracts;
         Alcotest.test_case "error exit codes" `Quick test_error_exit_codes;
+        Alcotest.test_case "error wire codes" `Quick test_error_wire_codes;
       ] );
   ]

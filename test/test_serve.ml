@@ -1,0 +1,262 @@
+(* Tests for the wlrpc/1 service stack: wire framing totality, protocol
+   codecs (text and JSON, error frames included), address parsing, the
+   loopback client against a live engine, and a real unix-socket daemon
+   round trip ending in a graceful drain.  The statistical/differential
+   side lives in the client_vs_engine and wlrpc_frame fuzz oracles; these
+   are the deterministic anchors. *)
+
+open Helpers
+open Wl_core
+module Engine = Wl_engine.Engine
+module Wire = Wl_serve.Wire
+module Proto = Wl_serve.Proto
+module Shard = Wl_serve.Shard
+module Server = Wl_serve.Server
+module Client = Wl_serve.Client
+
+let ok_exn what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what (Error.to_string e)
+
+let line3 () =
+  (* 0 -> 1 -> 2 -> 3 with two overlapping paths: pi = 2, w = 2. *)
+  let g = Wl_digraph.Digraph.create () in
+  for _ = 0 to 3 do
+    ignore (Wl_digraph.Digraph.add_vertex g)
+  done;
+  List.iter (fun (a, b) -> ignore (Wl_digraph.Digraph.add_arc g a b))
+    [ (0, 1); (1, 2); (2, 3) ];
+  ok_exn "line3" (Instance.of_vertex_seqs g [ [ 0; 1; 2 ]; [ 1; 2; 3 ] ])
+
+(* --- wire framing ----------------------------------------------------------- *)
+
+let test_wire () =
+  let f = Wire.frame "hello" in
+  check_int "frame length" (String.length f) 9;
+  (match Wire.unframe f 0 with
+  | Ok (p, off) ->
+    Alcotest.(check string) "payload" "hello" p;
+    check_int "offset" off 9
+  | Error e -> Alcotest.failf "unframe: %s" (Error.to_string e));
+  (match Wire.unframe_all (f ^ Wire.frame "world") with
+  | Ok ps -> Alcotest.(check (list string)) "stream" [ "hello"; "world" ] ps
+  | Error e -> Alcotest.failf "unframe_all: %s" (Error.to_string e));
+  let parse_error what = function
+    | Error (Error.Parse _) -> ()
+    | Error e -> Alcotest.failf "%s: want Parse, got %s" what (Error.to_string e)
+    | Ok _ -> Alcotest.failf "%s: decoded a corrupt frame" what
+  in
+  parse_error "empty" (Wire.unframe "" 0);
+  parse_error "short prefix" (Wire.unframe "\000\000" 0);
+  parse_error "zero length" (Wire.unframe "\000\000\000\000x" 0);
+  parse_error "oversized" (Wire.unframe "\255\255\255\255x" 0);
+  parse_error "truncated payload" (Wire.unframe (String.sub f 0 8) 0);
+  check "writer refuses empty" true
+    (match Wire.frame "" with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+(* --- protocol codecs --------------------------------------------------------- *)
+
+let test_tenants () =
+  check "plain ok" true (Proto.tenant_ok "build42");
+  check "dots/dashes ok" true (Proto.tenant_ok "a.b-c_d");
+  check "empty rejected" false (Proto.tenant_ok "");
+  check "space rejected" false (Proto.tenant_ok "a b");
+  check "newline rejected" false (Proto.tenant_ok "a\nb");
+  check "slash rejected" false (Proto.tenant_ok "a/b");
+  check "long rejected" false (Proto.tenant_ok (String.make 129 'x'));
+  check "128 ok" true (Proto.tenant_ok (String.make 128 'x'))
+
+let every_error =
+  [
+    Error.Parse { line = 7; msg = "bad token\nwith \\ escapes" };
+    Error.Invalid_path "not a dipath";
+    Error.Cyclic "cycle 1 -> 2 -> 1";
+    Error.Bad_index { what = "path"; index = 5 };
+    Error.Invalid_op "dead handle";
+    Error.Precondition "tenant id";
+    Error.Unsupported_version 3;
+    Error.Io "broken pipe";
+  ]
+
+let test_error_frames () =
+  (* Every constructor round-trips both encodings, and the frame carries
+     the same sysexits code the CLI would exit with. *)
+  List.iter
+    (fun e ->
+      List.iter
+        (fun json ->
+          match Proto.decode_reply (Proto.encode_reply ~json (Error e)) with
+          | Ok (Error e') ->
+            check "same error" true (e = e');
+            check_int "same wire code" (Error.to_code e) (Error.to_code e')
+          | Ok (Ok _) -> Alcotest.fail "error frame decoded as success"
+          | Error e' ->
+            Alcotest.failf "error frame did not decode: %s" (Error.to_string e'))
+        [ false; true ])
+    every_error
+
+let test_request_roundtrip () =
+  let inst = line3 () in
+  let reqs =
+    [
+      Proto.Hello 1;
+      Proto.Ping;
+      Proto.Shutdown;
+      Proto.Add_path { tenant = "t"; vertices = [ 0; 1; 2 ] };
+      Proto.Remove_path { tenant = "t"; id = 0 };
+      Proto.Add_arc { tenant = "t"; tail = 3; head = 0 };
+      Proto.Submit
+        { tenant = "t"; ops = [ Engine.Add_path [ 0; 1 ]; Engine.Remove_path 1 ] };
+      Proto.Report { tenant = "t" };
+      Proto.Pi { tenant = "t" };
+      Proto.Color_of { tenant = "t"; id = 1 };
+      Proto.Stats { tenant = "t" };
+      Proto.Health { tenant = "t" };
+      Proto.Snapshot { tenant = "t" };
+      Proto.Evict { tenant = "t" };
+    ]
+  in
+  List.iter
+    (fun json ->
+      List.iter
+        (fun r ->
+          match Proto.decode_request (Proto.encode_request ~json r) with
+          | Ok r' -> check "request round trip" true (r = r')
+          | Error e -> Alcotest.failf "decode: %s" (Error.to_string e))
+        reqs;
+      (* Open carries an instance; compare its serialized form. *)
+      match
+        Proto.decode_request
+          (Proto.encode_request ~json (Proto.Open { tenant = "t"; instance = inst }))
+      with
+      | Ok (Proto.Open { tenant; instance }) ->
+        Alcotest.(check string) "open tenant" "t" tenant;
+        Alcotest.(check string) "open instance" (Serial.to_string inst)
+          (Serial.to_string instance)
+      | Ok _ -> Alcotest.fail "open decoded as another verb"
+      | Error e -> Alcotest.failf "open decode: %s" (Error.to_string e))
+    [ false; true ];
+  check "bad tenant unrepresentable" true
+    (match Proto.encode_request (Proto.Report { tenant = "a b" }) with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let test_addresses () =
+  let round s expect =
+    match Server.address_of_string s with
+    | Ok a -> Alcotest.(check string) s expect (Server.address_to_string a)
+    | Error e -> Alcotest.failf "%s: %s" s (Error.to_string e)
+  in
+  round "unix:/tmp/wld.sock" "unix:/tmp/wld.sock";
+  round "/tmp/wld.sock" "unix:/tmp/wld.sock";
+  round "./wld.sock" "unix:./wld.sock";
+  round "tcp:localhost:7070" "tcp:localhost:7070";
+  round "localhost:7070" "tcp:localhost:7070";
+  List.iter
+    (fun s ->
+      check ("reject " ^ s) true
+        (Result.is_error (Server.address_of_string s)))
+    [ ""; "unix:"; "tcp:"; "tcp:host"; "tcp:host:0"; "tcp:host:notaport"; "plain" ]
+
+(* --- loopback client --------------------------------------------------------- *)
+
+let test_loopback () =
+  let c = Client.local () in
+  check_int "hello" (ok_exn "hello" (Client.hello c)) Proto.version;
+  ok_exn "ping" (Client.ping c);
+  let s = ok_exn "open" (Client.open_session c ~tenant:"t1" (line3 ())) in
+  check_int "pi" (ok_exn "pi" (Client.pi s)) 2;
+  let id = ok_exn "add" (Client.add_path s [ 0; 1 ]) in
+  let r = ok_exn "report" (Client.report s) in
+  check_int "w = pi" r.Proto.n_wavelengths r.Proto.pi;
+  check "optimal" true r.Proto.optimal;
+  let c0 = ok_exn "color" (Client.color_of s id) in
+  check "color in palette" true (c0 >= 0 && c0 < r.Proto.n_wavelengths);
+  (match Client.remove_path s 99 with
+  | Error (Error.Bad_index _) -> ()
+  | Error e -> Alcotest.failf "want Bad_index, got %s" (Error.to_string e)
+  | Ok () -> Alcotest.fail "removed a path that never existed");
+  ok_exn "remove" (Client.remove_path s id);
+  let snap = ok_exn "snapshot" (Client.snapshot s) in
+  check_int "snapshot paths" (Instance.n_paths snap) 2;
+  let st = ok_exn "stats" (Client.stats s) in
+  check_int "ops accepted" st.Engine.ops 2;
+  let h = ok_exn "health" (Client.health s) in
+  check "healthy" true h.Proto.healthy;
+  ok_exn "evict" (Client.evict s);
+  (match Client.pi s with
+  | Error (Error.Invalid_op _) -> ()
+  | _ -> Alcotest.fail "evicted session still answers");
+  (* Sessions on a second tenant are independent. *)
+  let s2 = ok_exn "open t2" (Client.open_session c ~tenant:"t2" (line3 ())) in
+  check_int "t2 pi" (ok_exn "pi" (Client.pi s2)) 2;
+  Client.close c;
+  (match Client.ping c with
+  | Error (Error.Invalid_op _) -> ()
+  | _ -> Alcotest.fail "closed client still answers")
+
+let test_loopback_json_and_batch () =
+  let c = Client.local ~json:true ~shards:2 () in
+  let s = ok_exn "open" (Client.open_session c ~tenant:"batch" (line3 ())) in
+  let b =
+    ok_exn "submit"
+      (Client.submit s
+         [ Engine.Add_path [ 0; 1 ]; Engine.Add_path [ 9; 9 ]; Engine.Remove_path 0 ])
+  in
+  check_int "outcomes" (Array.length b.Client.outcomes) 3;
+  check "first accepted" true
+    (match b.Client.outcomes.(0) with Ok (Proto.O_path _) -> true | _ -> false);
+  check "second rejected" true (Result.is_error b.Client.outcomes.(1));
+  check "third accepted" true
+    (match b.Client.outcomes.(2) with Ok (Proto.O_removed 0) -> true | _ -> false);
+  (* [0;1;2] is gone: the two survivors ([1;2;3], [0;1]) are arc-disjoint. *)
+  check_int "after pi" b.Client.after.Proto.pi 1;
+  Client.close c
+
+(* --- unix-socket daemon ------------------------------------------------------ *)
+
+let test_daemon_roundtrip () =
+  let path = Filename.temp_file "wld_test" ".sock" in
+  Sys.remove path;
+  let shard = Shard.create ~threaded:true ~shards:2 ~max_queue:64 () in
+  let srv =
+    ok_exn "serve" (Server.serve ~shard (Server.Unix_sock path))
+  in
+  let c = ok_exn "connect" (Client.connect ("unix:" ^ path)) in
+  check_int "hello" (ok_exn "hello" (Client.hello c)) Proto.version;
+  let s = ok_exn "open" (Client.open_session c ~tenant:"remote" (line3 ())) in
+  let id = ok_exn "add" (Client.add_path s [ 1; 2; 3 ]) in
+  check_int "pi over the wire" (ok_exn "pi" (Client.pi s)) 3;
+  ok_exn "remove" (Client.remove_path s id);
+  (* A second client sees the same tenant: state lives server-side. *)
+  let c2 = ok_exn "connect2" (Client.connect ~json:true ("unix:" ^ path)) in
+  let s2 = ok_exn "session2" (Client.session c2 ~tenant:"remote") in
+  check_int "shared pi" (ok_exn "pi2" (Client.pi s2)) 2;
+  ok_exn "shutdown" (Client.shutdown_server c2);
+  Client.close c2;
+  Client.close c;
+  let drained = Server.wait srv in
+  check_int "one session at drain" (List.length drained) 1;
+  (match drained with
+  | [ (tenant, sess) ] ->
+    Alcotest.(check string) "tenant" "remote" tenant;
+    check "drained healthy" true (Engine.health sess).Engine.healthy
+  | _ -> Alcotest.fail "unexpected drain listing");
+  check "socket unlinked" false (Sys.file_exists path)
+
+let suite =
+  [
+    ( "serve",
+      [
+        Alcotest.test_case "wire framing" `Quick test_wire;
+        Alcotest.test_case "tenant ids" `Quick test_tenants;
+        Alcotest.test_case "error frames" `Quick test_error_frames;
+        Alcotest.test_case "request round trips" `Quick test_request_roundtrip;
+        Alcotest.test_case "addresses" `Quick test_addresses;
+        Alcotest.test_case "loopback client" `Quick test_loopback;
+        Alcotest.test_case "json loopback batch" `Quick test_loopback_json_and_batch;
+        Alcotest.test_case "unix socket daemon" `Quick test_daemon_roundtrip;
+      ] );
+  ]
