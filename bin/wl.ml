@@ -5,6 +5,8 @@
                       (--stats for solver counters, --trace OUT.json for a
                       chrome://tracing / Perfetto trace of the solve)
      color FILE       print one "path <index> wavelength <w>" line per dipath
+     route FILE REQS  choose routes for a request file over the instance's
+                      DAG (k-shortest + min-load selection), then solve
      generate KIND    emit a generated instance in the text format
      dot FILE         emit Graphviz DOT (wavelength-colored when --solve)
      top FILE         churn an engine session and watch health/latency live
@@ -119,6 +121,104 @@ let color_cmd =
   Cmd.v
     (Cmd.info "color" ~doc:"Print the wavelength of every dipath.")
     Term.(const color $ file_arg)
+
+(* --- route --- *)
+
+let route file reqs_file k json =
+  let module Jsonx = Wl_util.Jsonx in
+  (* The DAG comes from an instance file; any dipaths it carries are
+     ignored — routing chooses the family. *)
+  let dag = Instance.dag (read_instance file) in
+  let requests = or_die_e ~ctx:reqs_file (Routing.read_requests_file reqs_file) in
+  let sel = or_die_e ~ctx:reqs_file (Routing.select ~k dag requests) in
+  let inst = Routing.instance_of_selection dag sel in
+  let report = Solver.solve inst in
+  let g = Wl_dag.Dag.graph dag in
+  if json then
+    let route_obj i p =
+      let x, y = sel.Routing.requests.(i) in
+      Jsonx.Obj
+        [
+          ("src", Jsonx.Int x);
+          ("dst", Jsonx.Int y);
+          ("path", Jsonx.Arr (List.map (fun v -> Jsonx.Int v) (Wl_digraph.Dipath.vertices p)));
+        ]
+    in
+    print_string
+      (Jsonx.to_string ~pretty:true
+         (Jsonx.Obj
+            [
+              ("format", Jsonx.Str "wl-route");
+              ("version", Jsonx.Int 1);
+              ("vertices", Jsonx.Int (Wl_digraph.Digraph.n_vertices g));
+              ("arcs", Jsonx.Int (Wl_digraph.Digraph.n_arcs g));
+              ("requests", Jsonx.Int (Array.length sel.Routing.requests));
+              ("k", Jsonx.Int sel.Routing.k);
+              ("alternatives", Jsonx.Int sel.Routing.n_alternatives);
+              ("seed_load", Jsonx.Int sel.Routing.seed_load);
+              ("max_load", Jsonx.Int sel.Routing.max_load);
+              ("lower_bound", Jsonx.Int sel.Routing.lower_bound);
+              ("swaps", Jsonx.Int sel.Routing.swaps);
+              ("rounds", Jsonx.Int sel.Routing.rounds);
+              ("wavelengths", Jsonx.Int report.Solver.n_wavelengths);
+              ("method", Jsonx.Str (Solver.method_name report.Solver.method_used));
+              ("optimal", Jsonx.Bool report.Solver.optimal);
+              ( "routes",
+                Jsonx.Arr (Array.to_list (Array.mapi route_obj sel.Routing.routes)) );
+            ]))
+  else begin
+    Printf.printf "routed %d requests over %d vertices / %d arcs (k = %d)\n"
+      (Array.length sel.Routing.requests)
+      (Wl_digraph.Digraph.n_vertices g)
+      (Wl_digraph.Digraph.n_arcs g)
+      sel.Routing.k;
+    Printf.printf
+      "max arc load %d  (greedy seed %d, lower bound %d%s; %d swaps in %d rounds)\n"
+      sel.Routing.max_load sel.Routing.seed_load sel.Routing.lower_bound
+      (if sel.Routing.max_load = sel.Routing.lower_bound then
+         ", routing-optimal"
+       else "")
+      sel.Routing.swaps sel.Routing.rounds;
+    Printf.printf "wavelengths %d  method %s  optimal %b\n"
+      report.Solver.n_wavelengths
+      (Solver.method_name report.Solver.method_used)
+      report.Solver.optimal;
+    Array.iteri
+      (fun i p ->
+        let x, y = sel.Routing.requests.(i) in
+        Printf.printf "route %d: (%d, %d) via%s\n" i x y
+          (List.fold_left
+             (fun acc v -> acc ^ " " ^ string_of_int v)
+             ""
+             (Wl_digraph.Dipath.vertices p)))
+      sel.Routing.routes
+  end
+
+let route_cmd =
+  let reqs_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"REQUESTS"
+          ~doc:"Request file: optional 'wlreq 1' header, then 'req X Y' lines.")
+  in
+  let k =
+    Arg.(
+      value & opt int 8
+      & info [ "k" ] ~docv:"K"
+          ~doc:"Alternative routes enumerated per request (Yen's algorithm).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the chosen family and bounds as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:
+         "Route requests over the instance's DAG (k-shortest enumeration + \
+          min-load selection), then solve the wavelength assignment.")
+    Term.(const route $ file_arg $ reqs_arg $ k $ json)
 
 (* --- generate --- *)
 
@@ -1135,7 +1235,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            analyze_cmd; color_cmd; generate_cmd; dot_cmd; svg_cmd; groom_cmd;
+            analyze_cmd; color_cmd; route_cmd; generate_cmd; dot_cmd; svg_cmd; groom_cmd;
             witness_cmd; verify_cmd; session_cmd; top_cmd; wld_cmd; fuzz_cmd;
             bench_cmd; report_cmd; trace_check_cmd; metrics_check_cmd;
           ]))

@@ -34,7 +34,7 @@ let run_scenario name dag model rng ~batch_size ~n_batches =
         (fun req ->
           match router req with
           | Ok p -> routed := !routed @ [ p ]
-          | Error msg -> Format.printf "routing failed: %s@." msg)
+          | Error e -> Format.printf "routing failed: %s@." (Error.to_string e))
         batch;
       let inst = Instance.make dag !routed in
       let pi = Load.pi inst in

@@ -25,7 +25,8 @@ let () =
 
   let evaluate dag name route requests =
     match Routing.instance_of dag route requests with
-    | Error msg -> Format.printf "  %-10s routing failed: %s@." name msg
+    | Error e ->
+      Format.printf "  %-10s routing failed: %s@." name (Error.to_string e)
     | Ok inst ->
       let report = Solver.solve inst in
       Format.printf

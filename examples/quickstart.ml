@@ -37,7 +37,7 @@ let () =
   (* Route requests along unique dipaths (this DAG is UPP), then solve. *)
   let requests = [ (paris, milano); (paris, milano); (lyon, milano); (geneva, milano) ] in
   match Routing.instance_of dag Routing.route_min_load requests with
-  | Error msg -> Format.printf "routing failed: %s@." msg
+  | Error e -> Format.printf "routing failed: %s@." (Error.to_string e)
   | Ok inst ->
     let report = Solver.solve inst in
     Format.printf "%a@." (Solver.pp_report ~stats:false) report;

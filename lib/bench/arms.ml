@@ -148,6 +148,39 @@ let engine_arm n =
         [ ("warm_hit_rate", Engine.hit_rate (Engine.stats session)) ]);
   }
 
+(* The full routing stage (Yen enumeration, bottleneck seeding, local
+   search) over a fixed uniform request set: the timed unit is one whole
+   [Routing.select], the dominant cost of turning a demand matrix into a
+   solvable instance.  The achieved bounds ride along as extras so the
+   trajectory records not just how fast the stage is but how good its
+   routing was (seed vs final vs lower bound). *)
+let route_arm n =
+  let n_requests = n / 8 in
+  let rng = Prng.create (20260808 + n) in
+  let dag = Generators.gnp_no_internal_cycle rng n (8.0 /. float_of_int n) in
+  let requests = Wl_netgen.Traffic.uniform rng dag n_requests in
+  let last = ref None in
+  {
+    name = Printf.sprintf "route/n=%d" n;
+    params = [ ("n", n); ("requests", n_requests); ("k", 4) ];
+    run =
+      (fun () ->
+        match Routing.select ~k:4 dag requests with
+        | Ok sel -> last := Some sel
+        | Error _ -> ());
+    baseline = None;
+    extras =
+      (fun () ->
+        match !last with
+        | None -> []
+        | Some sel ->
+          [
+            ("seed_load", float_of_int sel.Routing.seed_load);
+            ("max_load", float_of_int sel.Routing.max_load);
+            ("lower_bound", float_of_int sel.Routing.lower_bound);
+          ]);
+  }
+
 let suite ?(quick = false) () =
   if quick then
     [
@@ -157,6 +190,7 @@ let suite ?(quick = false) () =
       conflict_arm 60;
       load_arm 120;
       engine_arm 120;
+      route_arm 120;
     ]
   else
     [
@@ -166,6 +200,7 @@ let suite ?(quick = false) () =
       conflict_arm 150;
       load_arm 400;
       engine_arm 400;
+      route_arm 1600;
     ]
 
 let busy_wait ns =

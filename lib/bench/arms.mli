@@ -18,9 +18,11 @@ type arm = {
 val suite : ?quick:bool -> unit -> arm list
 (** The standard arms: Theorem 1 coloring, dense DSATUR (sequential and
     component-parallel with the sequential run as the baseline arm),
-    conflict-graph construction, load computation, and a warm engine
-    add/query/remove cycle through the prebuilt-dipath hot entries.
-    [quick] (default false) switches to smaller instances under
+    conflict-graph construction, load computation, a warm engine
+    add/query/remove cycle through the prebuilt-dipath hot entries, and
+    the full routing stage ([route/n=...]: {!Wl_core.Routing.select} over
+    a fixed uniform request set, with the seed/final/lower-bound loads as
+    extras).  [quick] (default false) switches to smaller instances under
     different bench names — for smoke tests and CI. *)
 
 val with_handicap : ns:int -> string -> arm list -> arm list

@@ -379,6 +379,82 @@ let invariants =
     check;
   }
 
+(* --- routing_packing ---------------------------------------------------------
+
+   The requests live inside the subject as routed dipaths (one per request,
+   endpoints = the request), so the stock shrinker applies: dropping paths
+   drops requests, and the reproducer is a plain instance file.  The check
+   re-derives the request multiset from the endpoints and runs the full
+   routing stage on it. *)
+
+let routing_packing =
+  let generate seed =
+    let rng = Prng.create seed in
+    let module Traffic = Wl_netgen.Traffic in
+    let dag, requests =
+      match seed mod 3 with
+      | 0 ->
+        let dag = Generators.gnp_dag rng 12 0.3 in
+        (dag, Traffic.uniform rng dag 10)
+      | 1 ->
+        let dag = Generators.layered rng ~layers:4 ~width:3 ~p:0.5 in
+        (dag, Traffic.hotspot rng dag ~hubs:2 ~bias:0.7 12)
+      | _ ->
+        let dag = Generators.gnp_no_internal_cycle rng 14 0.25 in
+        (dag, Traffic.uniform rng dag 8)
+    in
+    let paths =
+      match Routing.route_shortest dag requests with Ok ps -> ps | Error _ -> []
+    in
+    Subject.make (Instance.make dag paths)
+  in
+  let check (s : Subject.t) =
+    let inst = s.Subject.inst in
+    if Instance.n_paths inst = 0 then None
+    else begin
+      let dag = Instance.dag inst in
+      let requests =
+        List.map (fun p -> (Dipath.src p, Dipath.dst p)) (Instance.paths_list inst)
+      in
+      match Routing.select ~k:4 dag requests with
+      | Error e ->
+        Some ("select failed on routable requests: " ^ Error.to_string e)
+      | Ok sel ->
+        let routed = Routing.instance_of_selection dag sel in
+        let pi = Load.pi routed in
+        let w = (Solver.solve routed).Solver.n_wavelengths in
+        if sel.Routing.max_load > sel.Routing.seed_load then
+          Some
+            (Printf.sprintf
+               "local search worsened the seed: max load %d, seed %d"
+               sel.Routing.max_load sel.Routing.seed_load)
+        else if pi <> sel.Routing.max_load then
+          Some
+            (Printf.sprintf "reported max load %d, instance load %d"
+               sel.Routing.max_load pi)
+        else if sel.Routing.lower_bound > pi then
+          Some
+            (Printf.sprintf "packing lower bound %d exceeds achieved load %d"
+               sel.Routing.lower_bound pi)
+        else if pi > w then
+          Some (Printf.sprintf "load %d exceeds wavelength count %d" pi w)
+        else if sel.Routing.lower_bound > w then
+          Some
+            (Printf.sprintf "packing lower bound %d exceeds wavelengths %d"
+               sel.Routing.lower_bound w)
+        else None
+    end
+  in
+  {
+    name = "routing_packing";
+    doc =
+      "Full routing stage on fuzzed request sets: packing-number lower \
+       bound <= achieved load <= w, local search never above the greedy \
+       seed";
+    generate;
+    check;
+  }
+
 (* --- client_vs_engine -------------------------------------------------------- *)
 
 let errs = Error.to_string
@@ -768,6 +844,7 @@ let all =
     engine;
     serial;
     invariants;
+    routing_packing;
     client_vs_engine;
     wlrpc_frame;
   ]

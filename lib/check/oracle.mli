@@ -44,6 +44,14 @@ val engine : t
 val serial : t
 val invariants : t
 
+val routing_packing : t
+(** The full routing stage ({!Wl_core.Routing.select}) on fuzzed request
+    sets, the requests carried as routed dipaths so the stock shrinker
+    applies: the packing-number-style lower bound may never exceed the
+    achieved load, the achieved load may never exceed the wavelength
+    count of the solved family, and local search may never end above the
+    greedy seed. *)
+
 val client_vs_engine : t
 (** A {!Wl_serve.Client} loopback session (full [wlrpc/1] codec round
     trip on every call, text and JSON encodings both) replayed op-for-op

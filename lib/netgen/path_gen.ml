@@ -56,6 +56,7 @@ let source_sink_paths rng dag k =
 let all_to_all_instance dag =
   match Wl_core.Routing.instance_of dag Wl_core.Routing.route_unique (Wl_core.Routing.all_to_all dag) with
   | Ok inst -> inst
-  | Error msg -> invalid_arg ("Path_gen.all_to_all_instance: " ^ msg)
+  | Error e ->
+    invalid_arg ("Path_gen.all_to_all_instance: " ^ Wl_core.Error.to_string e)
 
 let random_instance rng dag k = Wl_core.Instance.make dag (random_family rng dag k)

@@ -1,0 +1,10 @@
+wl 2
+dag 6
+arc 0 2
+arc 1 2
+arc 2 3
+arc 3 4
+arc 3 5
+path 0 2 3 4
+path 1 2 3 5
+path 0 2 3 5

@@ -1,0 +1,16 @@
+wl 2
+dag 7
+arc 0 1
+arc 1 6
+arc 0 2
+arc 2 3
+arc 3 6
+arc 0 4
+arc 4 5
+arc 5 6
+path 0 1 6
+path 0 1 6
+path 0 1 6
+path 0 1 6
+path 0 1 6
+path 0 1 6

@@ -8,21 +8,43 @@ module Prng = Wl_util.Prng
 module Generators = Wl_netgen.Generators
 
 let test_route_shortest_is_shortest () =
-  (* 0 -> 1 -> 4 (2 hops) vs 0 -> 2 -> 3 -> 4 (3 hops). *)
+  (* 0 -> 1 -> 4 (2 hops) vs 0 -> 2 -> 3 -> 4 (3 hops).  Regression for the
+     old delegation to Dag.some_dipath, whose contract is "any dipath": the
+     hop count is pinned. *)
   let g = Digraph.of_arcs 5 [ (0, 1); (1, 4); (0, 2); (2, 3); (3, 4) ] in
   let dag = Dag.of_digraph_exn g in
   match Routing.route_shortest dag [ (0, 4) ] with
   | Ok [ p ] -> check_int "two hops" 2 (Dipath.n_arcs p)
   | _ -> Alcotest.fail "routing failed"
 
+let test_shortest_is_lex_smallest () =
+  (* Two 2-hop routes 0->3->4 and 0->1->4; arc insertion order puts 3 before
+     1 in the adjacency list, but shortest_dipath must still pick the
+     lexicographically smaller vertex sequence 0,1,4. *)
+  let g = Digraph.of_arcs 5 [ (0, 3); (3, 4); (0, 1); (1, 4) ] in
+  let dag = Dag.of_digraph_exn g in
+  match Routing.shortest_dipath dag 0 4 with
+  | Some p -> check "lex smallest" true (Dipath.vertices p = [ 0; 1; 4 ])
+  | None -> Alcotest.fail "routable"
+
+let astring_contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
 let test_unroutable_reported () =
   let g = Digraph.of_arcs 3 [ (0, 1) ] in
   let dag = Dag.of_digraph_exn g in
-  (match Routing.route_shortest dag [ (1, 2) ] with
-  | Error msg -> check "mentions pair" true (String.length msg > 0)
+  (match Routing.route_shortest dag [ (0, 1); (1, 2) ] with
+  | Error (Error.Invalid_path msg as e) ->
+    check "names the position" true
+      (astring_contains msg "position 1" && astring_contains msg "(1, 2)");
+    check_int "Invalid_path exit code" 67 (Error.exit_code e)
+  | Error _ -> Alcotest.fail "wrong error constructor"
   | Ok _ -> Alcotest.fail "should be unroutable");
   match Routing.instance_of dag Routing.route_shortest [ (0, 1); (1, 0) ] with
-  | Error _ -> ()
+  | Error (Error.Invalid_path _) -> ()
+  | Error _ -> Alcotest.fail "wrong error constructor"
   | Ok _ -> Alcotest.fail "should fail end to end"
 
 let test_min_load_spreads () =
@@ -32,7 +54,7 @@ let test_min_load_spreads () =
   let dag = Dag.of_digraph_exn g in
   let requests = List.init 6 (fun _ -> (0, 5)) in
   match Routing.instance_of dag Routing.route_min_load requests with
-  | Error msg -> Alcotest.failf "routing failed: %s" msg
+  | Error e -> Alcotest.failf "routing failed: %s" (Error.to_string e)
   | Ok inst -> check_int "balanced load" 2 (Load.pi inst)
 
 let shortest_really_shortest =
@@ -85,12 +107,155 @@ let test_min_load_beats_shortest_on_hotspot () =
     check_int "min-load spreads to 2" 2 (Load.pi m)
   | _ -> Alcotest.fail "routing failed"
 
+(* --- the routing stage: bottleneck seed, k-shortest, select ------------- *)
+
+let path_bottleneck load p =
+  List.fold_left (fun acc a -> max acc load.(a)) 0 (Dipath.arcs p)
+
+(* bottleneck_path against brute force: on DAGs small enough to enumerate
+   every dipath, its bottleneck must equal the true minimum over all
+   dipaths (the hop component is a tie-break heuristic, not a guarantee —
+   one label per vertex cannot certify hop-minimality). *)
+let bottleneck_matches_brute_force =
+  qtest "bottleneck_path equals brute-force min-bottleneck" seed_gen ~count:60
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 4 + Prng.int rng 5 in
+      let dag = Generators.gnp_dag rng n 0.4 in
+      let g = Dag.graph dag in
+      let m = Digraph.n_arcs g in
+      let load = Array.init (max 1 m) (fun _ -> Prng.int rng 5) in
+      List.for_all
+        (fun (x, y) ->
+          let all = Dag.all_dipaths_between ~limit:10_000 dag x y in
+          let best =
+            List.fold_left
+              (fun acc p ->
+                let b = path_bottleneck load p in
+                match acc with Some b' when b' <= b -> acc | _ -> Some b)
+              None all
+          in
+          match (Routing.bottleneck_path dag load x y, best) with
+          | Some p, Some b -> path_bottleneck load p = b
+          | None, None -> true
+          | _ -> false)
+        (Wl_dag.Upp.routable_pairs dag))
+
+(* k-shortest: duplicate-free, sorted by (hops, lex vertex sequence), and
+   complete once k reaches the number of dipaths. *)
+let k_shortest_enumeration =
+  qtest "k_shortest is sorted, duplicate-free, complete" seed_gen ~count:60
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 4 + Prng.int rng 5 in
+      let dag = Generators.gnp_dag rng n 0.45 in
+      List.for_all
+        (fun (x, y) ->
+          let all = Dag.all_dipaths_between ~limit:10_000 dag x y in
+          let total = List.length all in
+          let ks = Routing.k_shortest ~k:(total + 3) dag x y in
+          let sorted =
+            let rec go = function
+              | a :: (b :: _ as rest) ->
+                Routing.compare_route a b < 0 && go rest
+              | _ -> true
+            in
+            go ks
+          in
+          let complete =
+            List.length ks = total
+            && List.for_all
+                 (fun p -> List.exists (Dipath.equal p) ks)
+                 all
+          in
+          let prefix =
+            (* a smaller k returns exactly the first few of the full list *)
+            let k = 1 + Prng.int rng (total + 1) in
+            let small = Routing.k_shortest ~k dag x y in
+            List.length small = min k total
+            && List.for_all2 Dipath.equal small
+                 (List.filteri (fun i _ -> i < min k total) ks)
+          in
+          sorted && complete && prefix)
+        (Wl_dag.Upp.routable_pairs dag))
+
+(* select: the local search never worsens the greedy seed, the
+   packing-number-style lower bound holds, and the reported max_load is the
+   true load of the chosen family. *)
+let select_invariants =
+  qtest "select: lb <= max_load <= seed_load = pi-consistent" seed_gen
+    ~count:40 (fun seed ->
+      let rng = Prng.create seed in
+      let dag = Generators.gnp_dag rng 12 0.3 in
+      let requests = Routing.random_requests rng dag 16 in
+      if requests = [] then true
+      else
+        match Routing.select ~k:4 dag requests with
+        | Error _ -> false
+        | Ok sel ->
+          let inst = Routing.instance_of_selection dag sel in
+          sel.Routing.max_load <= sel.Routing.seed_load
+          && sel.Routing.lower_bound <= sel.Routing.max_load
+          && Load.pi inst = sel.Routing.max_load
+          && sel.Routing.lower_bound <= (Solver.solve inst).Solver.n_wavelengths)
+
+let test_select_beats_seed_on_hotspot () =
+  (* Three disjoint 0->6 routes; six identical requests.  The greedy seed
+     already balances (bottleneck Dijkstra), so instead force a detour
+     decision: requests between interior vertices that the seed routes
+     through the shared fast arc, and check select reaches the optimum 2. *)
+  let g =
+    Digraph.of_arcs 7
+      [ (0, 1); (1, 6); (0, 2); (2, 3); (3, 6); (0, 4); (4, 5); (5, 6) ]
+  in
+  let dag = Dag.of_digraph_exn g in
+  let requests = List.init 6 (fun _ -> (0, 6)) in
+  match Routing.select ~k:4 dag requests with
+  | Error e -> Alcotest.failf "select failed: %s" (Error.to_string e)
+  | Ok sel ->
+    check_int "optimal spread" 2 sel.Routing.max_load;
+    check_int "matches lower bound" sel.Routing.lower_bound
+      sel.Routing.max_load;
+    check "never worse than seed" true
+      (sel.Routing.max_load <= sel.Routing.seed_load)
+
+let test_select_bad_index () =
+  let g = Digraph.of_arcs 3 [ (0, 1); (1, 2) ] in
+  let dag = Dag.of_digraph_exn g in
+  match Routing.select dag [ (0, 7) ] with
+  | Error (Error.Bad_index { index = 7; _ } as e) ->
+    check_int "Bad_index exit code" 68 (Error.exit_code e)
+  | _ -> Alcotest.fail "expected Bad_index"
+
+let test_lower_bound_forced_arc () =
+  (* A bridge arc every request must cross: volume bound is 1 but the
+     forced-arc bound sees all three requests. *)
+  let g = Digraph.of_arcs 6 [ (0, 2); (1, 2); (2, 3); (3, 4); (3, 5) ] in
+  let dag = Dag.of_digraph_exn g in
+  check_int "forced bridge" 3
+    (Routing.lower_bound dag [ (0, 4); (1, 5); (0, 5) ])
+
+let test_requests_roundtrip () =
+  let reqs = [ (0, 5); (2, 7); (2, 7) ] in
+  (match Routing.requests_of_string (Routing.requests_to_string reqs) with
+  | Ok r -> check "roundtrip" true (r = reqs)
+  | Error _ -> Alcotest.fail "roundtrip failed");
+  (match Routing.requests_of_string "req 1 2 # tail comment\n\nreq 3 4\n" with
+  | Ok r -> check "comments and blanks" true (r = [ (1, 2); (3, 4) ])
+  | Error _ -> Alcotest.fail "lenient parse failed");
+  (match Routing.requests_of_string "wlreq 1\nreq 0 nope\n" with
+  | Error (Error.Parse { line = 2; _ }) -> ()
+  | _ -> Alcotest.fail "expected Parse at line 2");
+  match Routing.requests_of_string "wlreq 9\n" with
+  | Error (Error.Unsupported_version 9) -> ()
+  | _ -> Alcotest.fail "expected Unsupported_version"
+
 let test_unique_on_upp () =
   let rng = Prng.create 3 in
   let dag = Generators.gnp_upp rng 12 0.3 in
   let pairs = Routing.all_to_all dag in
   match Routing.route_unique dag pairs with
-  | Error msg -> Alcotest.failf "routing failed: %s" msg
+  | Error e -> Alcotest.failf "routing failed: %s" (Error.to_string e)
   | Ok paths ->
     check_int "one per pair" (List.length pairs) (List.length paths);
     List.iter2
@@ -152,7 +317,7 @@ let test_random_requests_routable () =
   check_int "count" 25 (List.length reqs);
   match Routing.route_shortest dag reqs with
   | Ok _ -> ()
-  | Error msg -> Alcotest.failf "random request unroutable: %s" msg
+  | Error e -> Alcotest.failf "random request unroutable: %s" (Error.to_string e)
 
 (* Multicast instances satisfy w = pi on any digraph (the paper cites
    Beauquier-Hell-Perennes); with our machinery this follows from Theorem 1
@@ -176,12 +341,25 @@ let suite =
     ( "routing",
       [
         Alcotest.test_case "shortest is shortest" `Quick test_route_shortest_is_shortest;
+        Alcotest.test_case "shortest is lex smallest" `Quick
+          test_shortest_is_lex_smallest;
         Alcotest.test_case "unroutable reported" `Quick test_unroutable_reported;
         Alcotest.test_case "min-load spreads" `Quick test_min_load_spreads;
         shortest_really_shortest;
         min_load_routes_everything;
         Alcotest.test_case "min-load beats shortest on hotspot" `Quick
           test_min_load_beats_shortest_on_hotspot;
+        bottleneck_matches_brute_force;
+        k_shortest_enumeration;
+        select_invariants;
+        Alcotest.test_case "select reaches hotspot optimum" `Quick
+          test_select_beats_seed_on_hotspot;
+        Alcotest.test_case "select rejects bad vertex" `Quick
+          test_select_bad_index;
+        Alcotest.test_case "lower bound sees forced arc" `Quick
+          test_lower_bound_forced_arc;
+        Alcotest.test_case "request file roundtrip" `Quick
+          test_requests_roundtrip;
         Alcotest.test_case "unique routing on UPP" `Quick test_unique_on_upp;
         Alcotest.test_case "multicast" `Quick test_multicast;
         multicast_tree_equality;
