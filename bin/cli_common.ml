@@ -19,16 +19,26 @@ let write_text ~progname ~what path text =
       (String.length text)
   end
 
-(* Render the process-wide counter snapshot (plus caller gauges/latencies)
-   as an OpenMetrics exposition — the file `wl metrics-check` validates. *)
-let write_metrics ~progname ?(gauges = []) ?(latencies = []) path =
-  let doc = Openmetrics.render ~gauges ~latencies (Metrics.snapshot ()) in
+(* Render the process-wide counter snapshot (plus caller gauges/latencies,
+   per-label rows and trace exemplars) as an OpenMetrics exposition — the
+   file `wl metrics-check` validates. *)
+let write_metrics ~progname ?(gauges = []) ?(labeled = []) ?(latencies = [])
+    ?(exemplars = []) path =
+  let doc =
+    Openmetrics.render ~gauges ~labeled ~latencies ~exemplars (Metrics.snapshot ())
+  in
   write_text ~progname ~what:"OpenMetrics exposition" path doc
 
 (* Install a process-wide flight-dump handler writing PREFIX.jsonl (the
    replayable op tail) and PREFIX.trace.json (chrome trace-event, accepted
    by [wl trace-check]).  Shared by `wl session --flight-dump`, the wld
-   drain path and the CI audit-failure smoke. *)
+   drain path and the CI audit-failure smoke.
+
+   A labeled recorder (the daemon stamps the owning tenant via
+   [Flight.set_label]) dumps to PREFIX.TENANT.{jsonl,trace.json} — with
+   many sessions draining through one handler, a shared prefix would
+   otherwise make every tenant overwrite the last one's dump.  Tenant
+   ids are filename-safe by construction ([Proto.tenant_ok]). *)
 let install_flight_dump prefix =
   let write path text =
     let oc = open_out path in
@@ -38,6 +48,11 @@ let install_flight_dump prefix =
   Flight.set_dump_handler
     (Some
        (fun ~reason fl ->
+         let prefix =
+           match Flight.label fl with
+           | "" -> prefix
+           | tenant -> prefix ^ "." ^ tenant
+         in
          write (prefix ^ ".jsonl") (Flight.to_jsonl fl);
          write (prefix ^ ".trace.json") (Flight.to_chrome fl);
          Printf.eprintf

@@ -14,9 +14,13 @@
      --daemon ADDR  replay an add/remove churn against a running `wl wld`
                     daemon instead of running sweeps; with
                     [--sessions N] [--client-threads T] [--ops K] [--seed S]
-                    [--json] [--record TRAJECTORY.jsonl] [--metrics-out PATH]
+                    [--json] [--trace] [--record TRAJECTORY.jsonl]
+                    [--metrics-out PATH]
                     publishes p50/p99 op latency and the warm-hit rate, and
-                    --record appends them as the serve/churn bench arm
+                    --record appends them as the serve/churn bench arm;
+                    --trace attaches a deterministic trace context to every
+                    request, so the daemon's flight rings and HDR exemplars
+                    latch trace ids (pull them with `wl trace pull ADDR`)
 
    --metrics      collect and print solver-internals counters at the end
    --metrics-out PATH
@@ -80,7 +84,9 @@ let run_daemon ~addr ~sessions ~threads ~ops ~seed ~json =
   let warm = Array.make threads 0 and accepted = Array.make threads 0 in
   let errors = Array.make threads 0 in
   let worker i () =
-    let client = or_daemon_fail ~ctx:addr (Client.connect ~json addr) in
+    let client =
+      or_daemon_fail ~ctx:addr (Client.connect ~json ~seed:(seed + (7919 * (i + 1))) addr)
+    in
     let rng = Prng.create (seed + 7919 * (i + 1)) in
     let mine = ref [] in
     let k = ref i in
@@ -175,12 +181,18 @@ let record_daemon_arm ~path ~sessions ~threads ~ops r =
   Store.append path (Store.make ~note:"serve churn" ~domains:threads [ point ]);
   Printf.printf "stress: recorded serve/churn arm to %s\n%!" path
 
-let daemon_mode ~addr ~sessions ~threads ~ops ~seed ~json ~record ~metrics_out =
+let daemon_mode ~addr ~sessions ~threads ~ops ~seed ~json ~trace ~record ~metrics_out =
   Printf.printf
-    "stress: daemon churn against %s: %d sessions, %d client threads, %d ops/session\n%!"
-    addr sessions threads ops;
+    "stress: daemon churn against %s: %d sessions, %d client threads, %d ops/session%s\n%!"
+    addr sessions threads ops
+    (if trace then " (traced)" else "");
   if metrics_out <> None then Metrics.set_enabled true;
+  (* The discard sink enables tracing without accumulating events: the
+     point is the context each request now carries on the wire (latched
+     server-side into flight rings and exemplars), not client-side spans. *)
+  if trace then Trace.set_sink Trace.discard;
   let r = run_daemon ~addr ~sessions ~threads ~ops ~seed ~json in
+  if trace then Trace.clear ();
   Printf.printf
     "daemon     %6d sessions %8.2fs %8.0f op/s   p50 %s  p99 %s  warm %.0f%%\n%!"
     sessions r.wall_s
@@ -273,6 +285,7 @@ let () =
   let daemon = ref None in
   let sessions = ref 1000 and client_threads = ref 8 and ops = ref 32 in
   let seed = ref 1 and json = ref false and record = ref None in
+  let trace = ref false in
   let rec parse = function
     | [] -> ()
     | "--seeds" :: v :: rest ->
@@ -311,6 +324,9 @@ let () =
     | "--json" :: rest ->
       json := true;
       parse rest
+    | "--trace" :: rest ->
+      trace := true;
+      parse rest
     | "--record" :: v :: rest ->
       record := Some v;
       parse rest
@@ -327,7 +343,8 @@ let () =
   (match !daemon with
   | Some addr ->
     daemon_mode ~addr ~sessions:!sessions ~threads:!client_threads ~ops:!ops
-      ~seed:!seed ~json:!json ~record:!record ~metrics_out:!metrics_out
+      ~seed:!seed ~json:!json ~trace:!trace ~record:!record
+      ~metrics_out:!metrics_out
   | None -> ());
   let to_run = if !chosen = [] then Sweeps.all else List.rev !chosen in
   match !replay_seed with

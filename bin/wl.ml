@@ -989,12 +989,107 @@ let metrics_check_cmd =
 
 (* --- top --- *)
 
+(* Live-daemon mode (--connect): poll the wlrpc/1 introspection RPCs and
+   render shard-merged daemon-wide figures — true cross-shard p50/p99
+   from the server's Hdr.merge_into rollup, per-tenant rows, exemplar
+   trace ids on the tails — without queueing behind engine work. *)
+let top_connect ~addr ~frames ~interval ~metrics_out =
+  let module Client = Wl_serve.Client in
+  let module Proto = Wl_serve.Proto in
+  let c = or_die_e ~ctx:addr (Client.connect addr) in
+  let tr_p99 = ref [] in
+  let last_seen = ref None in
+  for frame = 1 to frames do
+    let d = or_die_e ~ctx:addr (Client.daemon_stats c) in
+    let dh = or_die_e ~ctx:addr (Client.daemon_health c) in
+    last_seen := Some d;
+    tr_p99 := float_of_int d.Proto.d_add.Proto.l_p99 :: !tr_p99;
+    Printf.printf "frame %d/%d: %d shards, %d sessions%s\n" frame frames
+      d.Proto.d_shards d.Proto.d_sessions
+      (if dh.Proto.dh_healthy then ""
+       else
+         Printf.sprintf "  [UNHEALTHY: %s]"
+           (String.concat "," dh.Proto.dh_unhealthy));
+    let row what (r : Proto.lat_rollup) =
+      Printf.printf "  %-7s %8d ops  p50 %10s  p99 %10s  max %10s%s\n" what
+        r.Proto.l_count
+        (Report.human_ns (float_of_int r.Proto.l_p50))
+        (Report.human_ns (float_of_int r.Proto.l_p99))
+        (Report.human_ns (float_of_int r.Proto.l_max))
+        (if r.Proto.l_ex_trace = 0 then ""
+         else
+           Printf.sprintf "  exemplar %s trace=%x"
+             (Report.human_ns (float_of_int r.Proto.l_ex_ns))
+             r.Proto.l_ex_trace)
+    in
+    row "add" d.Proto.d_add;
+    row "remove" d.Proto.d_remove;
+    Printf.printf "  add p99 trend %s\n" (Report.sparkline (List.rev !tr_p99));
+    List.iter
+      (fun (t : Proto.tenant_row) ->
+        Printf.printf
+          "  tenant %-12s shard %d  %5d paths  pi %3d  %6d ops  add p50 %10s  p99 %10s%s\n"
+          t.Proto.r_tenant t.Proto.r_shard t.Proto.r_paths t.Proto.r_pi
+          t.Proto.r_ops
+          (Report.human_ns (float_of_int t.Proto.r_add_p50))
+          (Report.human_ns (float_of_int t.Proto.r_add_p99))
+          (if t.Proto.r_healthy then "" else "  [UNHEALTHY]"))
+      d.Proto.d_tenants;
+    flush stdout;
+    if interval > 0. && frame < frames then Unix.sleepf interval
+  done;
+  Client.close c;
+  match (metrics_out, !last_seen) with
+  | None, _ | _, None -> ()
+  | Some path, Some d ->
+    let f = float_of_int in
+    let doc =
+      Wl_obs.Openmetrics.render
+        ~gauges:
+          [
+            ("wld.shards", f d.Proto.d_shards);
+            ("wld.sessions", f d.Proto.d_sessions);
+            ("wld.add.p50_ns", f d.Proto.d_add.Proto.l_p50);
+            ("wld.add.p99_ns", f d.Proto.d_add.Proto.l_p99);
+            ("wld.remove.p50_ns", f d.Proto.d_remove.Proto.l_p50);
+            ("wld.remove.p99_ns", f d.Proto.d_remove.Proto.l_p99);
+          ]
+        ~labeled:
+          [
+            ( "wld.tenant.paths",
+              List.map
+                (fun (t : Proto.tenant_row) ->
+                  ([ ("tenant", t.Proto.r_tenant) ], f t.Proto.r_paths))
+                d.Proto.d_tenants );
+            ( "wld.tenant.add_p99_ns",
+              List.map
+                (fun (t : Proto.tenant_row) ->
+                  ([ ("tenant", t.Proto.r_tenant) ], f t.Proto.r_add_p99))
+                d.Proto.d_tenants );
+          ]
+        []
+    in
+    Cli_common.write_text ~progname:"wl top" ~what:"OpenMetrics exposition"
+      path doc
+
 (* An in-process churn loop: random add/remove ops against one engine
    session, drawn from the instance's own dipath pool, with a periodic
    terminal readout of latency/health trends.  The point is to watch the
    observability surfaces move — not to benchmark (wl bench does that). *)
-let top file frames interval ops_per_frame seed budget metrics_out =
+let top file connect frames interval ops_per_frame seed budget metrics_out =
+  match connect with
+  | Some addr ->
+    top_connect ~addr ~frames ~interval ~metrics_out;
+    ignore (ops_per_frame, seed, budget)
+  | None ->
   let module Engine = Wl_engine.Engine in
+  let file =
+    match file with
+    | Some f -> f
+    | None ->
+      prerr_endline "wl: top: an instance FILE is required unless --connect ADDR is given";
+      exit 2
+  in
   let inst = read_instance file in
   let pool = Instance.paths inst in
   if Array.length pool = 0 then begin
@@ -1067,9 +1162,34 @@ let top file frames interval ops_per_frame seed budget metrics_out =
           ("engine.session.add.ns", h.Engine.add_latency);
           ("engine.session.remove.ns", h.Engine.remove_latency);
         ]
+      ~exemplars:
+        (List.filter_map
+           (fun (name, ex) -> Option.map (fun e -> (name, e)) ex)
+           [
+             ("engine.session.add.ns", h.Engine.add_exemplar);
+             ("engine.session.remove.ns", h.Engine.remove_exemplar);
+           ])
       path
 
 let top_cmd =
+  let file =
+    Arg.(
+      value & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"Instance file to churn (omit with $(b,--connect)).")
+  in
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:
+            "Watch a live daemon instead of churning locally: poll the \
+             wlrpc/1 introspection RPCs and render shard-merged \
+             daemon-wide p50/p99 (true cross-shard quantiles via the \
+             server's histogram merge), per-tenant rows and exemplar \
+             trace ids.")
+  in
   let frames =
     Arg.(
       value & opt int 10
@@ -1106,11 +1226,64 @@ let top_cmd =
     (Cmd.info "top"
        ~doc:
          "Drive a random op churn against one engine session and watch its \
-          health live: per-frame latency/warm-hit/palette sparklines plus \
-          the SLO readout.")
+          health live (per-frame latency/warm-hit/palette sparklines plus \
+          the SLO readout) — or, with $(b,--connect), watch a running wld \
+          daemon's shard-merged rollups and per-tenant rows.")
     Term.(
-      const top $ file_arg $ frames $ interval $ ops $ seed $ budget
+      const top $ file $ connect $ frames $ interval $ ops $ seed $ budget
       $ metrics_out)
+
+(* --- trace (pull) --- *)
+
+(* Pull the merged flight rings of every live session out of a running
+   daemon as one Chrome trace document — the live sibling of the drain
+   dump, loadable in Perfetto and accepted by wl trace-check. *)
+let trace_pull addr last out =
+  let module Client = Wl_serve.Client in
+  let c = or_die_e ~ctx:addr (Client.connect addr) in
+  let doc = or_die_e ~ctx:addr (Client.trace_pull ~last c) in
+  Client.close c;
+  (match Trace.validate_chrome doc with
+  | Ok _ -> ()
+  | Error msg ->
+    Printf.eprintf "wl: trace pull: daemon returned an invalid trace: %s\n" msg;
+    exit 1);
+  Cli_common.write_text ~progname:"wl trace" ~what:"Chrome trace" out doc
+
+let trace_cmd =
+  let addr =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ADDR"
+          ~doc:"Daemon address: $(b,unix:PATH) or $(b,tcp:HOST:PORT).")
+  in
+  let last =
+    Arg.(
+      value & opt int 0
+      & info [ "last" ] ~docv:"N"
+          ~doc:"Cap ops pulled per session ring (0 = the whole ring).")
+  in
+  let out =
+    Arg.(
+      value & opt string "-"
+      & info [ "o"; "out" ] ~docv:"PATH"
+          ~doc:"Write the trace document to $(docv) ($(b,-) for stdout).")
+  in
+  let pull_cmd =
+    Cmd.v
+      (Cmd.info "pull"
+         ~doc:
+           "Pull the merged flight rings of every live session from a \
+            running daemon as one Chrome/Perfetto trace document (one \
+            track per session, tenant and trace ids in the event args); \
+            validated against the trace-event schema before writing.")
+      Term.(const trace_pull $ addr $ last $ out)
+  in
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:"Distributed-trace operations against a live wld daemon.")
+    [ pull_cmd ]
 
 (* --- wld --- *)
 
@@ -1236,6 +1409,6 @@ let () =
        (Cmd.group info
           [
             analyze_cmd; color_cmd; route_cmd; generate_cmd; dot_cmd; svg_cmd; groom_cmd;
-            witness_cmd; verify_cmd; session_cmd; top_cmd; wld_cmd; fuzz_cmd;
-            bench_cmd; report_cmd; trace_check_cmd; metrics_check_cmd;
+            witness_cmd; verify_cmd; session_cmd; top_cmd; trace_cmd; wld_cmd;
+            fuzz_cmd; bench_cmd; report_cmd; trace_check_cmd; metrics_check_cmd;
           ]))

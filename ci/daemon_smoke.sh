@@ -1,8 +1,10 @@
 #!/bin/sh
-# Daemon smoke: launch wld on a unix socket, drive session churn through
-# the result-typed client, SIGTERM, and assert a clean graceful drain —
-# exit 0, scrapeable OpenMetrics expositions on both sides, a validating
-# flight trace and a non-empty per-tenant health listing left behind.
+# Daemon smoke: launch wld on a unix socket, drive traced session churn
+# through the result-typed client, introspect the live daemon (`wl top
+# --connect`, `wl trace pull`), SIGTERM, and assert a clean graceful
+# drain — exit 0, scrapeable OpenMetrics expositions on both sides, a
+# validating pulled trace, tenant-named flight dumps and a non-empty
+# per-tenant health listing left behind.
 set -eu
 
 WL=$1
@@ -24,13 +26,36 @@ while [ ! -S "$SOCK" ]; do
   sleep 0.1
 done
 
+# Churn with tracing on: every request carries a trace context, so the
+# daemon-side flight rings and HDR exemplars latch real trace ids.
 "$STRESS" --daemon "unix:$SOCK" --sessions 64 --client-threads 4 --ops 8 \
-  --metrics-out stress_daemon_metrics.txt
+  --trace --metrics-out stress_daemon_metrics.txt
+
+# Live introspection against the still-running daemon: one top frame
+# (shard-merged rollups + per-tenant rows) and a pulled merged trace
+# that must satisfy the same validator as every other trace artifact.
+"$WL" top --connect "unix:$SOCK" --frames 1 \
+  --metrics-out top_connect_metrics.txt | grep -q "64 sessions"
+"$WL" trace pull "unix:$SOCK" --last 16 -o pulled.trace.json
+"$WL" trace-check pulled.trace.json
 
 kill -TERM "$WLD_PID"
 wait "$WLD_PID"
 
 "$WL" metrics-check wld_smoke_metrics.txt
 "$WL" metrics-check stress_daemon_metrics.txt
-"$WL" trace-check wld_smoke_flight.trace.json
+"$WL" metrics-check top_connect_metrics.txt
+
+# The drain dumps every tenant's flight ring under its own name
+# (PREFIX.TENANT.{jsonl,trace.json}) — 64 tenants, 64 dump pairs, none
+# overwriting another, each one a valid trace.
+n_dumps=$(ls wld_smoke_flight.*.trace.json | wc -l)
+if [ "$n_dumps" -ne 64 ]; then
+  echo "expected 64 tenant-named flight dumps, found $n_dumps" >&2
+  exit 1
+fi
+test -s wld_smoke_flight.t00000.jsonl
+test -s wld_smoke_flight.t00063.jsonl
+"$WL" trace-check wld_smoke_flight.t00000.trace.json
+"$WL" trace-check wld_smoke_flight.t00063.trace.json
 test -s wld_smoke_health.txt

@@ -10,6 +10,7 @@ module Sweeps = Wl_validate.Sweeps
 module Client = Wl_serve.Client
 module Proto = Wl_serve.Proto
 module Wire = Wl_serve.Wire
+module Ctx = Wl_obs.Ctx
 
 type t = {
   name : string;
@@ -642,6 +643,10 @@ let wlrpc_frame =
         Proto.Health { tenant = t };
         Proto.Snapshot { tenant = t };
         Proto.Evict { tenant = t };
+        Proto.Dstats;
+        Proto.Dhealth;
+        Proto.Trace_dump { last = 0 };
+        Proto.Trace_dump { last = 64 };
       ]
       @ List.map req_of_op s.Subject.ops
     in
@@ -661,6 +666,58 @@ let wlrpc_frame =
         warm_hit_lifetime = 0.25;
         fallback_streak = 1;
       }
+    in
+    (* Introspection payloads: one rollup with an exemplar latched, one
+       without; tenant ids stressing the full [tenant_ok] alphabet; a
+       multi-line trace document (body round-trips byte-exactly, like
+       [R_snapshot]'s instance). *)
+    let rollup_ex =
+      {
+        Proto.l_count = 158;
+        l_p50 = 640;
+        l_p90 = 1800;
+        l_p99 = 4200;
+        l_p999 = 9000;
+        l_max = 8800;
+        l_ex_ns = 8800;
+        l_ex_trace = 0x2bad5eed;
+      }
+    in
+    let rollup_empty =
+      {
+        Proto.l_count = 0;
+        l_p50 = 0;
+        l_p90 = 0;
+        l_p99 = 0;
+        l_p999 = 0;
+        l_max = 0;
+        l_ex_ns = 0;
+        l_ex_trace = 0;
+      }
+    in
+    let tenant_rows =
+      [
+        {
+          Proto.r_tenant = "t0";
+          r_shard = 0;
+          r_paths = 5;
+          r_pi = 2;
+          r_ops = 9;
+          r_add_p50 = 500;
+          r_add_p99 = 900;
+          r_healthy = true;
+        };
+        {
+          Proto.r_tenant = "b.2_x-Y";
+          r_shard = 3;
+          r_paths = 0;
+          r_pi = 0;
+          r_ops = 1;
+          r_add_p50 = 0;
+          r_add_p99 = 0;
+          r_healthy = false;
+        };
+      ]
     in
     let replies : Proto.reply list =
       [
@@ -686,6 +743,29 @@ let wlrpc_frame =
              });
         Ok (Proto.R_snapshot (Engine.instance eng));
         Ok Proto.R_evicted;
+        Ok
+          (Proto.R_dstats
+             {
+               Proto.d_shards = 4;
+               d_sessions = 2;
+               d_add = rollup_ex;
+               d_remove = rollup_empty;
+               d_tenants = tenant_rows;
+             });
+        Ok
+          (Proto.R_dstats
+             {
+               Proto.d_shards = 1;
+               d_sessions = 0;
+               d_add = rollup_empty;
+               d_remove = rollup_empty;
+               d_tenants = [];
+             });
+        Ok
+          (Proto.R_dhealth
+             { Proto.dh_healthy = false; dh_sessions = 2; dh_unhealthy = [ "a"; "b.2_x-Y" ] });
+        Ok (Proto.R_dhealth { Proto.dh_healthy = true; dh_sessions = 0; dh_unhealthy = [] });
+        Ok (Proto.R_trace "{\"traceEvents\": [\n  {\"ph\": \"X\"}\n]}\n");
       ]
       @ List.map (fun e -> (Error e : Proto.reply)) every_error
     in
@@ -716,6 +796,95 @@ let wlrpc_frame =
       | Ok d when not (reply_equal r d) ->
         fail "reply round trip changed the message (%s)" tag
       | Ok _ -> None
+    in
+    (* Trace-context field: a carried ctx round-trips (trace and span id;
+       the parent id is deliberately not wire-carried), and an absent ctx
+       leaves the frame byte-identical to the pre-context protocol —
+       that byte-equality IS the old-peer interoperability guarantee. *)
+    let ctx_round_trip () =
+      let g = Ctx.generator 42 in
+      let root = Ctx.root g in
+      let ctx = Ctx.child g root in
+      let per_encoding json =
+        let tag = if json then "json" else "text" in
+        let req = Proto.Submit { tenant = t; ops = s.Subject.ops } in
+        let enc = Proto.encode_request ~json ~ctx req in
+        match Proto.decode_request_ctx enc with
+        | exception e ->
+          fail "ctx decode raised (%s): %s" tag (Printexc.to_string e)
+        | Error e -> fail "ctx decode failed (%s): %s" tag (errs e)
+        | Ok (req', ctx') ->
+          if not (req_equal req req') then
+            fail "ctx-carrying request changed the message (%s)" tag
+          else if ctx'.Ctx.trace_id <> ctx.Ctx.trace_id then
+            fail "trace id did not survive the wire (%s)" tag
+          else if ctx'.Ctx.span_id <> ctx.Ctx.span_id then
+            fail "span id did not survive the wire (%s)" tag
+          else if ctx'.Ctx.parent_id <> 0 then
+            fail "parent id leaked onto the wire (%s)" tag
+          else begin
+            let rep : Proto.reply = Ok Proto.R_pong in
+            let renc = Proto.encode_reply ~json ~ctx rep in
+            match Proto.decode_reply_ctx renc with
+            | exception e ->
+              fail "reply ctx decode raised (%s): %s" tag (Printexc.to_string e)
+            | Error e -> fail "reply ctx decode failed (%s): %s" tag (errs e)
+            | Ok (rep', rctx) ->
+              if not (reply_equal rep rep') then
+                fail "ctx-carrying reply changed the message (%s)" tag
+              else if rctx.Ctx.trace_id <> ctx.Ctx.trace_id then
+                fail "reply trace id did not survive the wire (%s)" tag
+              else if
+                Proto.encode_request ~json ~ctx:Ctx.none req
+                <> Proto.encode_request ~json req
+              then fail "Ctx.none changed the encoding (%s)" tag
+              else begin
+                match Proto.decode_request_ctx (Proto.encode_request ~json req) with
+                | Ok (_, c) when Ctx.is_none c -> None
+                | Ok _ -> fail "absent ctx decoded as a real context (%s)" tag
+                | Error e -> fail "untraced frame rejected (%s): %s" tag (errs e)
+                | exception e ->
+                  fail "untraced decode raised (%s): %s" tag (Printexc.to_string e)
+              end
+          end
+      in
+      first per_encoding encodings
+    in
+    (* Hand-built frames with a damaged ctx field: every one is a protocol
+       error (decoders stay total), never an [Ok] and never an exception. *)
+    let ctx_corruptions () =
+      let cases =
+        [
+          ("non-hex trace id", "wlrpc 1 ctx=zz:1 ping\n");
+          ("zero trace id", "wlrpc 1 ctx=0:5 ping\n");
+          ("missing span id", "wlrpc 1 ctx=12 ping\n");
+          ("empty span id", "wlrpc 1 ctx=12: ping\n");
+          ("empty value", "wlrpc 1 ctx= ping\n");
+          ("three fields", "wlrpc 1 ctx=1:2:3 ping\n");
+          ("oversized id", "wlrpc 1 ctx=12345678123456781:2 ping\n");
+          ("signed id", "wlrpc 1 ctx=-1:2 ping\n");
+          ("duplicate ctx", "wlrpc 1 ctx=1:2 ctx=3:4 ping\n");
+          ("ctx after verb", "wlrpc 1 ping ctx=1:2\n");
+          ("json non-string ctx", "{\"wlrpc\": 1, \"ctx\": 5, \"verb\": \"ping\"}");
+          ("json malformed ctx", "{\"wlrpc\": 1, \"ctx\": \"junk\", \"verb\": \"ping\"}");
+          ("json empty ctx", "{\"wlrpc\": 1, \"ctx\": \"\", \"verb\": \"ping\"}");
+          ("json zero trace", "{\"wlrpc\": 1, \"ctx\": \"0:5\", \"verb\": \"ping\"}");
+        ]
+      in
+      first
+        (fun (name, payload) ->
+          let via what decode =
+            match decode payload with
+            | exception e ->
+              fail "ctx corruption %s: %s raised %s" name what
+                (Printexc.to_string e)
+            | Error _ -> None
+            | Ok _ -> fail "ctx corruption %s: %s accepted the frame" name what
+          in
+          match via "decode_request_ctx" Proto.decode_request_ctx with
+          | Some _ as failure -> failure
+          | None -> via "decode_request" Proto.decode_request)
+        cases
     in
     let base =
       Wire.frame
@@ -790,6 +959,8 @@ let wlrpc_frame =
            first
              (fun json -> first (round_trip_reply json) replies)
              encodings);
+         ctx_round_trip;
+         ctx_corruptions;
          (fun () ->
            first (fun (name, buf) -> expect_frame_error name buf) corruptions);
          flipped_payload;
@@ -800,8 +971,9 @@ let wlrpc_frame =
   {
     name = "wlrpc_frame";
     doc =
-      "wlrpc/1 codec round trips (both encodings, every error constructor) \
-       and totality on truncated/oversized/garbage frames";
+      "wlrpc/1 codec round trips (both encodings, every error constructor, \
+       trace-context field) and totality on truncated/oversized/garbage \
+       frames and mutated ctx tokens";
     generate;
     check;
   }

@@ -7,6 +7,7 @@ module Trace = Wl_obs.Trace
 module Clock = Wl_obs.Clock
 module Hdr = Wl_obs.Hdr
 module Flight = Wl_obs.Flight
+module Ctx = Wl_obs.Ctx
 module Parallel = Wl_util.Parallel
 
 (* Global engine counters (no-ops until [Metrics.set_enabled]); the
@@ -498,6 +499,7 @@ let ensure_clean s =
       Metrics.incr c_full;
       Flight.record s.flight Flight.Full_solve Flight.Ok ~t_ns:t0
         ~dur_ns:(Clock.now_ns () - t0) ~arcs:0 ~palette:c.palette ~pi:c.maxload
+        ~trace:(Ctx.current_trace ())
     in
     if Trace.enabled () then
       Trace.with_span
@@ -805,7 +807,8 @@ let count_op s =
 let obs_op s kind lat gl t0 ~arcs =
   let c = !(s.core) in
   let dur = Clock.now_ns () - t0 in
-  Hdr.record lat dur;
+  let tr = Ctx.current_trace () in
+  Hdr.record_traced lat dur ~trace:tr;
   Hdr.Slo.record s.slo dur;
   Metrics.observe_ns gl dur;
   let ev = s.s_ev in
@@ -829,7 +832,7 @@ let obs_op s kind lat gl t0 ~arcs =
     if s.fb_streak > s.max_fb_streak then s.max_fb_streak <- s.fb_streak
   | _ -> s.fb_streak <- 0);
   Flight.record s.flight kind ev ~t_ns:t0 ~dur_ns:dur ~arcs ~palette:c.palette
-    ~pi:c.maxload
+    ~pi:c.maxload ~trace:tr
 
 (* A refused op still leaves a flight-recorder entry and fires the
    auto-dump latch: a client hitting validation errors is exactly when
@@ -838,7 +841,7 @@ let record_rejection s kind =
   let c = !(s.core) in
   s.s_rejected <- s.s_rejected + 1;
   Flight.record s.flight kind Flight.Rejected ~t_ns:(Clock.now_ns ()) ~dur_ns:0
-    ~arcs:0 ~palette:c.palette ~pi:c.maxload;
+    ~arcs:0 ~palette:c.palette ~pi:c.maxload ~trace:(Ctx.current_trace ());
   Flight.trigger ~reason:"op rejected" s.flight
 
 (* Insert an already-validated dipath; the shared tail of [add_path] and
@@ -1282,7 +1285,8 @@ let audit s =
        to the broken invariant is preserved. *)
     let c = !(s.core) in
     Flight.record s.flight Flight.Audit Flight.Failed ~t_ns:(Clock.now_ns ())
-      ~dur_ns:0 ~arcs:0 ~palette:c.palette ~pi:c.maxload;
+      ~dur_ns:0 ~arcs:0 ~palette:c.palette ~pi:c.maxload
+      ~trace:(Ctx.current_trace ());
     Flight.trigger ~reason:("audit: " ^ msg) s.flight;
     Error msg
 
@@ -1301,6 +1305,8 @@ type health = {
   slo : Hdr.Slo.state;
   add_latency : Hdr.snapshot;
   remove_latency : Hdr.snapshot;
+  add_exemplar : (int * int) option;
+  remove_exemplar : (int * int) option;
   fallback_streak : int;
   max_fallback_streak : int;
   warm_hit_recent : float;
@@ -1309,6 +1315,8 @@ type health = {
 }
 
 let flight s = s.flight
+let add_hdr s = s.lat_add
+let remove_hdr s = s.lat_remove
 
 let health s =
   let st = stats s in
@@ -1329,6 +1337,8 @@ let health s =
     slo;
     add_latency = Hdr.snapshot s.lat_add;
     remove_latency = Hdr.snapshot s.lat_remove;
+    add_exemplar = Hdr.exemplar s.lat_add;
+    remove_exemplar = Hdr.exemplar s.lat_remove;
     fallback_streak = s.fb_streak;
     max_fallback_streak = s.max_fb_streak;
     warm_hit_recent = recent;

@@ -225,12 +225,23 @@ val flight : session -> Wl_obs.Flight.t
 (** The session's flight recorder (e.g. to render dumps, or {!rearm}
     after handling a triggered one). *)
 
+val add_hdr : session -> Wl_obs.Hdr.t
+val remove_hdr : session -> Wl_obs.Hdr.t
+(** The live per-session latency histograms, exposed so a daemon can
+    fold every session into one rollup via {!Wl_obs.Hdr.merge_into}
+    (true cross-shard quantiles).  Read-side surfaces — keep writing
+    through engine ops only. *)
+
 type health = {
   healthy : bool;
       (** SLO not tripped, no warm-hit-rate drop, fallback streak < 8 *)
   slo : Wl_obs.Hdr.Slo.state;
   add_latency : Wl_obs.Hdr.snapshot;
   remove_latency : Wl_obs.Hdr.snapshot;
+  add_exemplar : (int * int) option;
+      (** {!Wl_obs.Hdr.exemplar} of the add histogram: worst traced
+          sample as [(ns, trace_id)], [None] until a traced op lands *)
+  remove_exemplar : (int * int) option;
   fallback_streak : int;  (** consecutive warm-path fallbacks, current *)
   max_fallback_streak : int;
   warm_hit_recent : float;  (** warm-handled fraction over the last 256 ops *)

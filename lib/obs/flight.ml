@@ -1,7 +1,7 @@
 (* Flight recorder: the black box an engine session carries.
 
-   One op = 7 ints at a stride in a flat ring:
-     [rel_t_ns; dur_ns; kind; outcome; arcs; palette; pi]
+   One op = 8 ints at a stride in a flat ring:
+     [rel_t_ns; dur_ns; kind; outcome; arcs; palette; pi; trace]
    Recording is plain unsafe stores plus one counter bump — no boxing,
    no branches beyond the clamp — so it rides inside the engine's
    zero-minor-alloc warm add/remove paths.  Rendering (JSONL, Chrome
@@ -28,7 +28,7 @@ type outcome =
   | Rejected
   | Failed
 
-let stride = 7
+let stride = 8
 
 type t = {
   cap : int;  (* power of two *)
@@ -37,6 +37,7 @@ type t = {
   mutable n : int;  (* lifetime op count *)
   mutable origin : int;  (* t_ns of the first op; -1 until then *)
   mutable latched : bool;
+  mutable label : string;  (* e.g. owning tenant; "" until set *)
 }
 
 let create ?(capacity = 1024) ?(tid = 0) () =
@@ -54,7 +55,11 @@ let create ?(capacity = 1024) ?(tid = 0) () =
     n = 0;
     origin = -1;
     latched = false;
+    label = "";
   }
+
+let set_label t s = t.label <- s
+let label t = t.label
 
 let kind_code = function
   | Add_path -> 0
@@ -134,7 +139,7 @@ let outcome_of_string = function
   | "failed" -> Some Failed
   | _ -> None
 
-let record t kind outcome ~t_ns ~dur_ns ~arcs ~palette ~pi =
+let record t kind outcome ~t_ns ~dur_ns ~arcs ~palette ~pi ~trace =
   if t.origin < 0 then t.origin <- t_ns;
   let base = t.n land (t.cap - 1) * stride in
   let d = t.data in
@@ -145,6 +150,7 @@ let record t kind outcome ~t_ns ~dur_ns ~arcs ~palette ~pi =
   Array.unsafe_set d (base + 4) arcs;
   Array.unsafe_set d (base + 5) palette;
   Array.unsafe_set d (base + 6) pi;
+  Array.unsafe_set d (base + 7) trace;
   t.n <- t.n + 1
 
 let total t = t.n
@@ -159,6 +165,7 @@ type entry = {
   arcs : int;
   palette : int;
   pi : int;
+  trace : int;
 }
 
 (* Oldest retained op, and how many the ring still holds. *)
@@ -179,6 +186,7 @@ let entry_at t seq =
     arcs = d.(base + 4);
     palette = d.(base + 5);
     pi = d.(base + 6);
+    trace = d.(base + 7);
   }
 
 let entries ?last t =
@@ -191,10 +199,14 @@ let to_jsonl ?last t =
     (fun e ->
       Printf.bprintf buf
         "{\"seq\": %d, \"t_ns\": %d, \"dur_ns\": %d, \"op\": \"%s\", \
-         \"outcome\": \"%s\", \"arcs\": %d, \"palette\": %d, \"pi\": %d}\n"
+         \"outcome\": \"%s\", \"arcs\": %d, \"palette\": %d, \"pi\": %d"
         e.seq e.t_ns e.dur_ns (string_of_kind e.kind)
         (string_of_outcome e.outcome)
-        e.arcs e.palette e.pi)
+        e.arcs e.palette e.pi;
+      (* Untraced ops render exactly as before the trace field existed,
+         so pre-existing goldens and replay files stay valid. *)
+      if e.trace <> 0 then Printf.bprintf buf ", \"trace\": \"%x\"" e.trace;
+      Buffer.add_string buf "}\n")
     (entries ?last t);
   Buffer.contents buf
 
@@ -218,8 +230,17 @@ let of_jsonl s =
       | ( Some seq, Some t_ns, Some dur_ns, Some op, Some oc, Some arcs,
           Some palette, Some pi ) -> (
         match (kind_of_string op, outcome_of_string oc) with
-        | Some kind, Some outcome ->
-          Stdlib.Ok { seq; t_ns; dur_ns; kind; outcome; arcs; palette; pi }
+        | Some kind, Some outcome -> (
+          match str "trace" with
+          | None ->
+            Stdlib.Ok
+              { seq; t_ns; dur_ns; kind; outcome; arcs; palette; pi; trace = 0 }
+          | Some h -> (
+            match int_of_string_opt ("0x" ^ h) with
+            | Some trace when trace > 0 ->
+              Stdlib.Ok
+                { seq; t_ns; dur_ns; kind; outcome; arcs; palette; pi; trace }
+            | _ -> fail ("bad trace id " ^ h)))
         | None, _ -> fail ("unknown op " ^ op)
         | _, None -> fail ("unknown outcome " ^ oc))
       | _ -> fail "missing field")
@@ -234,24 +255,57 @@ let of_jsonl s =
   go 0 [] lines
 
 (* Chrome trace in exactly the event shape of {!Trace.add_chrome_event}
-   ("X" phase, cat "wl", pid 1), so one validator serves both. *)
+   ("X" phase, cat "wl", pid 1), so one validator serves both.  Tenant
+   labels come from [Proto.tenant_ok]-validated names ([A-Za-z0-9_.-]),
+   which need no JSON escaping. *)
+let add_event buf ?(tenant = "") ~tid ~offset_ns e =
+  Printf.bprintf buf
+    "{\"name\": \"%s\", \"cat\": \"wl\", \"ph\": \"X\", \"pid\": 1, \
+     \"tid\": %d, \"ts\": %.3f, \"dur\": %.3f, \"args\": {\"seq\": %d, \
+     \"outcome\": \"%s\", \"arcs\": %d, \"palette\": %d, \"pi\": %d"
+    (string_of_kind e.kind) tid
+    (float_of_int (e.t_ns + offset_ns) /. 1e3)
+    (float_of_int e.dur_ns /. 1e3)
+    e.seq
+    (string_of_outcome e.outcome)
+    e.arcs e.palette e.pi;
+  if e.trace <> 0 then Printf.bprintf buf ", \"trace\": \"%x\"" e.trace;
+  if tenant <> "" then Printf.bprintf buf ", \"tenant\": \"%s\"" tenant;
+  Buffer.add_string buf "}}"
+
 let to_chrome ?last t =
   let buf = Buffer.create 4096 (* alloc-ok: cold dump rendering *) in
   Buffer.add_string buf "{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
   List.iteri
     (fun i e ->
       if i > 0 then Buffer.add_string buf ",\n";
-      Printf.bprintf buf
-        "{\"name\": \"%s\", \"cat\": \"wl\", \"ph\": \"X\", \"pid\": 1, \
-         \"tid\": %d, \"ts\": %.3f, \"dur\": %.3f, \"args\": {\"seq\": %d, \
-         \"outcome\": \"%s\", \"arcs\": %d, \"palette\": %d, \"pi\": %d}}"
-        (string_of_kind e.kind) t.tid
-        (float_of_int e.t_ns /. 1e3)
-        (float_of_int e.dur_ns /. 1e3)
-        e.seq
-        (string_of_outcome e.outcome)
-        e.arcs e.palette e.pi)
+      add_event buf ~tenant:t.label ~tid:t.tid ~offset_ns:0 e)
     (entries ?last t);
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+(* One Chrome document over several rings — the TraceDump RPC's payload.
+   Each ring keeps its own track ([tid] = session id) and its label as a
+   ["tenant"] arg; per-ring relative stamps are rebased onto the
+   earliest origin so tracks align on a common axis. *)
+let merged_chrome ?last rings =
+  let buf = Buffer.create 4096 (* alloc-ok: cold dump rendering *) in
+  Buffer.add_string buf "{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  let base =
+    List.fold_left
+      (fun acc t -> if t.origin >= 0 && t.origin < acc then t.origin else acc)
+      max_int rings
+  in
+  let first = ref true in
+  List.iter
+    (fun t ->
+      if t.origin >= 0 then
+        List.iter
+          (fun e ->
+            if !first then first := false else Buffer.add_string buf ",\n";
+            add_event buf ~tenant:t.label ~tid:t.tid ~offset_ns:(t.origin - base) e)
+          (entries ?last t))
+    rings;
   Buffer.add_string buf "\n]}\n";
   Buffer.contents buf
 

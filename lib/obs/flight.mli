@@ -38,6 +38,14 @@ val create : ?capacity:int -> ?tid:int -> unit -> t
     labels Chrome-trace rows (use the session id).  Timestamps are
     recorded relative to the first op. *)
 
+val set_label : t -> string -> unit
+(** Attach a human label (the owning tenant) rendered as a ["tenant"]
+    arg on dumped events and embedded in drain-dump filenames.  Must be
+    filename- and JSON-safe; tenant names ([Proto.tenant_ok]) are. *)
+
+val label : t -> string
+(** The attached label, [""] until {!set_label}. *)
+
 val record :
   t ->
   kind ->
@@ -47,9 +55,13 @@ val record :
   arcs:int ->
   palette:int ->
   pi:int ->
+  trace:int ->
   unit
 (** Append one op record.  Allocation-free; [t_ns] is an absolute
-    monotonic stamp (e.g. {!Clock.now_ns}), [dur_ns] clamps to [>= 0]. *)
+    monotonic stamp (e.g. {!Clock.now_ns}), [dur_ns] clamps to [>= 0].
+    [trace] is the distributed trace id ({!Ctx}) driving the op, [0]
+    when untraced — a required (not optional) argument because a
+    non-[None] optional would box on the zero-alloc path. *)
 
 val total : t -> int
 (** Ops recorded over the recorder's lifetime (may exceed capacity). *)
@@ -65,6 +77,7 @@ type entry = {
   arcs : int;
   palette : int;
   pi : int;
+  trace : int;  (** distributed trace id; [0] = untraced *)
 }
 
 val entries : ?last:int -> t -> entry list
@@ -73,15 +86,23 @@ val entries : ?last:int -> t -> entry list
 val to_jsonl : ?last:int -> t -> string
 (** One JSON object per line:
     [{"seq":..,"t_ns":..,"dur_ns":..,"op":"add_path","outcome":"warm_hit",
-      "arcs":..,"palette":..,"pi":..}]. *)
+      "arcs":..,"palette":..,"pi":..}], plus a hex ["trace"] field on
+    traced ops (untraced lines are byte-identical to the pre-trace
+    format). *)
 
 val of_jsonl : string -> (entry list, string) result
 (** Parse a {!to_jsonl} dump back (replay). *)
 
 val to_chrome : ?last:int -> t -> string
 (** A complete Chrome trace document ("X" events, cat ["wl"], [tid] =
-    session id, outcome/arcs/palette/pi in [args]) — accepted by
-    [Trace.validate_chrome]. *)
+    session id, outcome/arcs/palette/pi — plus trace/tenant when set —
+    in [args]) — accepted by [Trace.validate_chrome]. *)
+
+val merged_chrome : ?last:int -> t list -> string
+(** One Chrome document over several rings (the TraceDump RPC payload):
+    each ring keeps its own [tid] track and carries its {!label} as a
+    ["tenant"] arg, with per-ring timestamps rebased onto the earliest
+    ring origin so tracks share one time axis. *)
 
 val string_of_kind : kind -> string
 val string_of_outcome : outcome -> string

@@ -25,6 +25,13 @@ type t = {
   sumv : int Atomic.t;
   mn : int Atomic.t;  (* max_int when empty *)
   mx : int Atomic.t;  (* -1 when empty *)
+  (* Exemplar latch: value and trace id of the worst traced sample seen
+     since the last reset.  [ex_trace = 0] means no exemplar; the pair
+     is two independent atomics (a racing writer can momentarily pair a
+     value with a neighbouring trace — acceptable for a monitoring
+     pointer, and the alternative would allocate on the record path). *)
+  ex_v : int Atomic.t;
+  ex_trace : int Atomic.t;
 }
 
 let create ?(sub_bits = 6) () =
@@ -43,6 +50,8 @@ let create ?(sub_bits = 6) () =
     sumv = Atomic.make 0;
     mn = Atomic.make max_int;
     mx = Atomic.make (-1);
+    ex_v = Atomic.make (-1);
+    ex_trace = Atomic.make 0;
   }
 
 (* Most significant bit position of v >= 1, by tail recursion (the record
@@ -76,13 +85,23 @@ let rec cas_max a v =
   let cur = Atomic.get a in
   if v > cur && not (Atomic.compare_and_set a cur v) then cas_max a v
 
-let record t v =
+let record_traced t v ~trace =
   let v = if v < 0 then 0 else v in
   ignore (Atomic.fetch_and_add (Array.unsafe_get t.cells (index t v)) 1);
   ignore (Atomic.fetch_and_add t.total 1);
   ignore (Atomic.fetch_and_add t.sumv v);
   cas_min t.mn v;
-  cas_max t.mx v
+  cas_max t.mx v;
+  if trace <> 0 && v >= Atomic.get t.ex_v then begin
+    Atomic.set t.ex_v v;
+    Atomic.set t.ex_trace trace
+  end
+
+let record t v = record_traced t v ~trace:0
+
+let exemplar t =
+  let trace = Atomic.get t.ex_trace in
+  if trace = 0 then None else Some (Atomic.get t.ex_v, trace)
 
 let count t = Atomic.get t.total
 let sum t = Atomic.get t.sumv
@@ -118,14 +137,21 @@ let merge_into ~dst src =
   if count src > 0 then begin
     cas_min dst.mn (Atomic.get src.mn);
     cas_max dst.mx (Atomic.get src.mx)
-  end
+  end;
+  (match exemplar src with
+  | Some (v, trace) when v >= Atomic.get dst.ex_v ->
+    Atomic.set dst.ex_v v;
+    Atomic.set dst.ex_trace trace
+  | _ -> ())
 
 let reset t =
   Array.iter (fun c -> Atomic.set c 0) t.cells;
   Atomic.set t.total 0;
   Atomic.set t.sumv 0;
   Atomic.set t.mn max_int;
-  Atomic.set t.mx (-1)
+  Atomic.set t.mx (-1);
+  Atomic.set t.ex_v (-1);
+  Atomic.set t.ex_trace 0
 
 type snapshot = {
   count : int;

@@ -27,6 +27,19 @@ val record : t -> int -> unit
 (** Record one observation (negative values clamp to 0).  Lock-free,
     zero-allocation, safe from any domain. *)
 
+val record_traced : t -> int -> trace:int -> unit
+(** Like {!record}, additionally latching [(value, trace)] as the
+    histogram's {!exemplar} when [trace] is nonzero and the value ties
+    or beats the worst traced sample so far.  [record t v] is
+    [record_traced t v ~trace:0].  Still zero-allocation. *)
+
+val exemplar : t -> (int * int) option
+(** [(worst_value, trace_id)] of the worst traced observation since the
+    last {!reset}, if any — the OpenMetrics-exemplar link from a p99
+    figure to a concrete distributed trace.  Under concurrent writers
+    the pair is latched with independent atomics, so it is a monitoring
+    pointer, not a linearizable cut. *)
+
 val count : t -> int
 val sum : t -> int
 
@@ -47,7 +60,9 @@ val round_up : t -> int -> int
 
 val merge_into : dst:t -> t -> unit
 (** Add every bucket count of the source into [dst].  Both histograms
-    must share [sub_bits] ([Invalid_argument] otherwise). *)
+    must share [sub_bits] ([Invalid_argument] otherwise).  The worst
+    {!exemplar} of the two survives, so shard-merged rollups keep their
+    link to the slowest trace daemon-wide. *)
 
 val reset : t -> unit
 

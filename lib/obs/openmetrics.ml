@@ -33,6 +33,33 @@ let escape_label v =
     v;
   Buffer.contents buf
 
+(* Exact inverse of {!escape_label}; [None] on a dangling or unknown
+   escape.  Exists so the escaping property test is a genuine
+   round-trip, not a re-implementation. *)
+let unescape_label v =
+  let n = String.length v in
+  let buf = Buffer.create n in
+  let rec go i =
+    if i >= n then Some (Buffer.contents buf)
+    else if v.[i] = '\\' then
+      if i + 1 >= n then None
+      else begin
+        (match v.[i + 1] with
+        | '\\' -> Buffer.add_char buf '\\'
+        | '"' -> Buffer.add_char buf '"'
+        | 'n' -> Buffer.add_char buf '\n'
+        | _ -> ());
+        match v.[i + 1] with
+        | '\\' | '"' | 'n' -> go (i + 2)
+        | _ -> None
+      end
+    else begin
+      Buffer.add_char buf v.[i];
+      go (i + 1)
+    end
+  in
+  go 0
+
 let add_family buf ~name ~help ~typ body =
   Printf.bprintf buf "# HELP %s %s\n" name (escape_label help);
   Printf.bprintf buf "# TYPE %s %s\n" name typ;
@@ -59,21 +86,46 @@ let add_histogram buf name help (s : Metrics.hist_snapshot) =
       Printf.bprintf buf "%s_sum %d\n" name s.sum;
       Printf.bprintf buf "%s_count %d\n" name s.count)
 
-let add_summary buf name help (s : Hdr.snapshot) =
+let add_summary ?exemplar buf name help (s : Hdr.snapshot) =
   add_family buf ~name ~help ~typ:"summary" (fun buf ->
       Printf.bprintf buf "%s{quantile=\"0.5\"} %d\n" name s.Hdr.p50;
       Printf.bprintf buf "%s{quantile=\"0.9\"} %d\n" name s.Hdr.p90;
       Printf.bprintf buf "%s{quantile=\"0.99\"} %d\n" name s.Hdr.p99;
       Printf.bprintf buf "%s{quantile=\"0.999\"} %d\n" name s.Hdr.p999;
       Printf.bprintf buf "%s_sum %d\n" name s.Hdr.sum;
-      Printf.bprintf buf "%s_count %d\n" name s.Hdr.count)
+      Printf.bprintf buf "%s_count %d" name s.Hdr.count;
+      (* OpenMetrics exemplar syntax: the worst traced sample, linking
+         the tail figure to a concrete distributed trace. *)
+      (match exemplar with
+      | Some (v, trace) when trace <> 0 ->
+        Printf.bprintf buf " # {trace_id=\"%x\"} %d" trace v
+      | _ -> ());
+      Buffer.add_char buf '\n')
 
-let render ?(gauges = []) ?(latencies = []) snapshot =
+let add_labeled_gauge buf name help rows =
+  add_family buf ~name ~help ~typ:"gauge" (fun buf ->
+      List.iter
+        (fun (labels, v) ->
+          if labels = [] then Printf.bprintf buf "%s %.6g\n" name v
+          else begin
+            Printf.bprintf buf "%s{" name;
+            List.iteri
+              (fun i (k, lv) ->
+                if i > 0 then Buffer.add_char buf ',';
+                Printf.bprintf buf "%s=\"%s\"" k (escape_label lv))
+              labels;
+            Printf.bprintf buf "} %.6g\n" v
+          end)
+        rows)
+
+let render ?(gauges = []) ?(labeled = []) ?(latencies = []) ?(exemplars = [])
+    snapshot =
   let items =
     List.map
       (fun (raw, inst) -> (sanitize raw, raw, `Inst inst))
       snapshot
     @ List.map (fun (raw, v) -> (sanitize raw, raw, `Gauge v)) gauges
+    @ List.map (fun (raw, rows) -> (sanitize raw, raw, `Labeled rows)) labeled
     @ List.map (fun (raw, s) -> (sanitize raw, raw, `Hdr s)) latencies
   in
   let items =
@@ -82,12 +134,14 @@ let render ?(gauges = []) ?(latencies = []) snapshot =
   let buf = Buffer.create 4096 in
   List.iter
     (fun (name, raw, v) ->
+      let exemplar = List.assoc_opt raw exemplars in
       match v with
       | `Inst (Metrics.Counter c) -> add_counter buf name raw c
       | `Inst (Metrics.Histogram s) -> add_histogram buf name raw s
-      | `Inst (Metrics.Latency s) -> add_summary buf name raw s
+      | `Inst (Metrics.Latency s) -> add_summary ?exemplar buf name raw s
       | `Gauge g -> add_gauge buf name raw g
-      | `Hdr s -> add_summary buf name raw s)
+      | `Labeled rows -> add_labeled_gauge buf name raw rows
+      | `Hdr s -> add_summary ?exemplar buf name raw s)
     items;
   Buffer.add_string buf "# EOF\n";
   Buffer.contents buf
@@ -107,7 +161,7 @@ let valid_name s =
 exception Bad of string
 
 let split_sample line =
-  (* name[{labels}] value — returns (name, has_quantile/le labels ok). *)
+  (* name[{labels}] value [timestamp | # {labels} value [timestamp]] *)
   let n = String.length line in
   let i = ref 0 in
   while !i < n && is_name_char line.[!i] do
@@ -115,8 +169,8 @@ let split_sample line =
   done;
   let name = String.sub line 0 !i in
   if not (valid_name name) then raise (Bad "invalid metric name");
-  (* labels *)
-  if !i < n && line.[!i] = '{' then begin
+  let parse_label_set () =
+    (* [!i] is at '{' on entry, past '}' on exit *)
     incr i;
     let fin = ref false in
     while not !fin do
@@ -148,17 +202,46 @@ let split_sample line =
         if !i < n && line.[!i] = ',' then incr i
       end
     done
-  end;
-  if !i >= n || line.[!i] <> ' ' then raise (Bad "missing value");
-  let value = String.sub line (!i + 1) (n - !i - 1) in
-  let value =
-    match String.index_opt value ' ' with
-    | Some j -> String.sub value 0 j (* optional timestamp *)
-    | None -> value
   in
-  (match float_of_string_opt value with
-  | Some _ -> ()
-  | None -> raise (Bad ("unparseable sample value " ^ value)));
+  let parse_float_token what =
+    let s = !i in
+    while !i < n && line.[!i] <> ' ' do
+      incr i
+    done;
+    let tok = String.sub line s (!i - s) in
+    match float_of_string_opt tok with
+    | Some _ -> ()
+    | None -> raise (Bad (Printf.sprintf "unparseable %s %s" what tok))
+  in
+  if !i < n && line.[!i] = '{' then parse_label_set ();
+  if !i >= n || line.[!i] <> ' ' then raise (Bad "missing value");
+  incr i;
+  parse_float_token "sample value";
+  if !i < n then begin
+    incr i (* the space after the value *);
+    if !i < n && line.[!i] = '#' then begin
+      (* OpenMetrics exemplar: "# {labels} value [timestamp]" *)
+      incr i;
+      if !i >= n || line.[!i] <> ' ' then raise (Bad "malformed exemplar");
+      incr i;
+      if !i >= n || line.[!i] <> '{' then raise (Bad "exemplar without labels");
+      parse_label_set ();
+      if !i >= n || line.[!i] <> ' ' then raise (Bad "exemplar without value");
+      incr i;
+      parse_float_token "exemplar value";
+      if !i < n then begin
+        incr i;
+        if !i >= n then raise (Bad "trailing space after exemplar");
+        parse_float_token "exemplar timestamp";
+        if !i <> n then raise (Bad "garbage after exemplar timestamp")
+      end
+    end
+    else begin
+      if !i >= n then raise (Bad "trailing space after value");
+      parse_float_token "timestamp";
+      if !i <> n then raise (Bad "garbage after timestamp")
+    end
+  end;
   name
 
 let suffixes = [ "_total"; "_bucket"; "_sum"; "_count"; "_created" ]

@@ -22,13 +22,34 @@
 
 val render :
   ?gauges:(string * float) list ->
+  ?labeled:(string * ((string * string) list * float) list) list ->
   ?latencies:(string * Hdr.snapshot) list ->
+  ?exemplars:(string * (int * int)) list ->
   (string * Metrics.instrument) list ->
   string
 (** Families are emitted sorted by metric name; gauges and latencies are
-    merged into the same namespace as the snapshot instruments. *)
+    merged into the same namespace as the snapshot instruments.
+
+    [labeled] families are gauges with one sample per (label set, value)
+    row — e.g. per-tenant daemon figures, with the tenant name as an
+    escaped label value.  [exemplars] maps a {e raw} metric name (as
+    passed in [latencies] / the snapshot) to [(value, trace_id)] from
+    {!Hdr.exemplar}; matching summaries gain OpenMetrics exemplar syntax
+    ([# {trace_id="<hex>"} value]) on their [_count] sample. *)
+
+val escape_label : string -> string
+(** Label-value escaping (backslash, double quote, newline).  Exposed
+    for tests and for callers embedding label values in hand-built
+    expositions. *)
+
+val unescape_label : string -> string option
+(** Exact inverse of {!escape_label}; [None] on dangling or unknown
+    escapes. *)
 
 type stats = { families : int; samples : int }
 
 val validate : string -> (stats, string) result
-(** Check a full exposition document.  Errors carry the 1-based line. *)
+(** Check a full exposition document.  Errors carry the 1-based line.
+    Sample lines may carry an optional timestamp or an OpenMetrics
+    exemplar ([# {labels} value [timestamp]]); both are validated, not
+    skipped. *)

@@ -68,6 +68,14 @@ let emit ev =
   | Memory c ->
     Mutex.protect c.lock (fun () -> c.events <- ev :: c.events)
 
+(* When a distributed trace context is ambient on this domain, stamp its
+   trace id onto the event so spans from different processes (client,
+   daemon shards, engine) can be grouped into one logical trace.  Only
+   ever called on the enabled path, so the allocation is fine. *)
+let ctx_args args =
+  let tr = Ctx.current_trace () in
+  if tr = 0 then args else ("trace", Str (Ctx.hex tr)) :: args
+
 let with_span ?(args = []) name f =
   if not (Atomic.get on) then f ()
   else begin
@@ -110,7 +118,7 @@ let with_span ?(args = []) name f =
           dur_us;
           depth = !depth;
           instant = false;
-          args = args @ extra;
+          args = ctx_args (args @ extra);
         }
     in
     let body () =
@@ -131,7 +139,22 @@ let instant ?(args = []) name =
         dur_us = 0.;
         depth = !depth;
         instant = true;
-        args;
+        args = ctx_args args;
+      }
+  end
+
+let span_between ?(args = []) name ~t0_us ~t1_us =
+  if Atomic.get on then begin
+    let depth = Domain.DLS.get depth_key in
+    emit
+      {
+        name;
+        tid = (Domain.self () :> int);
+        ts_us = t0_us -. !origin;
+        dur_us = Float.max 0. (t1_us -. t0_us);
+        depth = !depth;
+        instant = false;
+        args = ctx_args args;
       }
   end
 

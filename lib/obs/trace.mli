@@ -59,6 +59,18 @@ val with_span : ?args:(string * value) list -> string -> (unit -> 'a) -> 'a
 val instant : ?args:(string * value) list -> string -> unit
 (** A zero-duration marker event. *)
 
+val span_between :
+  ?args:(string * value) list -> string -> t0_us:float -> t1_us:float -> unit
+(** Emit a complete span from timestamps measured elsewhere (raw
+    {!Clock.now_us} readings; the trace origin is subtracted here).
+    Used for phases whose endpoints straddle threads — e.g. the shard
+    queue wait, stamped at enqueue and emitted at dequeue.  Negative
+    intervals clamp to zero duration.
+
+    Like {!with_span}, events carry a ["trace"] arg with the ambient
+    {!Ctx} trace id (hex) whenever one is set, tying in-process spans to
+    the distributed trace they serve. *)
+
 (** {1 Span probes}
 
     The extension point {!Prof} uses to attach GC/allocation deltas to

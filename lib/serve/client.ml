@@ -1,12 +1,20 @@
 open Wl_core
 module Digraph = Wl_digraph.Digraph
 module Engine = Wl_engine.Engine
+module Ctx = Wl_obs.Ctx
+module Trace = Wl_obs.Trace
 
 type transport =
   | Local of Shard.t
   | Remote of { fd : Unix.file_descr; m : Mutex.t }
 
-type t = { transport : transport; json : bool; mutable closed : bool }
+type t = {
+  transport : transport;
+  json : bool;
+  gen : Ctx.gen;  (* trace/span id source; deterministic from [seed] *)
+  gen_m : Mutex.t;
+  mutable closed : bool;
+}
 
 type session = { client : t; tenant : string }
 
@@ -19,18 +27,27 @@ let closed_error = Error.Invalid_op "client is closed"
 
 (* Both transports run the full codec round trip — encode, frame, unframe,
    decode on each side — so a loopback client exercises exactly the bytes
-   a remote one would put on a socket. *)
-let call_local shard ~json req =
-  let framed = Wire.frame (Proto.encode_request ~json req) in
+   a remote one would put on a socket.  [ctx] rides the frames; the
+   server side decodes it back and propagates it into the shard. *)
+let call_local shard ~json ~ctx req =
+  let framed =
+    Trace.with_span "wire.codec"
+      ~args:[ ("dir", Trace.Str "request") ]
+      (fun () -> Wire.frame (Proto.encode_request ~json ~ctx req))
+  in
   match Wire.unframe framed 0 with
   | Error e -> (Error e : Proto.reply)
   | Ok (payload, _) -> (
-    let reply =
-      match Proto.decode_request payload with
-      | Error e -> (Error e : Proto.reply)
-      | Ok req -> Shard.call shard req
+    let reply, rctx =
+      match Proto.decode_request_ctx payload with
+      | Error e -> ((Error e : Proto.reply), Ctx.none)
+      | Ok (req, rctx) -> (Shard.call ~ctx:rctx shard req, rctx)
     in
-    let framed = Wire.frame (Proto.encode_reply ~json reply) in
+    let framed =
+      Trace.with_span "wire.codec"
+        ~args:[ ("dir", Trace.Str "reply") ]
+        (fun () -> Wire.frame (Proto.encode_reply ~json ~ctx:rctx reply))
+    in
     match Wire.unframe framed 0 with
     | Error e -> Error e
     | Ok (payload, _) -> (
@@ -38,40 +55,75 @@ let call_local shard ~json req =
       | Error e -> Error e
       | Ok reply -> reply))
 
-let call_remote fd m ~json req =
+let call_remote fd m ~json ~ctx req =
   Mutex.lock m;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock m)
     (fun () ->
-      match Wire.write fd (Proto.encode_request ~json req) with
-      | Error e -> (Error e : Proto.reply)
-      | Ok () -> (
-        match Wire.read fd with
-        | Error e -> Error e
-        | Ok None -> Error (Error.Io "connection closed by server")
-        | Ok (Some payload) -> (
-          match Proto.decode_reply payload with
-          | Error e -> Error e
-          | Ok reply -> reply)))
+      Trace.with_span "wire.roundtrip" (fun () ->
+          match Wire.write fd (Proto.encode_request ~json ~ctx req) with
+          | Error e -> (Error e : Proto.reply)
+          | Ok () -> (
+            match Wire.read fd with
+            | Error e -> Error e
+            | Ok None -> Error (Error.Io "connection closed by server")
+            | Ok (Some payload) -> (
+              match Proto.decode_reply payload with
+              | Error e -> Error e
+              | Ok reply -> reply))))
+
+let dispatch t ~ctx req =
+  match t.transport with
+  | Local shard -> call_local shard ~json:t.json ~ctx req
+  | Remote { fd; m } -> call_remote fd m ~json:t.json ~ctx req
+
+(* A fresh span per call: a root when no trace is ambient, a child when
+   the caller already runs inside one (so an app-level span groups its
+   RPCs).  The generator is shared across threads, hence the lock. *)
+let next_ctx t =
+  Mutex.lock t.gen_m;
+  let c = Ctx.child t.gen (Ctx.current ()) in
+  Mutex.unlock t.gen_m;
+  c
 
 let call t req =
   if t.closed then (Error closed_error : Proto.reply)
-  else
-    match t.transport with
-    | Local shard -> call_local shard ~json:t.json req
-    | Remote { fd; m } -> call_remote fd m ~json:t.json req
+  else if not (Trace.enabled ()) then
+    (* Untraced: no context on the wire — frames stay byte-identical to
+       the pre-context protocol. *)
+    dispatch t ~ctx:Ctx.none req
+  else begin
+    let ctx = next_ctx t in
+    let prev = Ctx.current () in
+    Ctx.set ctx;
+    Fun.protect
+      ~finally:(fun () -> Ctx.set prev)
+      (fun () ->
+        Trace.with_span "client.call"
+          ~args:[ ("verb", Trace.Str (Proto.verb_of_req req)) ]
+          (fun () -> dispatch t ~ctx req))
+  end
 
-let local ?(json = false) ?(threaded = false) ?flight_capacity ?(shards = 1)
-    ?(max_queue = 1024) () =
+let local ?(json = false) ?(seed = 0) ?(threaded = false) ?flight_capacity
+    ?(shards = 1) ?(max_queue = 1024) () =
   {
     transport = Local (Shard.create ~threaded ?flight_capacity ~shards ~max_queue ());
     json;
+    gen = Ctx.generator seed;
+    gen_m = Mutex.create ();
     closed = false;
   }
 
-let of_shard ?(json = false) shard = { transport = Local shard; json; closed = false }
+let of_shard ?(json = false) ?(seed = 0) shard =
+  {
+    transport = Local shard;
+    json;
+    gen = Ctx.generator seed;
+    gen_m = Mutex.create ();
+    closed = false;
+  }
 
-let connect ?(json = false) addr =
+let connect ?(json = false) ?(seed = 0) addr =
   match Server.address_of_string addr with
   | Error _ as e -> e
   | Ok parsed -> (
@@ -92,7 +144,14 @@ let connect ?(json = false) addr =
           Unix.connect fd (Unix.ADDR_INET (inet, port));
           fd
       in
-      Ok { transport = Remote { fd; m = Mutex.create () }; json; closed = false }
+      Ok
+        {
+          transport = Remote { fd; m = Mutex.create () };
+          json;
+          gen = Ctx.generator seed;
+          gen_m = Mutex.create ();
+          closed = false;
+        }
     with
     | Unix.Unix_error (e, _, _) ->
       Error (Error.Io (Printf.sprintf "cannot connect to %s: %s" addr (Unix.error_message e)))
@@ -210,3 +269,23 @@ let evict s =
   | Ok Proto.R_evicted -> Ok ()
   | Error e -> Error e
   | Ok _ -> unexpected "evict"
+
+(* --- daemon introspection --------------------------------------------------- *)
+
+let daemon_stats t =
+  match call t Proto.Dstats with
+  | Ok (Proto.R_dstats d) -> Ok d
+  | Error e -> Error e
+  | Ok _ -> unexpected "dstats"
+
+let daemon_health t =
+  match call t Proto.Dhealth with
+  | Ok (Proto.R_dhealth h) -> Ok h
+  | Error e -> Error e
+  | Ok _ -> unexpected "dhealth"
+
+let trace_pull ?(last = 0) t =
+  match call t (Proto.Trace_dump { last }) with
+  | Ok (Proto.R_trace doc) -> Ok doc
+  | Error e -> Error e
+  | Ok _ -> unexpected "tracedump"

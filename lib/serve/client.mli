@@ -33,13 +33,15 @@ type outcomes = {
 
 (** {1 Connecting} *)
 
-val connect : ?json:bool -> string -> (t, Error.t) result
+val connect : ?json:bool -> ?seed:int -> string -> (t, Error.t) result
 (** Dial a daemon at an {!Server.address} string.  [json] selects the
     JSON mirror encoding for requests (replies come back in kind);
-    default is the text form. *)
+    default is the text form.  [seed] (default [0]) seeds the client's
+    {!Wl_obs.Ctx} id generator, so traced runs are reproducible. *)
 
 val local :
   ?json:bool ->
+  ?seed:int ->
   ?threaded:bool ->
   ?flight_capacity:int ->
   ?shards:int ->
@@ -50,7 +52,7 @@ val local :
     ([threaded] defaults to [false]: requests execute synchronously on
     the caller, which keeps engine statistics deterministic). *)
 
-val of_shard : ?json:bool -> Shard.t -> t
+val of_shard : ?json:bool -> ?seed:int -> Shard.t -> t
 (** Loopback over an existing shard set (the daemon's own, in tests). *)
 
 val close : t -> unit
@@ -58,7 +60,13 @@ val close : t -> unit
     Idempotent; later calls return [Error (Invalid_op _)]. *)
 
 val call : t -> Proto.req -> Proto.reply
-(** Raw escape hatch: one request, one reply, full codec round trip. *)
+(** Raw escape hatch: one request, one reply, full codec round trip.
+
+    When {!Wl_obs.Trace} is enabled, every call opens a span — a trace
+    root, or a child of the caller's ambient {!Wl_obs.Ctx} — and sends
+    the context on the frame, so client, wire, shard and engine spans
+    share one trace id in a merged Chrome view.  With tracing off the
+    frames are byte-identical to the pre-context protocol. *)
 
 (** {1 Admin} *)
 
@@ -95,3 +103,17 @@ val stats : session -> (Engine.stats, Error.t) result
 val health : session -> (Proto.health, Error.t) result
 val snapshot : session -> (Instance.t, Error.t) result
 val evict : session -> (unit, Error.t) result
+
+(** {1 Daemon introspection} — answered from monitoring read-backs,
+    never queued behind engine work ({!Shard.call}). *)
+
+val daemon_stats : t -> (Proto.dstats, Error.t) result
+(** Shard-merged daemon rollup: true cross-shard add/remove quantiles
+    (via {!Wl_obs.Hdr.merge_into}) plus one row per live tenant. *)
+
+val daemon_health : t -> (Proto.dhealth, Error.t) result
+
+val trace_pull : ?last:int -> t -> (string, Error.t) result
+(** The merged flight rings of every live session as one Chrome trace
+    document ([last] caps ops per ring, [0] = all) — pipe it to
+    [wl trace-check] or load it in Perfetto. *)

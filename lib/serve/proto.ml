@@ -2,6 +2,7 @@ open Wl_core
 module Engine = Wl_engine.Engine
 module Script = Wl_engine.Script
 module Jsonx = Wl_json.Jsonx
+module Ctx = Wl_obs.Ctx
 
 let version = 1
 
@@ -30,6 +31,31 @@ type req =
   | Health of { tenant : string }
   | Snapshot of { tenant : string }
   | Evict of { tenant : string }
+  (* Daemon-wide introspection (no tenant): answered from shard-local
+     observability state without entering any engine hot path. *)
+  | Dstats
+  | Dhealth
+  | Trace_dump of { last : int }
+
+let verb_of_req = function
+  | Hello _ -> "hello"
+  | Ping -> "ping"
+  | Shutdown -> "shutdown"
+  | Open _ -> "open"
+  | Add_path _ -> "add_path"
+  | Remove_path _ -> "remove_path"
+  | Add_arc _ -> "add_arc"
+  | Submit _ -> "submit"
+  | Report _ -> "report"
+  | Pi _ -> "pi"
+  | Color_of _ -> "color_of"
+  | Stats _ -> "stats"
+  | Health _ -> "health"
+  | Snapshot _ -> "snapshot"
+  | Evict _ -> "evict"
+  | Dstats -> "dstats"
+  | Dhealth -> "dhealth"
+  | Trace_dump _ -> "tracedump"
 
 type report = { n_wavelengths : int; pi : int; optimal : bool; method_name : string }
 
@@ -45,6 +71,41 @@ type health = {
 }
 
 type outcome = O_path of int | O_removed of int | O_arc of int
+
+(* Shard-merged latency rollup: the [Hdr.merge_into] figures across every
+   shard's histograms, plus the daemon-wide exemplar ([l_ex_trace = 0]
+   when no traced sample was seen). *)
+type lat_rollup = {
+  l_count : int;
+  l_p50 : int;
+  l_p90 : int;
+  l_p99 : int;
+  l_p999 : int;
+  l_max : int;
+  l_ex_ns : int;
+  l_ex_trace : int;
+}
+
+type tenant_row = {
+  r_tenant : string;
+  r_shard : int;
+  r_paths : int;
+  r_pi : int;
+  r_ops : int;
+  r_add_p50 : int;
+  r_add_p99 : int;
+  r_healthy : bool;
+}
+
+type dstats = {
+  d_shards : int;
+  d_sessions : int;
+  d_add : lat_rollup;
+  d_remove : lat_rollup;
+  d_tenants : tenant_row list;
+}
+
+type dhealth = { dh_healthy : bool; dh_sessions : int; dh_unhealthy : string list }
 
 type resp =
   | R_hello of int
@@ -62,6 +123,9 @@ type resp =
   | R_outcomes of { outcomes : (outcome, Error.t) result array; after : report }
   | R_snapshot of Instance.t
   | R_evicted
+  | R_dstats of dstats
+  | R_dhealth of dhealth
+  | R_trace of string  (** a complete Chrome trace document *)
 
 type reply = (resp, Error.t) result
 
@@ -243,7 +307,16 @@ let error_of_json j =
 
 let hdr = Printf.sprintf "wlrpc %d" version
 
-let encode_request_text = function
+(* The optional trace context rides as a [ctx=TRACE:SPAN] token directly
+   after the version, before the verb — absent for untraced peers, so
+   every pre-context frame remains byte-identical. *)
+let hdr_with ctx =
+  if Ctx.is_none ctx then hdr
+  else Printf.sprintf "wlrpc %d ctx=%s" version (Ctx.to_string ctx)
+
+let encode_request_text ?(ctx = Ctx.none) req =
+  let hdr = hdr_with ctx in
+  match req with
   | Hello v -> Printf.sprintf "%s hello %d\n" hdr v
   | Ping -> hdr ^ " ping\n"
   | Shutdown -> hdr ^ " shutdown\n"
@@ -284,6 +357,9 @@ let encode_request_text = function
   | Evict { tenant } ->
     check_tenant tenant;
     Printf.sprintf "%s evict %s\n" hdr tenant
+  | Dstats -> hdr ^ " dstats\n"
+  | Dhealth -> hdr ^ " dhealth\n"
+  | Trace_dump { last } -> Printf.sprintf "%s tracedump %d\n" hdr last
 
 let report_tokens r =
   Printf.sprintf "%d %d %b %s" r.n_wavelengths r.pi r.optimal r.method_name
@@ -293,13 +369,32 @@ let stats_tokens (s : Engine.stats) =
     s.Engine.fresh_colors s.Engine.repairs s.Engine.repair_flips s.Engine.shrink_recolors
     s.Engine.warm_removes s.Engine.fallbacks s.Engine.full_solves s.Engine.rejected
 
+let rollup_tokens r =
+  Printf.sprintf "%d %d %d %d %d %d %d %x" r.l_count r.l_p50 r.l_p90 r.l_p99
+    r.l_p999 r.l_max r.l_ex_ns r.l_ex_trace
+
+let rollup_of_tokens name = function
+  | [ c; p50; p90; p99; p999; mx; ex; tr ] -> (
+    match
+      ( int_of_string_opt c, int_of_string_opt p50, int_of_string_opt p90,
+        int_of_string_opt p99, int_of_string_opt p999, int_of_string_opt mx,
+        int_of_string_opt ex, int_of_string_opt ("0x" ^ tr) )
+    with
+    | ( Some l_count, Some l_p50, Some l_p90, Some l_p99, Some l_p999,
+        Some l_max, Some l_ex_ns, Some l_ex_trace ) ->
+      Ok { l_count; l_p50; l_p90; l_p99; l_p999; l_max; l_ex_ns; l_ex_trace }
+    | _ -> Error (proto_error ("bad " ^ name ^ " rollup tokens")))
+  | _ -> Error (proto_error ("bad " ^ name ^ " rollup shape"))
+
 let outcome_line = function
   | Ok (O_path id) -> Printf.sprintf "outcome path %d" id
   | Ok (O_removed id) -> Printf.sprintf "outcome removed %d" id
   | Ok (O_arc id) -> Printf.sprintf "outcome arc %d" id
   | Error e -> "outcome " ^ error_to_line e
 
-let encode_reply_text = function
+let encode_reply_text ?(ctx = Ctx.none) reply =
+  let hdr = hdr_with ctx in
+  match reply with
   | Error e -> Printf.sprintf "%s %s\n" hdr (error_to_line e)
   | Ok r -> (
     match r with
@@ -330,7 +425,27 @@ let encode_reply_text = function
         outcomes;
       Buffer.contents b
     | R_snapshot inst -> Printf.sprintf "%s ok snapshot\n%s" hdr (Serial.to_string inst)
-    | R_evicted -> hdr ^ " ok evicted\n")
+    | R_evicted -> hdr ^ " ok evicted\n"
+    | R_dstats d ->
+      let b = Buffer.create 256 in
+      Buffer.add_string b
+        (Printf.sprintf "%s ok dstats %d %d %d %s %s\n" hdr d.d_shards
+           d.d_sessions
+           (List.length d.d_tenants)
+           (rollup_tokens d.d_add) (rollup_tokens d.d_remove));
+      List.iter
+        (fun r ->
+          Buffer.add_string b
+            (Printf.sprintf "tenant %s %d %d %d %d %d %d %b\n" r.r_tenant
+               r.r_shard r.r_paths r.r_pi r.r_ops r.r_add_p50 r.r_add_p99
+               r.r_healthy))
+        d.d_tenants;
+      Buffer.contents b
+    | R_dhealth h ->
+      Printf.sprintf "%s ok dhealth %b %d %d%s\n" hdr h.dh_healthy h.dh_sessions
+        (List.length h.dh_unhealthy)
+        (String.concat "" (List.map (fun t -> " " ^ t) h.dh_unhealthy))
+    | R_trace doc -> Printf.sprintf "%s ok trace\n%s" hdr doc)
 
 (* --- text decoding --------------------------------------------------------- *)
 
@@ -350,6 +465,26 @@ let int_tok name s =
 let with_tenant t k =
   if tenant_ok t then k t else Error (proto_error (Printf.sprintf "invalid tenant id %S" t))
 
+(* The optional [ctx=] token sits between version and verb.  A malformed
+   id or a duplicate ctx token anywhere on the head line is a protocol
+   error — never an exception (the wlrpc_frame oracle mutates exactly
+   these shapes). *)
+let is_ctx_tok t = String.length t >= 4 && String.sub t 0 4 = "ctx="
+
+let extract_ctx rest =
+  match rest with
+  | c :: rest' when is_ctx_tok c -> (
+    if List.exists is_ctx_tok rest' then Error (proto_error "duplicate ctx field")
+    else
+      let v = String.sub c 4 (String.length c - 4) in
+      match Ctx.of_string v with
+      | Some ctx -> Ok (ctx, rest')
+      | None -> Error (proto_error (Printf.sprintf "malformed ctx %S" v)))
+  | _ ->
+    if List.exists is_ctx_tok rest then
+      Error (proto_error "ctx field not directly after version")
+    else Ok (Ctx.none, rest)
+
 let decode_request_text payload =
   let head, body = split_head payload in
   match tokens head with
@@ -357,7 +492,10 @@ let decode_request_text payload =
     match int_of_string_opt v with
     | None -> Error (proto_error "bad wlrpc header")
     | Some v when v <> version -> Error (Error.Unsupported_version v)
-    | Some _ -> (
+    | Some _ ->
+      Result.bind (extract_ctx rest) @@ fun (ctx, rest) ->
+      Result.map (fun req -> (req, ctx))
+      @@ (
       match rest with
       | [ "hello"; v ] -> Result.map (fun v -> Hello v) (int_tok "hello" v)
       | [ "ping" ] -> Ok Ping
@@ -391,6 +529,10 @@ let decode_request_text payload =
       | [ "health"; t ] -> with_tenant t (fun tenant -> Ok (Health { tenant }))
       | [ "snapshot"; t ] -> with_tenant t (fun tenant -> Ok (Snapshot { tenant }))
       | [ "evict"; t ] -> with_tenant t (fun tenant -> Ok (Evict { tenant }))
+      | [ "dstats" ] -> Ok Dstats
+      | [ "dhealth" ] -> Ok Dhealth
+      | [ "tracedump"; last ] ->
+        Result.map (fun last -> Trace_dump { last }) (int_tok "tracedump last" last)
       | verb :: _ -> Error (proto_error ("unknown request verb " ^ verb))
       | [] -> Error (proto_error "empty request")))
   | _ -> Error (proto_error "request does not start with a wlrpc header")
@@ -410,7 +552,10 @@ let decode_reply_text payload =
     match int_of_string_opt v with
     | None -> Error (proto_error "bad wlrpc header")
     | Some v when v <> version -> Error (Error.Unsupported_version v)
-    | Some _ -> (
+    | Some _ ->
+      Result.bind (extract_ctx rest) @@ fun (ctx, rest) ->
+      Result.map (fun rep -> (rep, ctx))
+      @@ (
       match rest with
       | "err" :: toks -> Result.map (fun e -> (Error e : reply)) (error_of_tokens toks)
       | [ "ok"; "hello"; v ] -> Result.map (fun v -> Ok (R_hello v)) (int_tok "hello" v)
@@ -490,6 +635,78 @@ let decode_reply_text payload =
       | [ "ok"; "snapshot" ] ->
         Result.map (fun inst -> (Ok (R_snapshot inst) : reply)) (Serial.of_string body)
       | [ "ok"; "evicted" ] -> Ok (Ok R_evicted)
+      | "ok" :: "dstats" :: shards :: sessions :: ntenants :: toks ->
+        Result.bind (int_tok "dstats shards" shards) (fun d_shards ->
+            Result.bind (int_tok "dstats sessions" sessions) (fun d_sessions ->
+                Result.bind (int_tok "dstats tenants" ntenants) (fun n ->
+                    if List.length toks <> 16 then
+                      Error (proto_error "bad dstats rollup shape")
+                    else
+                      let add_toks = List.filteri (fun i _ -> i < 8) toks in
+                      let rem_toks = List.filteri (fun i _ -> i >= 8) toks in
+                      Result.bind (rollup_of_tokens "add" add_toks) (fun d_add ->
+                          Result.bind (rollup_of_tokens "remove" rem_toks)
+                            (fun d_remove ->
+                              let lines =
+                                String.split_on_char '\n' body
+                                |> List.filter (fun l -> l <> "")
+                              in
+                              if List.length lines <> n then
+                                Error
+                                  (proto_error "tenant count does not match body")
+                              else
+                                let row line =
+                                  match tokens line with
+                                  | [ "tenant"; t; sh; paths; pi; ops; p50; p99; hb ]
+                                    -> (
+                                    match
+                                      ( tenant_ok t, int_of_string_opt sh,
+                                        int_of_string_opt paths,
+                                        int_of_string_opt pi,
+                                        int_of_string_opt ops,
+                                        int_of_string_opt p50,
+                                        int_of_string_opt p99,
+                                        bool_of_string_opt hb )
+                                    with
+                                    | ( true, Some r_shard, Some r_paths,
+                                        Some r_pi, Some r_ops, Some r_add_p50,
+                                        Some r_add_p99, Some r_healthy ) ->
+                                      Ok
+                                        {
+                                          r_tenant = t; r_shard; r_paths; r_pi;
+                                          r_ops; r_add_p50; r_add_p99; r_healthy;
+                                        }
+                                    | _ -> Error (proto_error "bad tenant row"))
+                                  | _ -> Error (proto_error "bad tenant line")
+                                in
+                                let rec go acc = function
+                                  | [] -> Ok (List.rev acc)
+                                  | l :: rest ->
+                                    Result.bind (row l) (fun r -> go (r :: acc) rest)
+                                in
+                                Result.map
+                                  (fun d_tenants ->
+                                    (Ok
+                                       (R_dstats
+                                          {
+                                            d_shards; d_sessions; d_add; d_remove;
+                                            d_tenants;
+                                          })
+                                      : reply))
+                                  (go [] lines))))))
+      | "ok" :: "dhealth" :: hb :: sessions :: n :: names ->
+        Result.bind (int_tok "dhealth sessions" sessions) (fun dh_sessions ->
+            Result.bind (int_tok "dhealth count" n) (fun n ->
+                match bool_of_string_opt hb with
+                | None -> Error (proto_error "bad dhealth flag")
+                | Some dh_healthy ->
+                  if List.length names <> n || not (List.for_all tenant_ok names)
+                  then Error (proto_error "bad dhealth tenant list")
+                  else
+                    Ok
+                      (Ok (R_dhealth { dh_healthy; dh_sessions; dh_unhealthy = names })
+                        : reply)))
+      | [ "ok"; "trace" ] -> Ok (Ok (R_trace body))
       | _ -> Error (proto_error "unknown reply shape")))
   | _ -> Error (proto_error "reply does not start with a wlrpc header")
 
@@ -517,9 +734,17 @@ let ops_of_jsonx j =
             ("ops", j);
           ]))
 
-let req_json fields = Jsonx.to_string (Jsonx.Obj (("wlrpc", Jsonx.Int version) :: fields))
+let ctx_json_field ctx fields =
+  if Ctx.is_none ctx then fields
+  else ("ctx", Jsonx.Str (Ctx.to_string ctx)) :: fields
 
-let encode_request_json = function
+let req_json ?(ctx = Ctx.none) fields =
+  Jsonx.to_string
+    (Jsonx.Obj (("wlrpc", Jsonx.Int version) :: ctx_json_field ctx fields))
+
+let encode_request_json ?(ctx = Ctx.none) req =
+  let req_json fields = req_json ~ctx fields in
+  match req with
   | Hello v -> req_json [ ("verb", Jsonx.Str "hello"); ("version", Jsonx.Int v) ]
   | Ping -> req_json [ ("verb", Jsonx.Str "ping") ]
   | Shutdown -> req_json [ ("verb", Jsonx.Str "shutdown") ]
@@ -574,6 +799,10 @@ let encode_request_json = function
   | Evict { tenant } ->
     check_tenant tenant;
     req_json [ ("verb", Jsonx.Str "evict"); ("tenant", Jsonx.Str tenant) ]
+  | Dstats -> req_json [ ("verb", Jsonx.Str "dstats") ]
+  | Dhealth -> req_json [ ("verb", Jsonx.Str "dhealth") ]
+  | Trace_dump { last } ->
+    req_json [ ("verb", Jsonx.Str "tracedump"); ("last", Jsonx.Int last) ]
 
 let report_json r =
   [
@@ -581,8 +810,31 @@ let report_json r =
     ("optimal", Jsonx.Bool r.optimal); ("method", Jsonx.Str r.method_name);
   ]
 
-let encode_reply_json (reply : reply) =
-  let obj fields = Jsonx.to_string (Jsonx.Obj (("wlrpc", Jsonx.Int version) :: fields)) in
+let rollup_json r =
+  Jsonx.Obj
+    [
+      ("count", Jsonx.Int r.l_count); ("p50", Jsonx.Int r.l_p50);
+      ("p90", Jsonx.Int r.l_p90); ("p99", Jsonx.Int r.l_p99);
+      ("p999", Jsonx.Int r.l_p999); ("max", Jsonx.Int r.l_max);
+      ("ex_ns", Jsonx.Int r.l_ex_ns); ("ex_trace", Jsonx.Int r.l_ex_trace);
+    ]
+
+let rollup_of_json name j =
+  let int k = Option.bind (Jsonx.member k j) Jsonx.to_int in
+  match
+    ( int "count", int "p50", int "p90", int "p99", int "p999", int "max",
+      int "ex_ns", int "ex_trace" )
+  with
+  | ( Some l_count, Some l_p50, Some l_p90, Some l_p99, Some l_p999, Some l_max,
+      Some l_ex_ns, Some l_ex_trace ) ->
+    Ok { l_count; l_p50; l_p90; l_p99; l_p999; l_max; l_ex_ns; l_ex_trace }
+  | _ -> Error (proto_error ("bad " ^ name ^ " rollup fields"))
+
+let encode_reply_json ?(ctx = Ctx.none) (reply : reply) =
+  let obj fields =
+    Jsonx.to_string
+      (Jsonx.Obj (("wlrpc", Jsonx.Int version) :: ctx_json_field ctx fields))
+  in
   match reply with
   | Error e -> obj [ ("err", error_to_json e) ]
   | Ok r ->
@@ -640,7 +892,39 @@ let encode_reply_json (reply : reply) =
           ])
         "outcomes"
     | R_snapshot inst -> ok [ ("instance", instance_to_jsonx inst) ] "snapshot"
-    | R_evicted -> ok [] "evicted")
+    | R_evicted -> ok [] "evicted"
+    | R_dstats d ->
+      ok
+        [
+          ("shards", Jsonx.Int d.d_shards); ("sessions", Jsonx.Int d.d_sessions);
+          ("add", rollup_json d.d_add); ("remove", rollup_json d.d_remove);
+          ( "tenants",
+            Jsonx.Arr
+              (List.map
+                 (fun r ->
+                   Jsonx.Obj
+                     [
+                       ("tenant", Jsonx.Str r.r_tenant);
+                       ("shard", Jsonx.Int r.r_shard);
+                       ("paths", Jsonx.Int r.r_paths); ("pi", Jsonx.Int r.r_pi);
+                       ("ops", Jsonx.Int r.r_ops);
+                       ("add_p50", Jsonx.Int r.r_add_p50);
+                       ("add_p99", Jsonx.Int r.r_add_p99);
+                       ("healthy", Jsonx.Bool r.r_healthy);
+                     ])
+                 d.d_tenants) );
+        ]
+        "dstats"
+    | R_dhealth h ->
+      ok
+        [
+          ("healthy", Jsonx.Bool h.dh_healthy);
+          ("sessions", Jsonx.Int h.dh_sessions);
+          ( "unhealthy",
+            Jsonx.Arr (List.map (fun t -> Jsonx.Str t) h.dh_unhealthy) );
+        ]
+        "dhealth"
+    | R_trace doc -> ok [ ("doc", Jsonx.Str doc) ] "trace")
 
 let json_version j =
   match Option.bind (Jsonx.member "wlrpc" j) Jsonx.to_int with
@@ -648,11 +932,23 @@ let json_version j =
   | Some v when v <> version -> Error (Error.Unsupported_version v)
   | Some _ -> Ok ()
 
+let json_ctx j =
+  match Jsonx.member "ctx" j with
+  | None -> Ok Ctx.none
+  | Some (Jsonx.Str s) -> (
+    match Ctx.of_string s with
+    | Some c -> Ok c
+    | None -> Error (proto_error (Printf.sprintf "malformed ctx %S" s)))
+  | Some _ -> Error (proto_error "malformed ctx field")
+
 let decode_request_json payload =
   match Jsonx.parse payload with
   | Error msg -> Error (proto_error ("request JSON: " ^ msg))
   | Ok j ->
     Result.bind (json_version j) (fun () ->
+        Result.bind (json_ctx j) @@ fun ctx ->
+        Result.map (fun req -> (req, ctx))
+        @@
         let str k = Option.bind (Jsonx.member k j) Jsonx.to_str in
         let int k = Option.bind (Jsonx.member k j) Jsonx.to_int in
         let tenant k =
@@ -710,6 +1006,12 @@ let decode_request_json payload =
         | Some "health" -> tenant (fun tenant -> Ok (Health { tenant }))
         | Some "snapshot" -> tenant (fun tenant -> Ok (Snapshot { tenant }))
         | Some "evict" -> tenant (fun tenant -> Ok (Evict { tenant }))
+        | Some "dstats" -> Ok Dstats
+        | Some "dhealth" -> Ok Dhealth
+        | Some "tracedump" -> (
+          match int "last" with
+          | Some last -> Ok (Trace_dump { last })
+          | None -> Error (proto_error "tracedump: missing last"))
         | Some verb -> Error (proto_error ("unknown request verb " ^ verb)))
 
 let report_of_json j =
@@ -729,6 +1031,9 @@ let decode_reply_json payload =
   | Error msg -> Error (proto_error ("reply JSON: " ^ msg))
   | Ok j ->
     Result.bind (json_version j) (fun () ->
+        Result.bind (json_ctx j) @@ fun ctx ->
+        Result.map (fun rep -> (rep, ctx))
+        @@
         match (Jsonx.member "err" j, Jsonx.member "ok" j) with
         | Some e, _ -> Result.map (fun e -> (Error e : reply)) (error_of_json e)
         | None, Some ok -> (
@@ -830,6 +1135,79 @@ let decode_reply_json payload =
             | Some inst ->
               Result.map (fun i -> (Ok (R_snapshot i) : reply)) (instance_of_jsonx inst))
           | Some "evicted" -> Ok (Ok R_evicted)
+          | Some "dstats" ->
+            Result.bind
+              (match Jsonx.member "add" ok with
+              | Some a -> rollup_of_json "add" a
+              | None -> Error (proto_error "dstats: missing add rollup"))
+              (fun d_add ->
+                Result.bind
+                  (match Jsonx.member "remove" ok with
+                  | Some r -> rollup_of_json "remove" r
+                  | None -> Error (proto_error "dstats: missing remove rollup"))
+                  (fun d_remove ->
+                    match
+                      ( int "shards", int "sessions",
+                        Option.bind (Jsonx.member "tenants" ok) Jsonx.to_list )
+                    with
+                    | Some d_shards, Some d_sessions, Some rows ->
+                      let row r =
+                        let ri k = Option.bind (Jsonx.member k r) Jsonx.to_int in
+                        match
+                          ( Option.bind (Jsonx.member "tenant" r) Jsonx.to_str,
+                            ri "shard", ri "paths", ri "pi", ri "ops",
+                            ri "add_p50", ri "add_p99",
+                            Option.bind (Jsonx.member "healthy" r) Jsonx.to_bool )
+                        with
+                        | ( Some t, Some r_shard, Some r_paths, Some r_pi,
+                            Some r_ops, Some r_add_p50, Some r_add_p99,
+                            Some r_healthy )
+                          when tenant_ok t ->
+                          Ok
+                            {
+                              r_tenant = t; r_shard; r_paths; r_pi; r_ops;
+                              r_add_p50; r_add_p99; r_healthy;
+                            }
+                        | _ -> Error (proto_error "dstats: bad tenant row")
+                      in
+                      let rec go acc = function
+                        | [] -> Ok (List.rev acc)
+                        | r :: rest ->
+                          Result.bind (row r) (fun r -> go (r :: acc) rest)
+                      in
+                      Result.map
+                        (fun d_tenants ->
+                          (Ok
+                             (R_dstats
+                                {
+                                  d_shards; d_sessions; d_add; d_remove; d_tenants;
+                                })
+                            : reply))
+                        (go [] rows)
+                    | _ -> Error (proto_error "dstats: missing fields")))
+          | Some "dhealth" -> (
+            match
+              ( Option.bind (Jsonx.member "healthy" ok) Jsonx.to_bool,
+                int "sessions",
+                Option.bind (Jsonx.member "unhealthy" ok) Jsonx.to_list )
+            with
+            | Some dh_healthy, Some dh_sessions, Some names ->
+              let strs = List.map Jsonx.to_str names in
+              if List.exists Option.is_none strs then
+                Error (proto_error "dhealth: bad tenant list")
+              else
+                Ok
+                  (Ok
+                     (R_dhealth
+                        {
+                          dh_healthy; dh_sessions;
+                          dh_unhealthy = List.filter_map Fun.id strs;
+                        }))
+            | _ -> Error (proto_error "dhealth: missing fields"))
+          | Some "trace" -> (
+            match str "doc" with
+            | Some doc -> Ok (Ok (R_trace doc))
+            | None -> Error (proto_error "trace: missing doc"))
           | Some verb -> Error (proto_error ("unknown reply verb " ^ verb)))
         | None, None -> Error (proto_error "reply carries neither ok nor err"))
 
@@ -837,22 +1215,26 @@ let decode_reply_json payload =
 
 let is_json payload = String.length payload > 0 && payload.[0] = '{'
 
-let encode_request ?(json = false) req =
-  if json then encode_request_json req else encode_request_text req
+let encode_request ?(json = false) ?(ctx = Ctx.none) req =
+  if json then encode_request_json ~ctx req else encode_request_text ~ctx req
 
-let decode_request payload =
+let decode_request_ctx payload =
   if is_json payload then decode_request_json payload
   else
     match decode_request_text payload with
     | exception _ -> Error (proto_error "request decode raised")
     | r -> r
 
-let encode_reply ?(json = false) reply =
-  if json then encode_reply_json reply else encode_reply_text reply
+let decode_request payload = Result.map fst (decode_request_ctx payload)
 
-let decode_reply payload =
+let encode_reply ?(json = false) ?(ctx = Ctx.none) reply =
+  if json then encode_reply_json ~ctx reply else encode_reply_text ~ctx reply
+
+let decode_reply_ctx payload =
   if is_json payload then decode_reply_json payload
   else
     match decode_reply_text payload with
     | exception _ -> Error (proto_error "reply decode raised")
     | r -> r
+
+let decode_reply payload = Result.map fst (decode_reply_ctx payload)

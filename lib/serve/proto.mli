@@ -50,6 +50,14 @@ type req =
   | Health of { tenant : string }
   | Snapshot of { tenant : string }
   | Evict of { tenant : string }
+  | Dstats  (** daemon-wide stats: shard-merged rollups + per-tenant rows *)
+  | Dhealth  (** daemon-wide health: aggregate flag + unhealthy tenants *)
+  | Trace_dump of { last : int }
+      (** pull the merged flight rings of every live session as one
+          Chrome trace document; [last] caps ops per ring ([0] = all) *)
+
+val verb_of_req : req -> string
+(** The wire verb token — the label a client span carries. *)
 
 type report = {
   n_wavelengths : int;
@@ -74,6 +82,41 @@ type health = {
 
 type outcome = O_path of int | O_removed of int | O_arc of int
 
+type lat_rollup = {
+  l_count : int;
+  l_p50 : int;
+  l_p90 : int;
+  l_p99 : int;
+  l_p999 : int;
+  l_max : int;
+  l_ex_ns : int;  (** worst traced sample, ns; meaningless when no exemplar *)
+  l_ex_trace : int;  (** its trace id; [0] = no exemplar *)
+}
+(** Daemon-wide latency figures from merging every shard's histogram via
+    [Hdr.merge_into] — true cross-shard quantiles, not an average of
+    per-shard quantiles. *)
+
+type tenant_row = {
+  r_tenant : string;
+  r_shard : int;
+  r_paths : int;
+  r_pi : int;
+  r_ops : int;
+  r_add_p50 : int;
+  r_add_p99 : int;
+  r_healthy : bool;
+}
+
+type dstats = {
+  d_shards : int;
+  d_sessions : int;
+  d_add : lat_rollup;
+  d_remove : lat_rollup;
+  d_tenants : tenant_row list;
+}
+
+type dhealth = { dh_healthy : bool; dh_sessions : int; dh_unhealthy : string list }
+
 type resp =
   | R_hello of int
   | R_pong
@@ -90,6 +133,11 @@ type resp =
   | R_outcomes of { outcomes : (outcome, Error.t) result array; after : report }
   | R_snapshot of Instance.t
   | R_evicted
+  | R_dstats of dstats
+  | R_dhealth of dhealth
+  | R_trace of string
+      (** a complete Chrome trace document (multi-line body, like
+          [R_snapshot]'s instance) *)
 
 type reply = (resp, Error.t) result
 
@@ -103,9 +151,24 @@ val outcome_of_engine : Engine.op_outcome -> outcome
 
     Encoders are total on well-formed values (invalid tenant ids raise
     [Invalid_argument] — they are unrepresentable on the wire); decoders
-    are total on arbitrary bytes and never raise. *)
+    are total on arbitrary bytes and never raise.
 
-val encode_request : ?json:bool -> req -> string
+    [ctx] is the optional distributed trace context: the text form
+    carries it as a [ctx=TRACE:SPAN] token between version and verb, the
+    JSON mirror as a ["ctx"] string field.  [Ctx.none] (the default)
+    encodes nothing, so untraced frames are byte-identical to the
+    pre-context protocol and old peers interoperate unchanged.  On
+    decode, an absent field yields [Ctx.none]; a malformed or duplicated
+    field is a protocol error, never an exception. *)
+
+val encode_request : ?json:bool -> ?ctx:Wl_obs.Ctx.t -> req -> string
 val decode_request : string -> (req, Error.t) result
-val encode_reply : ?json:bool -> reply -> string
+
+val decode_request_ctx : string -> (req * Wl_obs.Ctx.t, Error.t) result
+(** Like {!decode_request}, also yielding the propagated context
+    ([Ctx.none] when the frame carries no ctx field). *)
+
+val encode_reply : ?json:bool -> ?ctx:Wl_obs.Ctx.t -> reply -> string
 val decode_reply : string -> (reply, Error.t) result
+
+val decode_reply_ctx : string -> (reply * Wl_obs.Ctx.t, Error.t) result

@@ -53,17 +53,19 @@ let conn_loop t fd =
       (try ignore (Wire.write fd (Proto.encode_reply (Error e))) with _ -> ())
     | Ok (Some payload) -> (
       let json = payload_is_json payload in
-      let decoded = Proto.decode_request payload in
-      let reply =
+      let decoded = Proto.decode_request_ctx payload in
+      (* The trace context decoded off the frame rides into the shard
+         (spans, exemplars) and is echoed on the reply. *)
+      let reply, ctx =
         match decoded with
-        | Error e -> (Error e : Proto.reply)
-        | Ok req -> Shard.call t.shard req
+        | Error e -> ((Error e : Proto.reply), Wl_obs.Ctx.none)
+        | Ok (req, ctx) -> (Shard.call ~ctx t.shard req, ctx)
       in
-      match Wire.write fd (Proto.encode_reply ~json reply) with
+      match Wire.write fd (Proto.encode_reply ~json ~ctx reply) with
       | Error _ -> ()
       | Ok () -> (
         match decoded with
-        | Ok Proto.Shutdown -> Atomic.set t.stop_flag true
+        | Ok (Proto.Shutdown, _) -> Atomic.set t.stop_flag true
         | _ -> go ()))
   in
   (try go () with _ -> ());

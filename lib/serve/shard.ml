@@ -1,5 +1,10 @@
 open Wl_core
 module Engine = Wl_engine.Engine
+module Ctx = Wl_obs.Ctx
+module Trace = Wl_obs.Trace
+module Clock = Wl_obs.Clock
+module Flight = Wl_obs.Flight
+module Hdr = Wl_obs.Hdr
 
 (* FNV-1a with the offset basis folded into OCaml's 63-bit int range. *)
 let shard_of_tenant ~shards tenant =
@@ -13,6 +18,8 @@ let shard_of_tenant ~shards tenant =
 
 type job = {
   req : Proto.req;
+  ctx : Ctx.t;  (** propagated trace context, [Ctx.none] when untraced *)
+  enq_us : float;  (** enqueue stamp, feeds the [serve.queue_wait] span *)
   job_m : Mutex.t;
   job_c : Condition.t;
   mutable reply : Proto.reply option;
@@ -27,6 +34,12 @@ type shard = {
   mutable queue_len : int;
   mutable stopping : bool;
   sessions : (string, Engine.session) Hashtbl.t;
+  roster_m : Mutex.t;
+  mutable roster : (string * Engine.session) list;
+      (** mirror of [sessions], maintained on Open/Evict.  The Hashtbl
+          belongs to the worker domain (it is mutated outside [m]), so
+          introspection requests answered on caller threads read this
+          mirror under its own lock instead of racing the table. *)
   n_sessions : int Atomic.t;
   mutable worker : unit Domain.t option;
 }
@@ -39,6 +52,92 @@ type t = {
   drain_m : Mutex.t;
   mutable drained : (string * Engine.session) list option;
 }
+
+(* --- introspection (dstats / dhealth / tracedump) --------------------------- *)
+
+(* Served on the caller's thread, never queued behind engine work: the
+   figures come from the roster mirror plus lock-free read-backs (HDR
+   atomics, stats ints).  Racing a concurrent op can skew one sample —
+   monitoring-grade, never corrupting. *)
+let roster_snapshot t =
+  Array.to_list t.shards
+  |> List.concat_map (fun sh ->
+         Mutex.lock sh.roster_m;
+         let r = sh.roster in
+         Mutex.unlock sh.roster_m;
+         List.rev_map (fun (tenant, s) -> (sh.sid, tenant, s)) r)
+  |> List.sort (fun (_, a, _) (_, b, _) -> String.compare a b)
+
+let rollup_of_hdr h =
+  let s = Hdr.snapshot h in
+  let ex_ns, ex_trace =
+    match Hdr.exemplar h with Some (v, tr) -> (v, tr) | None -> (0, 0)
+  in
+  {
+    Proto.l_count = s.Hdr.count;
+    l_p50 = s.Hdr.p50;
+    l_p90 = s.Hdr.p90;
+    l_p99 = s.Hdr.p99;
+    l_p999 = s.Hdr.p999;
+    l_max = s.Hdr.max;
+    l_ex_ns = ex_ns;
+    l_ex_trace = ex_trace;
+  }
+
+let dstats t : Proto.reply =
+  let sessions = roster_snapshot t in
+  (* Daemon-wide quantiles come from merging every session's histogram —
+     not from averaging per-session quantiles, which would be wrong. *)
+  let add = Hdr.create () and remove = Hdr.create () in
+  let tenants =
+    List.map
+      (fun (sid, tenant, s) ->
+        Hdr.merge_into ~dst:add (Engine.add_hdr s);
+        Hdr.merge_into ~dst:remove (Engine.remove_hdr s);
+        let h = Engine.health s in
+        let st = Engine.stats s in
+        {
+          Proto.r_tenant = tenant;
+          r_shard = sid;
+          r_paths = Engine.n_live_paths s;
+          r_pi = Engine.pi s;
+          r_ops = st.Engine.ops;
+          r_add_p50 = h.Engine.add_latency.Hdr.p50;
+          r_add_p99 = h.Engine.add_latency.Hdr.p99;
+          r_healthy = h.Engine.healthy;
+        })
+      sessions
+  in
+  Ok
+    (Proto.R_dstats
+       {
+         Proto.d_shards = Array.length t.shards;
+         d_sessions = List.length sessions;
+         d_add = rollup_of_hdr add;
+         d_remove = rollup_of_hdr remove;
+         d_tenants = tenants;
+       })
+
+let dhealth t : Proto.reply =
+  let sessions = roster_snapshot t in
+  let unhealthy =
+    List.filter_map
+      (fun (_, tenant, s) ->
+        if (Engine.health s).Engine.healthy then None else Some tenant)
+      sessions
+  in
+  Ok
+    (Proto.R_dhealth
+       {
+         Proto.dh_healthy = unhealthy = [];
+         dh_sessions = List.length sessions;
+         dh_unhealthy = unhealthy;
+       })
+
+let trace_dump t ~last : Proto.reply =
+  let rings = List.map (fun (_, _, s) -> Engine.flight s) (roster_snapshot t) in
+  let last = if last <= 0 then None else Some last in
+  Ok (Proto.R_trace (Flight.merged_chrome ?last rings))
 
 (* --- per-request execution (runs on the owning shard) ---------------------- *)
 
@@ -65,8 +164,12 @@ let handle_one t sh (req : Proto.req) : Proto.reply =
   | Proto.Shutdown -> Ok Proto.R_bye
   | Proto.Open { tenant; instance } ->
     let s = Engine.create ~flight_capacity:t.flight_capacity instance in
+    Flight.set_label (Engine.flight s) tenant;
     if not (Hashtbl.mem sh.sessions tenant) then Atomic.incr sh.n_sessions;
     Hashtbl.replace sh.sessions tenant s;
+    Mutex.lock sh.roster_m;
+    sh.roster <- (tenant, s) :: List.remove_assoc tenant sh.roster;
+    Mutex.unlock sh.roster_m;
     Ok (Proto.R_open (Proto.report_of_solver (Engine.report s)))
   | Proto.Add_path { tenant; vertices } ->
     with_session sh tenant (fun s ->
@@ -97,8 +200,41 @@ let handle_one t sh (req : Proto.req) : Proto.reply =
     with_session sh tenant (fun s ->
         ignore s;
         Hashtbl.remove sh.sessions tenant;
+        Mutex.lock sh.roster_m;
+        sh.roster <- List.remove_assoc tenant sh.roster;
+        Mutex.unlock sh.roster_m;
         Atomic.decr sh.n_sessions;
         Ok Proto.R_evicted)
+  | Proto.Dstats -> dstats t
+  | Proto.Dhealth -> dhealth t
+  | Proto.Trace_dump { last } -> trace_dump t ~last
+
+(* --- trace-context plumbing ------------------------------------------------ *)
+
+(* Install the propagated context as the domain-ambient one while the
+   engine works, so op spans, HDR exemplars and flight records latch the
+   caller's trace id; [serve.batch]/[serve.engine] spans carry it too and
+   line up under the client span in a merged Chrome view. *)
+let with_ctx ctx f =
+  if Ctx.is_none ctx then f ()
+  else begin
+    (* Save/restore rather than clear: on the synchronous loopback the
+       client's own ambient context lives on this same domain. *)
+    let prev = Ctx.current () in
+    Ctx.set ctx;
+    Fun.protect ~finally:(fun () -> Ctx.set prev) f
+  end
+
+let handle_traced t sh ~ctx req =
+  with_ctx ctx (fun () ->
+      if Ctx.is_none ctx || not (Trace.enabled ()) then handle_one t sh req
+      else
+        Trace.with_span "serve.batch"
+          ~args:[ ("shard", Trace.Int sh.sid); ("jobs", Trace.Int 1) ]
+          (fun () ->
+            Trace.with_span "serve.engine"
+              ~args:[ ("verb", Trace.Str (Proto.verb_of_req req)) ]
+              (fun () -> handle_one t sh req)))
 
 (* --- wave batching --------------------------------------------------------- *)
 
@@ -193,11 +329,16 @@ let mutation_prefix wave =
   | job :: _ -> job_ops job.req <> None && req_tenant job.req <> None
   | [] -> false
 
+(* The first traced context in a run labels the whole engine batch: a
+   wave mixes jobs from many clients, and one submit serves them all. *)
+let run_ctx run =
+  List.fold_left (fun acc (j, _) -> if Ctx.is_none acc then j.ctx else acc) Ctx.none run.jobs
+
 let rec process t sh wave =
   match wave with
   | [] -> ()
   | job :: rest when not (mutation_prefix wave) ->
-    finish job (handle_one t sh job.req);
+    finish job (handle_traced t sh ~ctx:job.ctx job.req);
     process t sh rest
   | _ ->
     let runs, rest = collect_runs sh wave in
@@ -206,7 +347,24 @@ let rec process t sh wave =
     | [ run ] ->
       (* one tenant: plain submit, no domain fan-out *)
       let ops = List.concat_map (fun (j, _) -> Option.get (job_ops j.req)) run.jobs in
-      distribute run (Engine.submit run.session ops)
+      let ctx = run_ctx run in
+      let b =
+        with_ctx ctx (fun () ->
+            if Ctx.is_none ctx || not (Trace.enabled ()) then Engine.submit run.session ops
+            else
+              Trace.with_span "serve.batch"
+                ~args:
+                  [
+                    ("shard", Trace.Int sh.sid);
+                    ("tenant", Trace.Str run.tenant);
+                    ("jobs", Trace.Int (List.length run.jobs));
+                  ]
+                (fun () ->
+                  Trace.with_span "serve.engine"
+                    ~args:[ ("ops", Trace.Int (List.length ops)) ]
+                    (fun () -> Engine.submit run.session ops)))
+      in
+      distribute run b
     | runs ->
       let entries =
         Array.of_list
@@ -215,7 +373,20 @@ let rec process t sh wave =
                (r.session, List.concat_map (fun (j, _) -> Option.get (job_ops j.req)) r.jobs))
              runs)
       in
-      let batches = Engine.submit_many entries in
+      (* submit_many fans runs out over domains; ambient context is
+         per-domain, so engine-side latching only follows the single-run
+         path — here the batch span alone carries the trace. *)
+      let ctx =
+        List.fold_left (fun acc r -> if Ctx.is_none acc then run_ctx r else acc) Ctx.none runs
+      in
+      let batches =
+        with_ctx ctx (fun () ->
+            if Ctx.is_none ctx || not (Trace.enabled ()) then Engine.submit_many entries
+            else
+              Trace.with_span "serve.batch"
+                ~args:[ ("shard", Trace.Int sh.sid); ("runs", Trace.Int (List.length runs)) ]
+                (fun () -> Engine.submit_many entries))
+      in
       List.iteri (fun i r -> distribute r batches.(i)) runs);
     process t sh rest
 
@@ -232,6 +403,14 @@ let worker_loop t sh =
     sh.queue_len <- 0;
     Condition.broadcast sh.nonfull;
     Mutex.unlock sh.m;
+    (if Trace.enabled () then
+       let t1_us = Clock.now_us () in
+       List.iter
+         (fun job ->
+           if not (Ctx.is_none job.ctx) then
+             with_ctx job.ctx (fun () ->
+                 Trace.span_between "serve.queue_wait" ~t0_us:job.enq_us ~t1_us))
+         wave);
     match wave with
     | [] -> () (* stopping and flushed *)
     | wave ->
@@ -255,6 +434,8 @@ let create ?(threaded = true) ?(flight_capacity = 256) ~shards ~max_queue () =
       queue_len = 0;
       stopping = false;
       sessions = Hashtbl.create 64;
+      roster_m = Mutex.create ();
+      roster = [];
       n_sessions = Atomic.make 0;
       worker = None;
     }
@@ -280,15 +461,32 @@ let session_count t =
 
 let draining_error = Error.Precondition "server draining"
 
-let call_sync t sh req =
+let call_sync t sh ~ctx req =
   Mutex.lock sh.m;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock sh.m)
-    (fun () -> if sh.stopping then Error draining_error else handle_one t sh req)
+    (fun () ->
+      if sh.stopping then Error draining_error
+      else begin
+        (* Synchronous dispatch never queues — a zero-width queue-wait
+           span keeps the traced span set identical across modes. *)
+        (if (not (Ctx.is_none ctx)) && Trace.enabled () then
+           with_ctx ctx (fun () ->
+               let now = Clock.now_us () in
+               Trace.span_between "serve.queue_wait" ~t0_us:now ~t1_us:now));
+        handle_traced t sh ~ctx req
+      end)
 
-let call_threaded t sh req =
+let call_threaded t sh ~ctx req =
   let job =
-    { req; job_m = Mutex.create (); job_c = Condition.create (); reply = None }
+    {
+      req;
+      ctx;
+      enq_us = Clock.now_us ();
+      job_m = Mutex.create ();
+      job_c = Condition.create ();
+      reply = None;
+    }
   in
   Mutex.lock sh.m;
   while sh.queue_len >= t.max_queue && not sh.stopping do
@@ -325,8 +523,9 @@ let owning_tenant : Proto.req -> string option = function
   | Proto.Health { tenant }
   | Proto.Snapshot { tenant }
   | Proto.Evict { tenant } -> Some tenant
+  | Proto.Dstats | Proto.Dhealth | Proto.Trace_dump _ -> None
 
-let call t (req : Proto.req) =
+let call ?(ctx = Ctx.none) t (req : Proto.req) =
   match owning_tenant req with
   | None -> (
     match req with
@@ -334,10 +533,13 @@ let call t (req : Proto.req) =
       if v = Proto.version then Ok (Proto.R_hello Proto.version)
       else Error (Error.Unsupported_version v)
     | Proto.Ping -> Ok Proto.R_pong
+    | Proto.Dstats -> dstats t
+    | Proto.Dhealth -> dhealth t
+    | Proto.Trace_dump { last } -> trace_dump t ~last
     | _ -> Ok Proto.R_bye)
   | Some tenant ->
     let sh = t.shards.(shard_of_tenant ~shards:(Array.length t.shards) tenant) in
-    if t.threaded then call_threaded t sh req else call_sync t sh req
+    if t.threaded then call_threaded t sh ~ctx req else call_sync t sh ~ctx req
 
 let drain t =
   Mutex.lock t.drain_m;

@@ -41,12 +41,24 @@ val shard_of_tenant : shards:int -> string -> int
 (** The stable partition function (FNV-1a over the tenant bytes), exposed
     for tests and for operators reading per-shard metrics. *)
 
-val call : t -> Proto.req -> Proto.reply
+val call : ?ctx:Wl_obs.Ctx.t -> t -> Proto.req -> Proto.reply
 (** Execute one request and wait for its reply.  Tenant-scoped requests
     run on the tenant's shard; [Hello]/[Ping]/[Shutdown] are answered
     inline ([Shutdown] replies [R_bye] — initiating the drain is the
     caller's job).  After {!drain} has begun, returns
-    [Error (Precondition _)]. *)
+    [Error (Precondition _)].
+
+    [ctx] is the propagated trace context ({!Wl_obs.Ctx}, default
+    [none]): when set and tracing is on, the shard emits
+    [serve.queue_wait] / [serve.batch] / [serve.engine] spans under the
+    caller's span, and engine-side HDR exemplars and flight records
+    latch the trace id.
+
+    The introspection requests — [Dstats], [Dhealth], [Trace_dump] —
+    are answered inline on the calling thread from a roster mirror plus
+    lock-free engine read-backs, so they never queue behind (or block)
+    engine work.  [Dstats] rollups merge every session's live histogram
+    via {!Wl_obs.Hdr.merge_into}: true daemon-wide quantiles. *)
 
 val session_count : t -> int
 (** Open sessions across all shards (approximate under concurrency). *)

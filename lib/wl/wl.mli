@@ -112,7 +112,7 @@ val solve_result :
   ?exact_limit:int -> ?domains:int -> Instance.t -> (Solver.report, Error.t) result
 (** {!Solver.solve_result}. *)
 
-val connect : ?json:bool -> string -> (Client.t, Error.t) result
+val connect : ?json:bool -> ?seed:int -> string -> (Client.t, Error.t) result
 (** {!Client.connect}: dial a [wld] daemon ([unix:PATH] or
     [tcp:HOST:PORT]). *)
 
@@ -121,6 +121,7 @@ val session : Client.t -> tenant:string -> (Client.session, Error.t) result
 
 val local :
   ?json:bool ->
+  ?seed:int ->
   ?threaded:bool ->
   ?flight_capacity:int ->
   ?shards:int ->

@@ -1,0 +1,86 @@
+(* Emit a deterministic distributed-trace Chrome dump on stdout.
+
+   One traced request through the synchronous loopback (seeded client,
+   in-memory sink) produces the full span family — client.call,
+   wire.codec, serve.queue_wait, serve.batch, serve.engine — every span
+   stamped with the same trace id by the seeded splitmix generator.
+   Trace ids are deterministic; wall-clock timings are not, so
+   timestamps and durations are normalized to the event index before
+   rendering.  The result is diffed against
+   ctx_fixture.golden.trace.json and fed to `wl trace-check`: the
+   fixture pins both the wire-to-engine span taxonomy and the trace-id
+   propagation, byte for byte. *)
+
+module Trace = Wl_obs.Trace
+module Client = Wl_serve.Client
+module Digraph = Wl_digraph.Digraph
+module Instance = Wl_core.Instance
+
+let ok what = function
+  | Ok v -> v
+  | Error e ->
+    prerr_endline ("gen_ctx_fixture: " ^ what ^ ": " ^ Wl_core.Error.to_string e);
+    exit 1
+
+let line3 () =
+  let g = Digraph.create () in
+  for _ = 0 to 3 do
+    ignore (Digraph.add_vertex g)
+  done;
+  List.iter (fun (a, b) -> ignore (Digraph.add_arc g a b))
+    [ (0, 1); (1, 2); (2, 3) ];
+  ok "line3" (Instance.of_vertex_seqs g [ [ 0; 1; 2 ]; [ 1; 2; 3 ] ])
+
+let trace_arg e =
+  List.find_map
+    (function "trace", Trace.Str t -> Some t | _ -> None)
+    e.Trace.args
+
+let () =
+  let sink = Trace.memory () in
+  Trace.set_sink sink;
+  let c = Client.local ~seed:42 () in
+  let s = ok "open" (Client.open_session c ~tenant:"gold" (line3 ())) in
+  ignore (ok "add" (Client.add_path s [ 0; 1; 2 ]));
+  Client.close c;
+  Trace.clear ();
+  let events = Trace.events sink in
+  (* The add_path request is the last client.call family: every span of
+     that family must share its trace id — the tentpole invariant this
+     fixture exists to pin. *)
+  let adds =
+    List.filter
+      (fun e ->
+        match trace_arg e with
+        | None -> false
+        | Some _ ->
+          List.exists
+            (function "verb", Trace.Str "add_path" -> true | _ -> false)
+            e.Trace.args)
+      events
+  in
+  let add_trace =
+    match adds with
+    | [] ->
+      prerr_endline "gen_ctx_fixture: no traced add span";
+      exit 1
+    | e :: _ -> Option.get (trace_arg e)
+  in
+  let family =
+    List.filter (fun e -> trace_arg e = Some add_trace) events
+  in
+  let have name = List.exists (fun e -> e.Trace.name = name) family in
+  List.iter
+    (fun name ->
+      if not (have name) then begin
+        prerr_endline ("gen_ctx_fixture: missing span " ^ name);
+        exit 1
+      end)
+    [ "client.call"; "wire.codec"; "serve.queue_wait"; "serve.batch";
+      "serve.engine" ];
+  let norm =
+    List.mapi
+      (fun i e -> { e with Trace.ts_us = float_of_int i; dur_us = 1.0 })
+      events
+  in
+  print_string (Trace.to_chrome norm)

@@ -15,7 +15,7 @@ let () =
       Flight.record f kind outcome
         ~t_ns:(5_000_000 + (i * 250_000))
         ~dur_ns:(1_200 + (i * 340))
-        ~arcs ~palette ~pi)
+        ~arcs ~palette ~pi ~trace:0)
     [
       (Flight.Full_solve, Flight.Ok, 0, 3, 3);
       (Flight.Add_path, Flight.Warm_hit, 4, 3, 3);

@@ -106,13 +106,25 @@ let test_engine_warm_ops_zero_alloc () =
     let h = Engine.health session in
     h.Engine.add_latency.Wl_obs.Hdr.count
   in
+  (* A propagated trace context must not cost the hot path anything:
+     measure with a real ambient ctx installed, so every measured op
+     reads Ctx.current_trace and latches HDR exemplars / flight trace
+     fields exactly as a traced daemon request would. *)
+  let g = Wl_obs.Ctx.generator 13 in
+  Wl_obs.Ctx.set (Wl_obs.Ctx.root g);
   let dw =
-    minor_delta (fun () ->
-        for _ = 1 to 100 do
-          Engine.remove_path_exn session (Engine.add_dipath_exn session p)
-        done)
+    Fun.protect ~finally:Wl_obs.Ctx.clear (fun () ->
+        minor_delta (fun () ->
+            for _ = 1 to 100 do
+              Engine.remove_path_exn session (Engine.add_dipath_exn session p)
+            done))
   in
-  check_float "warm add/remove allocates nothing" 0. dw;
+  check_float "warm add/remove allocates nothing (ctx ambient)" 0. dw;
+  (let h = Engine.health session in
+   match h.Engine.add_exemplar with
+   | Some (_, trace) when trace <> 0 ->
+     check "exemplar latched inside the zero-alloc window" true (trace <> 0)
+   | _ -> Alcotest.fail "ambient ctx did not latch an add exemplar");
   (* The always-on observability was live for every measured op: the
      flight ring and the HDR latency histogram both advanced inside the
      zero-allocation window — recording really is free. *)

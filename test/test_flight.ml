@@ -29,7 +29,7 @@ let record_n f n =
       kinds.(i mod Array.length kinds)
       outcomes.(i mod Array.length outcomes)
       ~t_ns:(1_000_000 + (i * 1000))
-      ~dur_ns:(i * 10) ~arcs:(i mod 7) ~palette:(i mod 5) ~pi:(i mod 5)
+      ~dur_ns:(i * 10) ~arcs:(i mod 7) ~palette:(i mod 5) ~pi:(i mod 5) ~trace:0
   done
 
 let test_ring_retention () =
@@ -205,7 +205,7 @@ let test_record_zero_alloc () =
     minor_delta (fun () ->
         for i = 1 to 1000 do
           Flight.record f Flight.Add_path Flight.Warm_hit ~t_ns:(i * 100)
-            ~dur_ns:50 ~arcs:3 ~palette:2 ~pi:2
+            ~dur_ns:50 ~arcs:3 ~palette:2 ~pi:2 ~trace:0
         done)
   in
   check_float "Flight.record allocates nothing" 0. dw

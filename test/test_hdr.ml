@@ -129,6 +129,38 @@ let test_merge_associative () =
   a one; b one; c one;
   check "merge = single recorder" true (left = Hdr.snapshot one)
 
+let test_merge_shard_union () =
+  (* The daemon rollup contract: merging per-shard histograms into a
+     fresh target answers every quantile exactly as one histogram fed
+     the union of all shards' samples would — at any matching sub_bits.
+     This is what lets `wl top --connect` print daemon-wide p50/p99
+     without any shard ever seeing another shard's samples. *)
+  let n_shards = 5 in
+  List.iter
+    (fun sub_bits ->
+      let shards = Array.init n_shards (fun _ -> Hdr.create ~sub_bits ()) in
+      let union = Hdr.create ~sub_bits () in
+      let rng = Prng.create 99 in
+      for i = 1 to 4000 do
+        let v = Prng.int rng (1 lsl (4 + Prng.int rng 26)) in
+        Hdr.record shards.(i mod n_shards) v;
+        Hdr.record union v
+      done;
+      let merged = Hdr.create ~sub_bits () in
+      Array.iter (fun src -> Hdr.merge_into ~dst:merged src) shards;
+      List.iter
+        (fun q ->
+          check_int
+            (Printf.sprintf "sub_bits=%d q=%g" sub_bits q)
+            (Hdr.quantile union q) (Hdr.quantile merged q))
+        quantiles;
+      check_int "union count" (Hdr.count union) (Hdr.count merged);
+      check_int "union sum" (Hdr.sum union) (Hdr.sum merged);
+      check_int "union min" (Hdr.min_value union) (Hdr.min_value merged);
+      check_int "union max" (Hdr.max_value union) (Hdr.max_value merged);
+      check "union snapshot" true (Hdr.snapshot union = Hdr.snapshot merged))
+    [ 2; 6; 10 ]
+
 let test_merge_mismatch_rejected () =
   let a = Hdr.create ~sub_bits:4 () and b = Hdr.create ~sub_bits:8 () in
   Alcotest.check_raises "sub_bits mismatch"
@@ -146,6 +178,47 @@ let test_empty_and_reset () =
   Hdr.reset h;
   check_int "reset count" 0 (Hdr.count h);
   check_int "reset quantile" 0 (Hdr.quantile h 0.5)
+
+(* --- trace exemplars --------------------------------------------------------- *)
+
+let test_exemplar_latch () =
+  let h = Hdr.create () in
+  check "no exemplar when empty" true (Hdr.exemplar h = None);
+  Hdr.record h 5_000;
+  check "untraced records never latch" true (Hdr.exemplar h = None);
+  Hdr.record_traced h 700 ~trace:0xa1;
+  check "first traced sample latches" true (Hdr.exemplar h = Some (700, 0xa1));
+  Hdr.record_traced h 300 ~trace:0xb2;
+  check "faster sample does not displace" true
+    (Hdr.exemplar h = Some (700, 0xa1));
+  Hdr.record_traced h 900 ~trace:0xc3;
+  check "slower sample takes the latch" true
+    (Hdr.exemplar h = Some (900, 0xc3));
+  Hdr.record_traced h 10_000 ~trace:0;
+  check "trace 0 means untraced, even if slowest" true
+    (Hdr.exemplar h = Some (900, 0xc3));
+  Hdr.reset h;
+  check "reset clears the exemplar" true (Hdr.exemplar h = None)
+
+let test_exemplar_survives_merge () =
+  (* Shard-merged rollups keep the link to the slowest trace daemon-wide:
+     the worse of the two exemplars survives merge_into. *)
+  let a = Hdr.create () and b = Hdr.create () in
+  Hdr.record_traced a 400 ~trace:0x11;
+  Hdr.record_traced b 4_000 ~trace:0x22;
+  let dst = Hdr.create () in
+  Hdr.merge_into ~dst a;
+  check "merge imports the source exemplar" true
+    (Hdr.exemplar dst = Some (400, 0x11));
+  Hdr.merge_into ~dst b;
+  check "worse exemplar wins across shards" true
+    (Hdr.exemplar dst = Some (4_000, 0x22));
+  (* Merging an exemplar-free histogram does not erase the latch. *)
+  let c = Hdr.create () in
+  Hdr.record c 9_999;
+  Hdr.merge_into ~dst c;
+  check "exemplar-free source leaves the latch alone" true
+    (Hdr.exemplar dst = Some (4_000, 0x22))
 
 (* --- SLO window -------------------------------------------------------------- *)
 
@@ -224,8 +297,13 @@ let suite =
           test_quantile_oracle_adversarial;
         Alcotest.test_case "round_up bound" `Quick test_round_up_monotone_bound;
         Alcotest.test_case "merge associativity" `Quick test_merge_associative;
+        Alcotest.test_case "shard merge equals union" `Quick
+          test_merge_shard_union;
         Alcotest.test_case "merge mismatch rejected" `Quick
           test_merge_mismatch_rejected;
+        Alcotest.test_case "exemplar latch" `Quick test_exemplar_latch;
+        Alcotest.test_case "exemplar survives merge" `Quick
+          test_exemplar_survives_merge;
         Alcotest.test_case "empty and reset" `Quick test_empty_and_reset;
         Alcotest.test_case "slo trips and latches" `Quick
           test_slo_trip_and_rearm;

@@ -416,6 +416,148 @@ let test_openmetrics_validator_rejects () =
   | Ok st -> check_int "minimal doc is one family" 1 st.Wl_obs.Openmetrics.families
   | Error e -> Alcotest.fail ("rejected a minimal valid doc: " ^ e)
 
+let test_openmetrics_label_escaping () =
+  (* Property: unescape_label inverts escape_label on adversarial
+     inputs, and the escaped form never leaks a raw quote, backslash or
+     newline — the three characters that would corrupt the exposition
+     line format.  Then the same strings ride through a real [render] as
+     label values and the full document still validates (the validator
+     is what `wl metrics-check` runs). *)
+  let module Om = Wl_obs.Openmetrics in
+  let rng = Prng.create 2718 in
+  let adversarial =
+    [
+      "";
+      "plain";
+      "\"";
+      "\\";
+      "\n";
+      "\\\"";
+      "\\\\\"\"\n\n";
+      "a\"b\\c\nd";
+      "ends with backslash \\";
+      "tenant-0.region_eu";
+    ]
+    @ List.init 50 (fun _ ->
+          String.init
+            (1 + Prng.int rng 24)
+            (fun _ ->
+              match Prng.int rng 6 with
+              | 0 -> '"'
+              | 1 -> '\\'
+              | 2 -> '\n'
+              | _ -> Char.chr (32 + Prng.int rng 95)))
+  in
+  List.iter
+    (fun s ->
+      let e = Om.escape_label s in
+      (match Om.unescape_label e with
+      | Some s' when s' = s -> ()
+      | Some _ -> Alcotest.failf "escape/unescape changed %S" s
+      | None -> Alcotest.failf "escaped form of %S does not unescape" s);
+      String.iter
+        (fun c ->
+          if c = '\n' then Alcotest.failf "raw newline survives in %S" s)
+        e;
+      (* Any raw quote would terminate the label value early. *)
+      let rec scan i =
+        if i < String.length e then
+          if e.[i] = '\\' then scan (i + 2)
+          else if e.[i] = '"' then Alcotest.failf "raw quote survives in %S" s
+          else scan (i + 1)
+      in
+      scan 0)
+    adversarial;
+  (* Unknown or dangling escapes are rejected, not guessed at. *)
+  check "dangling escape rejected" true (Om.unescape_label "a\\" = None);
+  check "unknown escape rejected" true (Om.unescape_label "a\\x" = None);
+  (* End to end: adversarial label values rendered as per-tenant rows
+     still yield a document the wl metrics-check validator accepts. *)
+  let rows = List.mapi (fun i s -> ([ ("tenant", s) ], float_of_int i)) adversarial in
+  let doc = Om.render ~labeled:[ ("wld.tenant.paths", rows) ] [] in
+  match Om.validate doc with
+  | Ok st ->
+    check "labeled family present" true (st.Om.families >= 1);
+    check "one sample per adversarial row" true
+      (st.Om.samples >= List.length adversarial)
+  | Error e -> Alcotest.fail ("adversarial labels broke the exposition: " ^ e)
+
+let test_openmetrics_exemplar_syntax () =
+  (* A latency with a latched trace exemplar renders the OpenMetrics
+     exemplar syntax on its _count sample, and the strict validator
+     accepts it. *)
+  let module Om = Wl_obs.Openmetrics in
+  let h = Wl_obs.Hdr.create () in
+  Wl_obs.Hdr.record_traced h 4200 ~trace:0xdeadbee;
+  let doc =
+    Om.render
+      ~latencies:[ ("engine.session.add.ns", Wl_obs.Hdr.snapshot h) ]
+      ~exemplars:[ ("engine.session.add.ns", Option.get (Wl_obs.Hdr.exemplar h)) ]
+      []
+  in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec at i = i + nl <= hl && (String.sub hay i nl = needle || at (i + 1)) in
+    at 0
+  in
+  check "exemplar trace id rendered in hex" true
+    (contains doc (Printf.sprintf "trace_id=\"%s\"" (Wl_obs.Ctx.hex 0xdeadbee)));
+  check "exemplar syntax present" true (contains doc " # {trace_id=\"");
+  (match Om.validate doc with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("exemplar-carrying doc rejected: " ^ e));
+  (* No exemplar latched -> no exemplar syntax, still valid. *)
+  let bare =
+    Om.render ~latencies:[ ("engine.session.add.ns", Wl_obs.Hdr.snapshot h) ] []
+  in
+  check "no exemplar without a latch" false (contains bare "# {")
+
+(* --- trace context ----------------------------------------------------------- *)
+
+let test_ctx_generator_and_wire () =
+  let module Ctx = Wl_obs.Ctx in
+  (* Determinism: equal seeds yield equal id streams. *)
+  let g1 = Ctx.generator 5 and g2 = Ctx.generator 5 in
+  let r1 = Ctx.root g1 and r2 = Ctx.root g2 in
+  check "equal seeds, equal roots" true (r1 = r2);
+  check "root is real" false (Ctx.is_none r1);
+  check "root has no parent" true (r1.Ctx.parent_id = 0);
+  let c1 = Ctx.child g1 r1 in
+  check "child keeps the trace id" true (c1.Ctx.trace_id = r1.Ctx.trace_id);
+  check "child gets a fresh span id" false (c1.Ctx.span_id = r1.Ctx.span_id);
+  check "child records its parent" true (c1.Ctx.parent_id = r1.Ctx.span_id);
+  (* child of none is a fresh root. *)
+  let orphan = Ctx.child g1 Ctx.none in
+  check "child of none is a root" true
+    (orphan.Ctx.parent_id = 0 && not (Ctx.is_none orphan));
+  check "roots differ across draws" false (orphan.Ctx.trace_id = r1.Ctx.trace_id);
+  (* Wire form round-trips; parent id deliberately not carried. *)
+  (match Ctx.of_string (Ctx.to_string c1) with
+  | None -> Alcotest.fail "wire form does not parse back"
+  | Some c ->
+    check "trace survives" true (c.Ctx.trace_id = c1.Ctx.trace_id);
+    check "span survives" true (c.Ctx.span_id = c1.Ctx.span_id);
+    check "parent not carried" true (c.Ctx.parent_id = 0));
+  (* Strictness of the parser. *)
+  List.iter
+    (fun s -> check ("rejects " ^ s) true (Ctx.of_string s = None))
+    [ ""; ":"; "1:"; ":1"; "0:5"; "zz:1"; "1:2:3"; "-1:2"; "1:+2";
+      "12345678123456781:2"; "1 :2"; "0x1:2" ];
+  check "uppercase hex accepted" true (Ctx.of_string "AB:CD" <> None)
+
+let test_ctx_ambient () =
+  let module Ctx = Wl_obs.Ctx in
+  Ctx.clear ();
+  check "clean slate" true (Ctx.is_none (Ctx.current ()));
+  check_int "no ambient trace" 0 (Ctx.current_trace ());
+  let g = Ctx.generator 9 in
+  let c = Ctx.root g in
+  Ctx.set c;
+  Fun.protect ~finally:Ctx.clear (fun () ->
+      check "ambient readable" true (Ctx.current () = c);
+      check_int "current_trace matches" c.Ctx.trace_id (Ctx.current_trace ()));
+  check "cleared" true (Ctx.is_none (Ctx.current ()))
+
 let suite =
   [
     ( "obs",
@@ -452,5 +594,12 @@ let suite =
           test_openmetrics_render_validates;
         Alcotest.test_case "openmetrics validator rejects" `Quick
           test_openmetrics_validator_rejects;
+        Alcotest.test_case "openmetrics label escaping" `Quick
+          test_openmetrics_label_escaping;
+        Alcotest.test_case "openmetrics exemplar syntax" `Quick
+          test_openmetrics_exemplar_syntax;
+        Alcotest.test_case "ctx generator and wire form" `Quick
+          test_ctx_generator_and_wire;
+        Alcotest.test_case "ctx ambient cell" `Quick test_ctx_ambient;
       ] );
   ]

@@ -215,6 +215,156 @@ let test_loopback_json_and_batch () =
   check_int "after pi" b.Client.after.Proto.pi 1;
   Client.close c
 
+(* --- trace context on the wire ----------------------------------------------- *)
+
+module Ctx = Wl_obs.Ctx
+module Trace = Wl_obs.Trace
+module Hdr = Wl_obs.Hdr
+
+let test_ctx_on_the_wire () =
+  let g = Ctx.generator 31 in
+  let ctx = Ctx.child g (Ctx.root g) in
+  List.iter
+    (fun json ->
+      let tag = if json then "json" else "text" in
+      let req = Proto.Ping in
+      (match Proto.decode_request_ctx (Proto.encode_request ~json ~ctx req) with
+      | Ok (Proto.Ping, c) ->
+        check (tag ^ " trace id carried") true (c.Ctx.trace_id = ctx.Ctx.trace_id);
+        check (tag ^ " span id carried") true (c.Ctx.span_id = ctx.Ctx.span_id);
+        check (tag ^ " parent not carried") true (c.Ctx.parent_id = 0)
+      | Ok _ -> Alcotest.failf "%s: ctx frame decoded as another verb" tag
+      | Error e -> Alcotest.failf "%s: %s" tag (Error.to_string e));
+      (* The untraced encoding is byte-identical to the pre-context
+         protocol: that equality is what keeps old peers compatible. *)
+      Alcotest.(check string)
+        (tag ^ " Ctx.none encodes nothing")
+        (Proto.encode_request ~json req)
+        (Proto.encode_request ~json ~ctx:Ctx.none req);
+      match Proto.decode_request_ctx (Proto.encode_request ~json req) with
+      | Ok (Proto.Ping, c) ->
+        check (tag ^ " absent ctx decodes to none") true (Ctx.is_none c)
+      | _ -> Alcotest.failf "%s: untraced frame mishandled" tag)
+    [ false; true ]
+
+(* --- daemon introspection ----------------------------------------------------- *)
+
+let with_memory_trace f =
+  let sink = Trace.memory () in
+  Trace.set_sink sink;
+  Fun.protect ~finally:Trace.clear (fun () -> f sink)
+
+let test_introspection () =
+  (* Loopback daemon with several tenants; requests run traced so the
+     engine latches exemplars.  The dstats rollup must equal a manual
+     Hdr.merge_into over the drained sessions' histograms — introspection
+     is a read-side projection, not a second bookkeeping path. *)
+  with_memory_trace (fun _sink ->
+      let shard = Shard.create ~threaded:false ~shards:2 ~max_queue:64 () in
+      let c = Client.of_shard ~seed:77 shard in
+      let n_adds = [ ("alpha", 4); ("beta", 2); ("gamma", 5) ] in
+      List.iter
+        (fun (tenant, n) ->
+          let s = ok_exn "open" (Client.open_session c ~tenant (line3 ())) in
+          for _ = 1 to n do
+            ignore (ok_exn "add" (Client.add_path s [ 0; 1 ]));
+            ok_exn "remove"
+              (Client.remove_path s
+                 (ok_exn "add2" (Client.add_path s [ 2; 3 ])))
+          done)
+        n_adds;
+      let d = ok_exn "dstats" (Client.daemon_stats c) in
+      check_int "shards" 2 d.Proto.d_shards;
+      check_int "sessions" 3 d.Proto.d_sessions;
+      check_int "tenant rows" 3 (List.length d.Proto.d_tenants);
+      check "rows sorted by tenant" true
+        (List.map (fun r -> r.Proto.r_tenant) d.Proto.d_tenants
+        = [ "alpha"; "beta"; "gamma" ]);
+      List.iter
+        (fun r ->
+          let n = List.assoc r.Proto.r_tenant n_adds in
+          (* open solves, then n (add, add, remove) rounds leave n+1 paths. *)
+          check_int (r.Proto.r_tenant ^ " paths") (2 + n) r.Proto.r_paths;
+          check_int (r.Proto.r_tenant ^ " ops") (3 * n) r.Proto.r_ops;
+          check (r.Proto.r_tenant ^ " healthy") true r.Proto.r_healthy;
+          check (r.Proto.r_tenant ^ " shard in range") true
+            (r.Proto.r_shard >= 0 && r.Proto.r_shard < 2))
+        d.Proto.d_tenants;
+      let total_adds = List.fold_left (fun a (_, n) -> a + (2 * n)) 0 n_adds in
+      check_int "add rollup count" total_adds d.Proto.d_add.Proto.l_count;
+      check "traced requests latched an add exemplar" true
+        (d.Proto.d_add.Proto.l_ex_trace <> 0);
+      (* Introspection must not perturb what it reports. *)
+      let d2 = ok_exn "dstats again" (Client.daemon_stats c) in
+      check "dstats is read-only" true (d = d2);
+      let h = ok_exn "dhealth" (Client.daemon_health c) in
+      check "daemon healthy" true h.Proto.dh_healthy;
+      check_int "dhealth sessions" 3 h.Proto.dh_sessions;
+      check "no unhealthy tenants" true (h.Proto.dh_unhealthy = []);
+      (* The merged-trace endpoint returns a valid Chrome document
+         covering every tenant's flight ring. *)
+      let doc = ok_exn "trace pull" (Client.trace_pull c) in
+      (match Trace.validate_chrome doc with
+      | Ok n -> check "trace has the churn" true (n >= total_adds)
+      | Error e -> Alcotest.fail ("pulled trace invalid: " ^ e));
+      let doc1 = ok_exn "trace pull last" (Client.trace_pull ~last:1 c) in
+      (match Trace.validate_chrome doc1 with
+      | Ok n -> check_int "last=1 keeps one op per ring" 3 n
+      | Error e -> Alcotest.fail ("trimmed trace invalid: " ^ e));
+      (* Ground truth: merge the drained sessions' histograms by hand and
+         compare against the wire rollup, field for field. *)
+      let sessions = Shard.drain shard in
+      check_int "drained all sessions" 3 (List.length sessions);
+      let merged = Hdr.create () in
+      List.iter
+        (fun (_, s) -> Hdr.merge_into ~dst:merged (Engine.add_hdr s))
+        sessions;
+      check_int "rollup count = manual merge" (Hdr.count merged)
+        d.Proto.d_add.Proto.l_count;
+      check_int "rollup p50 = manual merge" (Hdr.quantile merged 0.5)
+        d.Proto.d_add.Proto.l_p50;
+      check_int "rollup p99 = manual merge" (Hdr.quantile merged 0.99)
+        d.Proto.d_add.Proto.l_p99;
+      check_int "rollup max = manual merge" (Hdr.max_value merged)
+        d.Proto.d_add.Proto.l_max;
+      match Hdr.exemplar merged with
+      | None -> Alcotest.fail "manual merge lost the exemplar"
+      | Some (ns, trace) ->
+        check_int "exemplar ns = manual merge" ns d.Proto.d_add.Proto.l_ex_ns;
+        check_int "exemplar trace = manual merge" trace
+          d.Proto.d_add.Proto.l_ex_trace)
+
+let test_traced_call_span_tree () =
+  (* One traced request through the sync loopback produces the full span
+     family — client.call, wire.codec, serve.queue_wait, serve.batch,
+     serve.engine — all stamped with one trace id. *)
+  with_memory_trace (fun sink ->
+      let c = Client.local ~seed:5 () in
+      let s = ok_exn "open" (Client.open_session c ~tenant:"t" (line3 ())) in
+      ignore (ok_exn "add" (Client.add_path s [ 0; 1 ]));
+      Client.close c;
+      let events = Trace.events sink in
+      let traces =
+        List.filter_map
+          (fun e ->
+            List.find_map
+              (function "trace", Trace.Str t -> Some t | _ -> None)
+              e.Trace.args)
+          events
+      in
+      check "spans carry trace args" true (traces <> []);
+      List.iter
+        (fun name ->
+          check ("span " ^ name ^ " present") true
+            (List.exists (fun e -> e.Trace.name = name) events))
+        [ "client.call"; "wire.codec"; "serve.queue_wait"; "serve.batch";
+          "serve.engine" ];
+      (* Every open/add span family shares one trace id per request, and
+         distinct requests get distinct trace ids. *)
+      let module SS = Set.Make (String) in
+      let distinct = SS.of_list traces in
+      check "one trace id per request" true (SS.cardinal distinct >= 2))
+
 (* --- unix-socket daemon ------------------------------------------------------ *)
 
 let test_daemon_roundtrip () =
@@ -257,6 +407,10 @@ let suite =
         Alcotest.test_case "addresses" `Quick test_addresses;
         Alcotest.test_case "loopback client" `Quick test_loopback;
         Alcotest.test_case "json loopback batch" `Quick test_loopback_json_and_batch;
+        Alcotest.test_case "ctx on the wire" `Quick test_ctx_on_the_wire;
+        Alcotest.test_case "daemon introspection" `Quick test_introspection;
+        Alcotest.test_case "traced call span tree" `Quick
+          test_traced_call_span_tree;
         Alcotest.test_case "unix socket daemon" `Quick test_daemon_roundtrip;
       ] );
   ]
